@@ -1,0 +1,416 @@
+// Benchmarks regenerating the paper's evaluation at go-test scale, plus
+// ablations of CODS's design choices. Inputs are built once per
+// configuration outside the timed region (tables are immutable, so
+// iterations share them); the timed region is the data evolution only,
+// matching the paper's methodology. cmd/codsbench runs the same
+// experiments at full scale.
+package cods_test
+
+import (
+	"fmt"
+	"testing"
+
+	"cods/internal/bench"
+	"cods/internal/bitset"
+	"cods/internal/colstore"
+	"cods/internal/evolve"
+	"cods/internal/queryevolve"
+	"cods/internal/rowstore"
+	"cods/internal/wah"
+	"cods/internal/workload"
+
+	"cods"
+)
+
+const benchRows = 200_000
+
+var benchDistincts = []int{100, 10_000}
+
+// --- Figure 3(a): decomposition ---
+
+func BenchmarkFigure3aDecompose(b *testing.B) {
+	for _, d := range benchDistincts {
+		spec := workload.Spec{Rows: benchRows, DistinctKeys: d, Seed: 1}
+
+		colInput, err := workload.BuildColstore(spec, "R")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("D/distinct=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := evolve.Decompose(colInput, evolve.DecomposeSpec{
+					OutS: "S", SColumns: []string{"A", "B"},
+					OutT: "T", TColumns: []string{"A", "C"},
+				}, evolve.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("M/distinct=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := queryevolve.Decompose(colInput, "S", []string{"A", "B"}, "T", []string{"A", "C"}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		for _, sys := range []struct {
+			key     string
+			profile rowstore.Profile
+			kind    rowstore.StorageKind
+		}{
+			{"C", rowstore.ProfileCommercial, rowstore.HeapStorage},
+			{"C+I", rowstore.ProfileCommercialIndexed, rowstore.HeapStorage},
+			{"S", rowstore.ProfileSQLiteLike, rowstore.BTreeStorage},
+		} {
+			db := rowstore.NewDB()
+			if _, err := workload.BuildRowstore(spec, db, "R", sys.kind); err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/distinct=%d", sys.key, d), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					outS, outT := fmt.Sprintf("S%d", i), fmt.Sprintf("T%d", i)
+					_, err := rowstore.DecomposeQueryLevel(db, "R", outS, []string{"A", "B"}, outT, []string{"A", "C"}, []string{"A"}, sys.profile)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StopTimer()
+					db.Drop(outS)
+					db.Drop(outT)
+					b.StartTimer()
+				}
+			})
+		}
+	}
+}
+
+// --- Figure 3(b): mergence ---
+
+func BenchmarkFigure3bMerge(b *testing.B) {
+	for _, d := range benchDistincts {
+		spec := workload.Spec{Rows: benchRows, DistinctKeys: d, Seed: 2}
+
+		s, t, err := workload.BuildColstoreST(spec, "S", "T")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("D/distinct=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := evolve.MergeKeyFK(s, t, "R", evolve.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("M/distinct=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := queryevolve.Merge(s, t, "R"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		for _, sys := range []struct {
+			key     string
+			profile rowstore.Profile
+			kind    rowstore.StorageKind
+		}{
+			{"C", rowstore.ProfileCommercial, rowstore.HeapStorage},
+			{"C+I", rowstore.ProfileCommercialIndexed, rowstore.HeapStorage},
+		} {
+			db := rowstore.NewDB()
+			if err := workload.BuildRowstoreST(spec, db, "S", "T", sys.kind); err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/distinct=%d", sys.key, d), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					out := fmt.Sprintf("R%d", i)
+					if _, err := rowstore.MergeQueryLevel(db, "S", "T", out, []string{"A"}, sys.profile); err != nil {
+						b.Fatal(err)
+					}
+					b.StopTimer()
+					db.Drop(out)
+					b.StartTimer()
+				}
+			})
+		}
+	}
+}
+
+// --- §2.5.2: general mergence (companion technical report experiment) ---
+
+func BenchmarkGeneralMerge(b *testing.B) {
+	for _, d := range benchDistincts {
+		spec := workload.Spec{Rows: benchRows / 2, DistinctKeys: d, Seed: 3}
+		s, t1, err := workload.BuildColstoreST(spec, "S", "T1")
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Double the dimension rows so the join attribute is a key of
+		// neither side.
+		tb, err := colstore.NewTableBuilder("T", []string{"A", "C"}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows, err := t1.Rows(0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range rows {
+			tb.AppendRow(row)
+			tb.AppendRow([]string{row[0], row[1] + "x"})
+		}
+		t2, err := tb.Finish()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("D/distinct=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := evolve.MergeGeneral(s, t2, "R", evolve.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("M/distinct=%d", d), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := queryevolve.Merge(s, t2, "R"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablation: bitmap filtering on compressed form vs decompress +
+// filter + recompress (the §2.1 claim that avoiding the codec round trip
+// matters) ---
+
+func BenchmarkAblationFilter(b *testing.B) {
+	const n = 1_000_000
+	col := wah.New()
+	// A realistic value vector: clustered runs.
+	for i := 0; i < 50; i++ {
+		col.AppendRun(uint32(i%2), n/50)
+	}
+	var positions []uint64
+	for i := uint64(0); i < 1000; i++ {
+		positions = append(positions, i*(n/1000))
+	}
+	mask, err := wah.FromPositions(positions, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("compressed-filter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			wah.Filter(col, mask)
+		}
+	})
+	b.Run("decompress-recompress", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// Decompress both to bit slices, filter, re-compress.
+			colBits := make([]bool, n)
+			col.Ones(func(p uint64) bool { colBits[p] = true; return true })
+			out := wah.New()
+			mask.Ones(func(p uint64) bool {
+				if colBits[p] {
+					out.AppendBit(1)
+				} else {
+					out.AppendBit(0)
+				}
+				return true
+			})
+		}
+	})
+}
+
+// --- Ablation: WAH compressed bitmaps vs uncompressed bitsets for the
+// evolution primitives, across value densities (§2.2's representation
+// choice) ---
+
+func BenchmarkAblationWAHvsBitset(b *testing.B) {
+	const n = 2_000_000
+	for _, distinct := range []int{100, 100_000} {
+		// One value's bitmap in a column with `distinct` values: n/distinct
+		// set bits, clustered.
+		setBits := uint64(n / distinct)
+		wb := wah.New()
+		wb.AppendRun(0, n/3)
+		wb.AppendRun(1, setBits)
+		wb.Extend(n)
+		bs := bitset.New(n)
+		wb.Ones(func(p uint64) bool { bs.Set(p); return true })
+		// The distinction position list.
+		positions := make([]uint64, distinct)
+		for i := range positions {
+			positions[i] = uint64(i) * (n / uint64(distinct))
+		}
+		b.Run(fmt.Sprintf("filter/wah/distinct=%d", distinct), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				wah.FilterPositions(wb, positions)
+			}
+			b.ReportMetric(float64(wb.SizeBytes()), "bytes")
+		})
+		b.Run(fmt.Sprintf("filter/bitset/distinct=%d", distinct), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bs.FilterPositions(positions)
+			}
+			b.ReportMetric(float64(bs.SizeBytes()), "bytes")
+		})
+		b.Run(fmt.Sprintf("or/wah/distinct=%d", distinct), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				wah.Or(wb, wb)
+			}
+		})
+		b.Run(fmt.Sprintf("or/bitset/distinct=%d", distinct), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bs.Clone().Or(bs)
+			}
+		})
+	}
+}
+
+// --- Ablation: balanced pairwise OR vs sequential left fold in key-FK
+// mergence's vector combination ---
+
+func BenchmarkAblationOrAll(b *testing.B) {
+	const n = 500_000
+	var vectors []*wah.Bitmap
+	for i := 0; i < 256; i++ {
+		bm := wah.New()
+		bm.AppendRun(0, uint64(i)*(n/256))
+		bm.AppendRun(1, n/256)
+		bm.Extend(n)
+		vectors = append(vectors, bm)
+	}
+	b.Run("balanced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			wah.OrAll(vectors)
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			acc := vectors[0].Clone()
+			for _, v := range vectors[1:] {
+				acc = wah.Or(acc, v)
+			}
+		}
+	})
+}
+
+// --- Ablation: key skew sensitivity (uniform vs Zipf) for decomposition ---
+
+func BenchmarkAblationSkew(b *testing.B) {
+	for _, zipf := range []float64{0, 1.3} {
+		spec := workload.Spec{Rows: benchRows, DistinctKeys: 10_000, ZipfS: zipf, Seed: 4}
+		r, err := workload.BuildColstore(spec, "R")
+		if err != nil {
+			b.Fatal(err)
+		}
+		name := "uniform"
+		if zipf > 0 {
+			name = fmt.Sprintf("zipf=%.1f", zipf)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := evolve.Decompose(r, evolve.DecomposeSpec{
+					OutS: "S", SColumns: []string{"A", "B"},
+					OutT: "T", TColumns: []string{"A", "C"},
+				}, evolve.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablation: decomposition parallelism across bitmap vectors ---
+
+func BenchmarkAblationParallelism(b *testing.B) {
+	spec := workload.Spec{Rows: benchRows, DistinctKeys: 50_000, Seed: 5}
+	r, err := workload.BuildColstore(spec, "R")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := evolve.Decompose(r, evolve.DecomposeSpec{
+					OutS: "S", SColumns: []string{"A", "B"},
+					OutT: "T", TColumns: []string{"A", "C"},
+				}, evolve.Options{Parallelism: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Table 1: per-operator microbenchmarks through the public API ---
+
+func BenchmarkSMOOperators(b *testing.B) {
+	setup := func(b *testing.B) *cods.DB {
+		db := cods.Open(cods.Config{})
+		spec := workload.Spec{Rows: 100_000, DistinctKeys: 1000, Seed: 6}
+		r, err := workload.BuildColstore(spec, "R")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := dbRegister(db, r); err != nil {
+			b.Fatal(err)
+		}
+		return db
+	}
+	cases := []struct {
+		name string
+		ops  []string
+	}{
+		{"CopyTable", []string{"COPY TABLE R TO R2", "DROP TABLE R2"}},
+		{"RenameTable", []string{"RENAME TABLE R TO R2", "RENAME TABLE R2 TO R"}},
+		{"RenameColumn", []string{"RENAME COLUMN B TO B2 IN R", "RENAME COLUMN B2 TO B IN R"}},
+		{"AddDropColumnDefault", []string{"ADD COLUMN Z TO R DEFAULT 'v'", "DROP COLUMN Z FROM R"}},
+		{"PartitionUnion", []string{"PARTITION TABLE R WHERE A < 'k0000500' INTO P1, P2", "UNION TABLES P1, P2 INTO R"}},
+		{"DecomposeMerge", []string{"DECOMPOSE TABLE R INTO S (A, B), T (A, C)", "MERGE TABLES S, T INTO R"}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			db := setup(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, op := range c.ops {
+					if _, err := db.Exec(op); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// dbRegister loads a prebuilt table into a public DB via its rows (the
+// public API has no internal-table ingestion, deliberately).
+func dbRegister(db *cods.DB, t *colstore.Table) error {
+	rows, err := t.Rows(0, 0)
+	if err != nil {
+		return err
+	}
+	return db.CreateTableFromRows(t.Name(), t.ColumnNames(), t.Key(), rows)
+}
+
+// BenchmarkHarnessSmoke runs the figure harness end to end at a tiny scale
+// so `go test -bench .` exercises the exact code path codsbench uses.
+func BenchmarkHarnessSmoke(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := bench.RunDecompose(bench.Config{
+			Rows:           20_000,
+			DistinctCounts: []int{100},
+			Systems:        bench.Figure3aSystems,
+			Seed:           7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

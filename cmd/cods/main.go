@@ -1,0 +1,72 @@
+// Command cods is the interactive CODS platform — the CLI counterpart of
+// the paper's demo UI (Figure 4). It creates tables, loads data, executes
+// Schema Modification Operators with live data-evolution status, and
+// displays tables.
+//
+// Usage:
+//
+//	cods [-dir dbdir] [-validate] [-quiet] [script.smo ...]
+//
+// With script arguments, each file is executed and the process exits;
+// otherwise an interactive prompt starts. Type \help at the prompt for the
+// meta commands (display, load, save, advise, rollback, ...); any other
+// line is parsed as a Schema Modification Operator.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cods"
+	"cods/internal/repl"
+)
+
+func main() {
+	dir := flag.String("dir", "", "open a persisted database directory")
+	validate := flag.Bool("validate", true, "verify losslessness of decompositions")
+	quiet := flag.Bool("quiet", false, "suppress data-evolution status output")
+	flag.Parse()
+
+	cfg := cods.Config{ValidateFD: *validate}
+	if !*quiet {
+		cfg.Status = func(step string) { fmt.Printf("  [status] %s\n", step) }
+	}
+	var db *cods.DB
+	var err error
+	if *dir != "" {
+		db, err = cods.OpenDir(*dir, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cods:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("opened %s: tables %s\n", *dir, strings.Join(db.Tables(), ", "))
+	} else {
+		db = cods.Open(cfg)
+	}
+
+	if flag.NArg() > 0 {
+		for _, path := range flag.Args() {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cods:", err)
+				os.Exit(1)
+			}
+			if _, err := db.ExecScript(string(data)); err != nil {
+				fmt.Fprintln(os.Stderr, "cods:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	fmt.Println("CODS — column-oriented database schema update platform")
+	fmt.Println(`type an SMO (e.g. DECOMPOSE TABLE R INTO S (A, B), T (A, C)) or \help`)
+	r := &repl.Repl{DB: db, Out: os.Stdout, Prompt: "cods> "}
+	if err := r.Run(os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "cods:", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,63 @@
+// Command codsgen generates the paper's synthetic workload as a CSV file,
+// for loading into the cods CLI or any other system:
+//
+//	codsgen -rows 1000000 -distinct 10000 [-zipf 1.2] [-seed 1] -o r.csv
+//
+// The output table R(A, B, C) has the evaluation's shape: A is the key
+// attribute with the requested number of distinct values, C depends
+// functionally on A, and B is a high-cardinality per-row attribute.
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+
+	"cods/internal/workload"
+)
+
+func main() {
+	rows := flag.Int("rows", 1_000_000, "number of rows")
+	distinct := flag.Int("distinct", 10_000, "distinct values of the key attribute A")
+	zipf := flag.Float64("zipf", 0, "Zipf skew parameter (>1 to enable)")
+	seed := flag.Int64("seed", 1, "generation seed")
+	out := flag.String("o", "-", "output file (default stdout)")
+	flag.Parse()
+
+	var w *bufio.Writer
+	if *out == "-" {
+		w = bufio.NewWriter(os.Stdout)
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "codsgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(workload.Columns); err != nil {
+		fmt.Fprintln(os.Stderr, "codsgen:", err)
+		os.Exit(1)
+	}
+	spec := workload.Spec{Rows: *rows, DistinctKeys: *distinct, ZipfS: *zipf, Seed: *seed}
+	err := workload.ForEachRow(spec, func(row []string) error {
+		return cw.Write(row)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "codsgen:", err)
+		os.Exit(1)
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		fmt.Fprintln(os.Stderr, "codsgen:", err)
+		os.Exit(1)
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "codsgen:", err)
+		os.Exit(1)
+	}
+}

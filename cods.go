@@ -1,0 +1,458 @@
+package cods
+
+import (
+	"fmt"
+	"time"
+
+	"cods/internal/advisor"
+	"cods/internal/colquery"
+	"cods/internal/colstore"
+	"cods/internal/core"
+	"cods/internal/csvio"
+	"cods/internal/expr"
+	"cods/internal/smo"
+	"cods/internal/storage"
+)
+
+// Config parameterizes a DB.
+type Config struct {
+	// Parallelism bounds the worker pool for per-value bitmap work; 0
+	// means GOMAXPROCS.
+	Parallelism int
+	// ValidateFD makes DECOMPOSE TABLE verify losslessness before
+	// evolving data, at the cost of one input scan.
+	ValidateFD bool
+	// Status, when non-nil, receives live data-evolution progress events
+	// ("distinction", "bitmap filtering", ...) as operators execute.
+	Status func(step string)
+}
+
+// DB is a CODS database: a catalog of bitmap-indexed column-store tables
+// evolved in place by Schema Modification Operators. Safe for concurrent
+// use.
+type DB struct {
+	engine *core.Engine
+}
+
+// Open creates an empty in-memory database.
+func Open(cfg Config) *DB {
+	return &DB{engine: core.New(core.Config{
+		Parallelism: cfg.Parallelism,
+		ValidateFD:  cfg.ValidateFD,
+		Status:      cfg.Status,
+	})}
+}
+
+// OpenDir opens a database previously persisted with Save.
+func OpenDir(dir string, cfg Config) (*DB, error) {
+	db := Open(cfg)
+	tables, err := storage.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range tables {
+		if err := db.engine.Register(t); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// Save persists every table to a directory in compressed binary form.
+func (db *DB) Save(dir string) error {
+	var tables []*colstore.Table
+	for _, name := range db.engine.Tables() {
+		t, err := db.engine.Table(name)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	}
+	return storage.Save(dir, tables)
+}
+
+// Result reports one executed operator.
+type Result struct {
+	// Op is the operator in canonical text form.
+	Op string
+	// Kind is the operator's Table 1 name, e.g. "DECOMPOSE TABLE".
+	Kind string
+	// Version is the schema version after the operator.
+	Version int
+	// Elapsed is the data-evolution time.
+	Elapsed time.Duration
+	// Steps lists the evolution status events (the demo UI's "Data
+	// Evolution Status").
+	Steps []string
+	// Created and Dropped list catalog changes.
+	Created []string
+	Dropped []string
+}
+
+func toResult(r *core.Result) *Result {
+	return &Result{
+		Op:      r.Op.String(),
+		Kind:    r.Op.Kind(),
+		Version: r.Version,
+		Elapsed: r.Elapsed,
+		Steps:   r.Steps,
+		Created: r.Created,
+		Dropped: r.Dropped,
+	}
+}
+
+// Exec parses and executes one Schema Modification Operator. The syntax
+// (keywords case-insensitive):
+//
+//	CREATE TABLE t (c1, c2, ...) [KEY (k1, ...)]
+//	DROP TABLE t
+//	RENAME TABLE old TO new
+//	COPY TABLE src TO dst
+//	UNION TABLES a, b INTO out
+//	PARTITION TABLE t WHERE <condition> INTO yes, no
+//	DECOMPOSE TABLE r INTO s (c1, ...), t (c1, ...)
+//	MERGE TABLES a, b INTO out
+//	ADD COLUMN c TO t DEFAULT 'v'
+//	ADD COLUMN c TO t FROM 'file'
+//	DROP COLUMN c FROM t
+//	RENAME COLUMN old TO new IN t
+//
+// Conditions are comparisons (= != < <= > >=) over column values combined
+// with AND/OR/NOT; comparisons are numeric when both sides are integers.
+func (db *DB) Exec(op string) (*Result, error) {
+	parsed, err := smo.Parse(op)
+	if err != nil {
+		return nil, err
+	}
+	res, err := db.engine.Apply(parsed)
+	if err != nil {
+		return nil, err
+	}
+	return toResult(res), nil
+}
+
+// ExecScript executes a sequence of operators separated by newlines or
+// semicolons ("--" and "#" start comments), stopping at the first failure.
+func (db *DB) ExecScript(script string) ([]*Result, error) {
+	ops, err := smo.ParseScript(script)
+	if err != nil {
+		return nil, err
+	}
+	results, err := db.engine.ApplyScript(ops)
+	out := make([]*Result, len(results))
+	for i, r := range results {
+		out[i] = toResult(r)
+	}
+	return out, err
+}
+
+// CreateTableFromRows builds a table from in-memory rows and registers it.
+func (db *DB) CreateTableFromRows(name string, columns []string, key []string, rows [][]string) error {
+	tb, err := colstore.NewTableBuilder(name, columns, key)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := tb.AppendRow(r); err != nil {
+			return err
+		}
+	}
+	t, err := tb.Finish()
+	if err != nil {
+		return err
+	}
+	return db.engine.Register(t)
+}
+
+// LoadCSV loads a CSV file (header row first) as a new table.
+func (db *DB) LoadCSV(path, table string, key ...string) error {
+	t, err := csvio.Load(path, table, key)
+	if err != nil {
+		return err
+	}
+	return db.engine.Register(t)
+}
+
+// SaveCSV writes a table to a CSV file.
+func (db *DB) SaveCSV(path, table string) error {
+	t, err := db.engine.Table(table)
+	if err != nil {
+		return err
+	}
+	return csvio.Save(path, t)
+}
+
+// Tables lists the catalog's table names, sorted.
+func (db *DB) Tables() []string { return db.engine.Tables() }
+
+// HasTable reports whether a table exists.
+func (db *DB) HasTable(name string) bool {
+	_, err := db.engine.Table(name)
+	return err == nil
+}
+
+// ColumnInfo describes one column of a table.
+type ColumnInfo struct {
+	Name            string
+	Encoding        string
+	DistinctValues  int
+	CompressedBytes uint64
+}
+
+// TableInfo describes a table's schema and physical footprint.
+type TableInfo struct {
+	Name    string
+	Rows    uint64
+	Key     []string
+	Columns []ColumnInfo
+}
+
+// Describe returns schema and storage statistics for a table.
+func (db *DB) Describe(table string) (*TableInfo, error) {
+	t, err := db.engine.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	info := &TableInfo{Name: t.Name(), Rows: t.NumRows(), Key: t.Key()}
+	for i := 0; i < t.NumColumns(); i++ {
+		c := t.ColumnAt(i)
+		info.Columns = append(info.Columns, ColumnInfo{
+			Name:            c.Name(),
+			Encoding:        c.Encoding().String(),
+			DistinctValues:  c.DistinctCount(),
+			CompressedBytes: c.CompressedSizeBytes(),
+		})
+	}
+	return info, nil
+}
+
+// Columns returns a table's column names in schema order.
+func (db *DB) Columns(table string) ([]string, error) {
+	t, err := db.engine.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	return t.ColumnNames(), nil
+}
+
+// NumRows returns a table's row count.
+func (db *DB) NumRows(table string) (uint64, error) {
+	t, err := db.engine.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	return t.NumRows(), nil
+}
+
+// Rows materializes up to limit rows of a table starting at offset (limit
+// 0 means all).
+func (db *DB) Rows(table string, offset, limit uint64) ([][]string, error) {
+	t, err := db.engine.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	return t.Rows(offset, limit)
+}
+
+// Query returns the rows of a table satisfying a condition (same syntax
+// as PARTITION TABLE's WHERE). The condition is evaluated on the bitmap
+// index — once per distinct value, not once per row.
+func (db *DB) Query(table, condition string) ([][]string, error) {
+	t, err := db.engine.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := expr.Parse(condition)
+	if err != nil {
+		return nil, err
+	}
+	mask, err := pred.Eval(t)
+	if err != nil {
+		return nil, err
+	}
+	filtered, err := t.FilterRows(t.Name(), mask)
+	if err != nil {
+		return nil, err
+	}
+	return filtered.Rows(0, 0)
+}
+
+// Count returns the number of rows satisfying a condition without
+// materializing them (a compressed popcount).
+func (db *DB) Count(table, condition string) (uint64, error) {
+	t, err := db.engine.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	pred, err := expr.Parse(condition)
+	if err != nil {
+		return 0, err
+	}
+	mask, err := pred.Eval(t)
+	if err != nil {
+		return 0, err
+	}
+	return mask.Count(), nil
+}
+
+// Version returns the schema version (incremented per applied operator).
+func (db *DB) Version() int { return db.engine.Version() }
+
+// Rollback restores the catalog to an earlier schema version. Versioned
+// catalogs share immutable column data, so keeping and restoring versions
+// is nearly free. The rollback is itself recorded as a new version.
+func (db *DB) Rollback(version int) error { return db.engine.Rollback(version) }
+
+// AggFunc is an aggregate function for RunQuery.
+type AggFunc int
+
+// Aggregate functions.
+const (
+	Count AggFunc = iota // COUNT(*)
+	CountDistinct
+	Min
+	Max
+	Sum
+	Avg
+)
+
+var aggFuncs = map[AggFunc]colquery.AggFunc{
+	Count: colquery.Count, CountDistinct: colquery.CountDistinct,
+	Min: colquery.Min, Max: colquery.Max, Sum: colquery.Sum, Avg: colquery.Avg,
+}
+
+// Agg is one aggregate column: Func over Column, named As (optional).
+// Column is ignored for Count.
+type Agg struct {
+	Func   AggFunc
+	Column string
+	As     string
+}
+
+// TableQuery describes a single-table query for RunQuery.
+type TableQuery struct {
+	// Select lists projected columns (empty = all; ignored with
+	// Aggregates).
+	Select []string
+	// Where is an optional predicate in the PARTITION condition syntax.
+	Where string
+	// GroupBy groups by one column; requires Aggregates.
+	GroupBy string
+	// Aggregates computes aggregate output columns.
+	Aggregates []Agg
+	// OrderBy sorts by one output column; Desc reverses.
+	OrderBy string
+	Desc    bool
+	// Limit caps output rows (0 = unlimited).
+	Limit int
+}
+
+// ResultSet is a materialized query result.
+type ResultSet struct {
+	Columns []string
+	Rows    [][]string
+}
+
+// RunQuery executes a query with optional filtering, grouping,
+// aggregation, ordering and limit against one table. Predicates and COUNT
+// aggregates are evaluated on compressed bitmaps — once per distinct
+// value, never per row.
+func (db *DB) RunQuery(table string, q TableQuery) (*ResultSet, error) {
+	t, err := db.engine.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	iq := colquery.Query{
+		Select:  q.Select,
+		Where:   q.Where,
+		GroupBy: q.GroupBy,
+		OrderBy: q.OrderBy,
+		Desc:    q.Desc,
+		Limit:   q.Limit,
+	}
+	for _, a := range q.Aggregates {
+		f, ok := aggFuncs[a.Func]
+		if !ok {
+			return nil, fmt.Errorf("cods: unknown aggregate function %d", a.Func)
+		}
+		iq.Aggregates = append(iq.Aggregates, colquery.Agg{Func: f, Column: a.Column, As: a.As})
+	}
+	rs, err := colquery.Run(t, iq)
+	if err != nil {
+		return nil, err
+	}
+	return &ResultSet{Columns: rs.Columns, Rows: rs.Rows}, nil
+}
+
+// HistoryEntry records one executed operator.
+type HistoryEntry struct {
+	Version int
+	Op      string
+	Kind    string
+	Elapsed time.Duration
+	Steps   []string
+}
+
+// History returns the executed-operator log in order.
+func (db *DB) History() []HistoryEntry {
+	var out []HistoryEntry
+	for _, h := range db.engine.History() {
+		out = append(out, HistoryEntry{Version: h.Version, Op: h.Op, Kind: h.Kind, Elapsed: h.Elapsed, Steps: h.Steps})
+	}
+	return out
+}
+
+// FDSuggestion is a decomposition opportunity discovered from the data: a
+// functional dependency makes part of a table redundant, and Operator is
+// the ready-to-run DECOMPOSE TABLE statement that removes the redundancy.
+type FDSuggestion struct {
+	// Operator is the suggested SMO in Exec syntax.
+	Operator string
+	// FDs describes the discovered dependencies justifying it.
+	FDs []string
+	// SavedCells estimates how many redundant attribute cells the
+	// decomposition removes.
+	SavedCells uint64
+}
+
+// Advise discovers functional dependencies in a table's data and suggests
+// decompositions, ranked by removed redundancy. This serves the paper's
+// "new information about the data" evolution scenario (§1): the advisor
+// produces the knowledge, Exec applies it.
+func (db *DB) Advise(table string) ([]FDSuggestion, error) {
+	t, err := db.engine.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	suggestions, err := advisor.Suggest(t)
+	if err != nil {
+		return nil, err
+	}
+	var out []FDSuggestion
+	for _, s := range suggestions {
+		fs := FDSuggestion{Operator: s.Op.String(), SavedCells: s.SavedCells}
+		for _, fd := range s.FDs {
+			fs.FDs = append(fs.FDs, fd.String())
+		}
+		out = append(out, fs)
+	}
+	return out, nil
+}
+
+// Validate checks the structural invariants of every table (per-value
+// bitmaps disjoint and complete, declared keys unique).
+func (db *DB) Validate() error {
+	for _, name := range db.engine.Tables() {
+		t, err := db.engine.Table(name)
+		if err != nil {
+			return err
+		}
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		if err := t.ValidateKey(); err != nil {
+			return fmt.Errorf("cods: %w", err)
+		}
+	}
+	return nil
+}

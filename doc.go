@@ -1,0 +1,34 @@
+// Package cods is a Go implementation of CODS — "Column Oriented Database
+// Schema update" — the data-level data evolution platform for column
+// oriented databases described in:
+//
+//	Liu, Natarajan, He, Hsiao, Chen.
+//	CODS: Evolving Data Efficiently and Scalably in Column Oriented
+//	Databases. PVLDB 3(2), VLDB 2010.
+//
+// Tables are stored as bitmap-indexed columns: one value dictionary and
+// one WAH-compressed bitmap per distinct value. Schema Modification
+// Operators (DECOMPOSE TABLE, MERGE TABLES, PARTITION, UNION, column
+// operations, ...) evolve the stored data directly on the compressed
+// bitmaps — without materializing query results, without rebuilding
+// indexes, and without decompressing columns — which is orders of
+// magnitude faster than executing the equivalent INSERT ... SELECT at
+// query level.
+//
+// # Quick start
+//
+//	db := cods.Open(cods.Config{})
+//	db.CreateTableFromRows("R",
+//		[]string{"Employee", "Skill", "Address"}, nil, rows)
+//	res, err := db.Exec(
+//		"DECOMPOSE TABLE R INTO S (Employee, Skill), T (Employee, Address)")
+//	...
+//	res, err = db.Exec("MERGE TABLES S, T INTO R")
+//
+// The operator syntax is the paper's Table 1; see the Exec documentation
+// for the full grammar. Lower-level building blocks (the WAH bitmap
+// engine, the column store, the evolution algorithms, the row-store
+// baselines used by the benchmark harness) live under internal/ and are
+// exercised through this facade, the example programs, and the cmd/
+// tools.
+package cods

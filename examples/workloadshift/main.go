@@ -1,0 +1,82 @@
+// Workloadshift: the remaining Table 1 operators on a realistic scenario —
+// new information arriving about the data (§1, scenario 1) and a
+// hot/cold split driven by access patterns.
+//
+// An access-log table gains a column when new information emerges (ADD
+// COLUMN), is split into hot and cold partitions by year (PARTITION
+// TABLE), archived (COPY/RENAME TABLE), re-unified when the access pattern
+// changes again (UNION TABLES), and trimmed of a stale attribute (DROP
+// COLUMN).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cods"
+)
+
+func main() {
+	db := cods.Open(cods.Config{})
+
+	var rows [][]string
+	for i := 0; i < 20_000; i++ {
+		year := 2019 + i%6
+		rows = append(rows, []string{
+			fmt.Sprintf("user-%04d", i%500),
+			fmt.Sprintf("page-%03d", i%97),
+			fmt.Sprintf("%d", year),
+		})
+	}
+	if err := db.CreateTableFromRows("Log", []string{"User", "Page", "Year"}, nil, rows); err != nil {
+		log.Fatal(err)
+	}
+
+	// New information about the data: a device type becomes available.
+	// The default fills history in O(1) — a single fill bitmap.
+	exec(db, "ADD COLUMN Device TO Log DEFAULT 'unknown'")
+	exec(db, "RENAME COLUMN Device TO Client IN Log")
+
+	// Access pattern: recent rows are hot, old rows are cold.
+	exec(db, "PARTITION TABLE Log WHERE Year >= 2023 INTO Hot, Cold")
+	show(db)
+
+	// Archive a snapshot of the cold partition (constant time: columns
+	// are immutable and shared).
+	exec(db, "COPY TABLE Cold TO ColdArchive")
+	exec(db, "RENAME TABLE ColdArchive TO Archive2024")
+
+	// The analytics team later wants one table again.
+	exec(db, "UNION TABLES Hot, Cold INTO Log")
+	n, _ := db.NumRows("Log")
+	fmt.Printf("re-unified log: %d rows\n", n)
+
+	// The client column never got real data; drop it.
+	exec(db, "DROP COLUMN Client FROM Log")
+	exec(db, "DROP TABLE Archive2024")
+	show(db)
+
+	if err := db.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("final catalog validates; operator history:")
+	for _, h := range db.History() {
+		fmt.Printf("  v%-2d %-55s %v\n", h.Version, h.Op, h.Elapsed)
+	}
+}
+
+func exec(db *cods.DB, op string) {
+	res, err := db.Exec(op)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-55s %v\n", op, res.Elapsed)
+}
+
+func show(db *cods.DB) {
+	for _, t := range db.Tables() {
+		n, _ := db.NumRows(t)
+		cols, _ := db.Columns(t)
+		fmt.Printf("  %-14s %8d rows  columns %v\n", t, n, cols)
+	}
+}

@@ -1,0 +1,174 @@
+// Package advisor discovers evolution opportunities in stored tables. The
+// paper motivates database evolution by "the availability of new knowledge
+// of the database" (§1) — this package produces that knowledge: it
+// discovers functional dependencies between attributes from the data and
+// turns them into concrete DECOMPOSE TABLE operators, estimating the
+// redundancy each decomposition would remove.
+//
+// Discovery runs on the bitmap index, not on tuples: attribute A
+// functionally determines B exactly when every value-bitmap of A is
+// "contained" in a single value-bitmap of B. The check runs once per
+// distinct (a-value) with an early exit, and tables whose key side has
+// high cardinality are checked via row-wise ids in a single scan.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+
+	"cods/internal/colstore"
+	"cods/internal/smo"
+)
+
+// FD is a discovered single-attribute functional dependency Det -> Dep.
+type FD struct {
+	Det string
+	Dep string
+	// DetDistinct is the number of distinct determinant values (the row
+	// count of the dimension table a decomposition would create).
+	DetDistinct int
+	// RedundantCells is the number of dependent-attribute cells the
+	// current table stores beyond the necessary one-per-determinant.
+	RedundantCells uint64
+}
+
+func (f FD) String() string {
+	return fmt.Sprintf("%s -> %s (%d distinct, %d redundant cells)", f.Det, f.Dep, f.DetDistinct, f.RedundantCells)
+}
+
+// Suggestion is a decomposition the advisor recommends.
+type Suggestion struct {
+	// FDs lists the dependencies justifying the decomposition (same
+	// determinant).
+	FDs []FD
+	// Op is the ready-to-execute operator.
+	Op smo.DecomposeTable
+	// SavedCells estimates the total redundant cells removed.
+	SavedCells uint64
+}
+
+// DiscoverFDs finds all single-attribute functional dependencies in t. A
+// trivial dependency (Det == Dep) is never reported; neither is one whose
+// determinant is a key of the whole table (every attribute would qualify
+// vacuously) unless includeKeyDet is set.
+func DiscoverFDs(t *colstore.Table, includeKeyDet bool) ([]FD, error) {
+	names := t.ColumnNames()
+	var out []FD
+	for _, det := range names {
+		detCol, err := t.Column(det)
+		if err != nil {
+			return nil, err
+		}
+		detDistinct := detCol.DistinctCount()
+		if uint64(detDistinct) == t.NumRows() && !includeKeyDet {
+			continue // det is unique: determines everything trivially
+		}
+		detIDs := detCol.RowIDs()
+		for _, dep := range names {
+			if dep == det {
+				continue
+			}
+			depCol, err := t.Column(dep)
+			if err != nil {
+				return nil, err
+			}
+			if holds, err := fdHoldsIDs(detIDs, depCol, detDistinct); err != nil {
+				return nil, err
+			} else if holds {
+				out = append(out, FD{
+					Det:            det,
+					Dep:            dep,
+					DetDistinct:    detDistinct,
+					RedundantCells: t.NumRows() - uint64(detDistinct),
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// fdHoldsIDs checks det -> dep with one scan over the dependent column's
+// row-wise ids, early-exiting on the first violation.
+func fdHoldsIDs(detIDs []uint32, depCol *colstore.Column, detDistinct int) (bool, error) {
+	depIDs := depCol.RowIDs()
+	if len(depIDs) != len(detIDs) {
+		return false, fmt.Errorf("advisor: column length mismatch")
+	}
+	const unset = ^uint32(0)
+	mapped := make([]uint32, detDistinct)
+	for i := range mapped {
+		mapped[i] = unset
+	}
+	for row := range detIDs {
+		d := detIDs[row]
+		switch mapped[d] {
+		case unset:
+			mapped[d] = depIDs[row]
+		case depIDs[row]:
+		default:
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Suggest turns discovered FDs into decomposition suggestions, grouping
+// dependencies by determinant and ranking by saved cells. Names of the
+// proposed output tables derive from the input name.
+func Suggest(t *colstore.Table) ([]Suggestion, error) {
+	fds, err := DiscoverFDs(t, false)
+	if err != nil {
+		return nil, err
+	}
+	byDet := map[string][]FD{}
+	for _, fd := range fds {
+		byDet[fd.Det] = append(byDet[fd.Det], fd)
+	}
+	var out []Suggestion
+	for det, group := range byDet {
+		deps := make(map[string]bool, len(group))
+		var saved uint64
+		for _, fd := range group {
+			deps[fd.Dep] = true
+			saved += fd.RedundantCells
+		}
+		// Keep: everything not determined, plus the determinant. Move:
+		// determinant plus its dependents.
+		var keep, move []string
+		move = append(move, det)
+		for _, c := range t.ColumnNames() {
+			if c == det {
+				keep = append(keep, c)
+				continue
+			}
+			if deps[c] {
+				move = append(move, c)
+			} else {
+				keep = append(keep, c)
+			}
+		}
+		if len(keep) < 2 {
+			// Nothing left to keep besides the determinant: the
+			// decomposition would just duplicate the table.
+			continue
+		}
+		out = append(out, Suggestion{
+			FDs: group,
+			Op: smo.DecomposeTable{
+				Table:    t.Name(),
+				OutS:     t.Name() + "_main",
+				SColumns: keep,
+				OutT:     t.Name() + "_" + det + "_dim",
+				TColumns: move,
+			},
+			SavedCells: saved,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].SavedCells != out[b].SavedCells {
+			return out[a].SavedCells > out[b].SavedCells
+		}
+		return out[a].Op.OutT < out[b].Op.OutT
+	})
+	return out, nil
+}

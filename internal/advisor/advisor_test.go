@@ -1,0 +1,203 @@
+package advisor
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cods/internal/colstore"
+	"cods/internal/evolve"
+	"cods/internal/workload"
+)
+
+func build(t *testing.T, name string, columns []string, rows [][]string) *colstore.Table {
+	t.Helper()
+	tb, err := colstore.NewTableBuilder(name, columns, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		tb.AppendRow(r)
+	}
+	tab, err := tb.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestDiscoverFDsFigure1(t *testing.T) {
+	r, err := workload.EmployeeTable("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fds, err := DiscoverFDs(r, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Employee -> Address holds; Address -> nothing (two employees per
+	// address with different skills); Skill determines nothing.
+	var found []string
+	for _, fd := range fds {
+		found = append(found, fd.Det+"->"+fd.Dep)
+	}
+	joined := strings.Join(found, ",")
+	if !strings.Contains(joined, "Employee->Address") {
+		t.Fatalf("missing Employee->Address: %v", found)
+	}
+	if strings.Contains(joined, "Address->Employee") {
+		t.Fatalf("bogus Address->Employee: %v", found)
+	}
+	for _, fd := range fds {
+		if fd.Det == "Employee" && fd.Dep == "Address" {
+			if fd.DetDistinct != 4 || fd.RedundantCells != 3 {
+				t.Fatalf("fd stats: %+v", fd)
+			}
+		}
+	}
+}
+
+func TestDiscoverSkipsKeyDeterminant(t *testing.T) {
+	r := build(t, "R", []string{"ID", "V"}, [][]string{
+		{"1", "a"}, {"2", "b"}, {"3", "a"},
+	})
+	fds, err := DiscoverFDs(r, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fd := range fds {
+		if fd.Det == "ID" {
+			t.Fatalf("key determinant reported: %v", fd)
+		}
+	}
+	withKeys, err := DiscoverFDs(r, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawID bool
+	for _, fd := range withKeys {
+		if fd.Det == "ID" && fd.Dep == "V" {
+			sawID = true
+		}
+	}
+	if !sawID {
+		t.Fatal("includeKeyDet did not report ID->V")
+	}
+}
+
+func TestSuggestProducesExecutableDecomposition(t *testing.T) {
+	r, err := workload.EmployeeTable("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	suggestions, err := Suggest(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suggestions) == 0 {
+		t.Fatal("no suggestions for Figure 1's table")
+	}
+	s := suggestions[0]
+	if s.Op.Table != "R" || s.SavedCells == 0 {
+		t.Fatalf("suggestion: %+v", s)
+	}
+	// The suggested operator must actually execute losslessly.
+	res, err := evolve.Decompose(r, evolve.DecomposeSpec{
+		OutS: s.Op.OutS, SColumns: s.Op.SColumns,
+		OutT: s.Op.OutT, TColumns: s.Op.TColumns,
+	}, evolve.Options{ValidateFD: true})
+	if err != nil {
+		t.Fatalf("suggested decomposition failed: %v (op: %s)", err, s.Op.String())
+	}
+	merged, err := evolve.MergeKeyFK(res.S, res.T, "R2", evolve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Table.NumRows() != r.NumRows() {
+		t.Fatal("suggested decomposition is lossy")
+	}
+}
+
+func TestSuggestRanksBySavedCells(t *testing.T) {
+	// K1 determines C1 with lots of redundancy; K2 determines C2 with
+	// little. Both should be suggested, K1 first.
+	rng := rand.New(rand.NewSource(4))
+	var rows [][]string
+	for i := 0; i < 1000; i++ {
+		k1 := fmt.Sprintf("k%d", rng.Intn(5)) // 5 distinct -> 995 redundant
+		k2 := fmt.Sprintf("q%d", rng.Intn(400))
+		rows = append(rows, []string{k1, "c-" + k1, k2, "d-" + k2, fmt.Sprintf("b%d", i)})
+	}
+	r := build(t, "R", []string{"K1", "C1", "K2", "C2", "B"}, rows)
+	suggestions, err := Suggest(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suggestions) < 3 {
+		t.Fatalf("suggestions=%d", len(suggestions))
+	}
+	// K1 and C1 are a bijection, so either may lead, but the
+	// high-redundancy family (995 saved cells) must outrank the
+	// low-redundancy K2 family.
+	first := suggestions[0]
+	if first.Op.OutT != "R_K1_dim" && first.Op.OutT != "R_C1_dim" {
+		t.Fatalf("first suggestion %q, want the K1/C1 family", first.Op.OutT)
+	}
+	if first.SavedCells != 995 {
+		t.Fatalf("first saved=%d want 995", first.SavedCells)
+	}
+	last := suggestions[len(suggestions)-1]
+	if first.SavedCells <= last.SavedCells {
+		t.Fatalf("not ranked: first %d, last %d", first.SavedCells, last.SavedCells)
+	}
+}
+
+func TestNoSuggestionsWithoutFDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var rows [][]string
+	for i := 0; i < 300; i++ {
+		rows = append(rows, []string{
+			fmt.Sprintf("a%d", rng.Intn(10)),
+			fmt.Sprintf("b%d", rng.Intn(300)),
+		})
+	}
+	r := build(t, "R", []string{"A", "B"}, rows)
+	suggestions, err := Suggest(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range suggestions {
+		// A -> B cannot hold with 10 determinants and ~300 dependents.
+		for _, fd := range s.FDs {
+			if fd.Det == "A" && fd.Dep == "B" {
+				t.Fatalf("bogus FD: %v", fd)
+			}
+		}
+	}
+}
+
+func TestMutualFDs(t *testing.T) {
+	// A and B determine each other (bijection): both directions reported.
+	r := build(t, "R", []string{"A", "B", "C"}, [][]string{
+		{"a1", "b1", "x"},
+		{"a2", "b2", "y"},
+		{"a1", "b1", "z"},
+	})
+	fds, err := DiscoverFDs(r, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ab, ba bool
+	for _, fd := range fds {
+		if fd.Det == "A" && fd.Dep == "B" {
+			ab = true
+		}
+		if fd.Det == "B" && fd.Dep == "A" {
+			ba = true
+		}
+	}
+	if !ab || !ba {
+		t.Fatalf("bijection not discovered both ways: %v", fds)
+	}
+}

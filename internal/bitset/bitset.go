@@ -1,0 +1,91 @@
+// Package bitset implements plain uncompressed bitsets. It exists as the
+// ablation baseline for WAH: the benchmark suite compares evolution
+// primitives (filtering, OR-combination) on compressed bitmaps against the
+// same operations on uncompressed vectors, quantifying §2.2's choice of a
+// compressed representation. The column store itself never uses this
+// package.
+package bitset
+
+import "math/bits"
+
+// Bitset is a fixed-length uncompressed bit vector.
+type Bitset struct {
+	words []uint64
+	nbits uint64
+}
+
+// New returns a zeroed bitset of n bits.
+func New(n uint64) *Bitset {
+	return &Bitset{words: make([]uint64, (n+63)/64), nbits: n}
+}
+
+// Len returns the number of bits.
+func (b *Bitset) Len() uint64 { return b.nbits }
+
+// SizeBytes returns the memory footprint of the bit data.
+func (b *Bitset) SizeBytes() uint64 { return uint64(len(b.words)) * 8 }
+
+// Set sets the bit at position p.
+func (b *Bitset) Set(p uint64) { b.words[p/64] |= 1 << (p % 64) }
+
+// Clear clears the bit at position p.
+func (b *Bitset) Clear(p uint64) { b.words[p/64] &^= 1 << (p % 64) }
+
+// Get reports the bit at position p.
+func (b *Bitset) Get(p uint64) bool { return b.words[p/64]&(1<<(p%64)) != 0 }
+
+// Count returns the number of set bits.
+func (b *Bitset) Count() uint64 {
+	var c uint64
+	for _, w := range b.words {
+		c += uint64(bits.OnesCount64(w))
+	}
+	return c
+}
+
+// Or sets b to b OR other. Lengths must match.
+func (b *Bitset) Or(other *Bitset) {
+	for i, w := range other.words {
+		b.words[i] |= w
+	}
+}
+
+// And sets b to b AND other. Lengths must match.
+func (b *Bitset) And(other *Bitset) {
+	for i, w := range other.words {
+		b.words[i] &= w
+	}
+}
+
+// Clone returns a deep copy.
+func (b *Bitset) Clone() *Bitset {
+	c := New(b.nbits)
+	copy(c.words, b.words)
+	return c
+}
+
+// FilterPositions returns a bitset of length len(positions) whose i-th bit
+// is b's bit at positions[i] — the uncompressed counterpart of
+// wah.FilterPositions. Cost is O(len(positions)) random reads.
+func (b *Bitset) FilterPositions(positions []uint64) *Bitset {
+	out := New(uint64(len(positions)))
+	for i, p := range positions {
+		if p < b.nbits && b.Get(p) {
+			out.Set(uint64(i))
+		}
+	}
+	return out
+}
+
+// Ones calls yield for each set bit in ascending order until it returns
+// false.
+func (b *Bitset) Ones(yield func(uint64) bool) {
+	for wi, w := range b.words {
+		for m := w; m != 0; m &= m - 1 {
+			p := uint64(wi)*64 + uint64(bits.TrailingZeros64(m))
+			if !yield(p) {
+				return
+			}
+		}
+	}
+}

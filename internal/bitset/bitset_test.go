@@ -1,0 +1,116 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cods/internal/wah"
+)
+
+func TestSetGetClear(t *testing.T) {
+	b := New(200)
+	for _, p := range []uint64{0, 63, 64, 127, 199} {
+		if b.Get(p) {
+			t.Fatalf("bit %d set in fresh bitset", p)
+		}
+		b.Set(p)
+		if !b.Get(p) {
+			t.Fatalf("bit %d not set", p)
+		}
+	}
+	if b.Count() != 5 {
+		t.Fatalf("count=%d", b.Count())
+	}
+	b.Clear(64)
+	if b.Get(64) || b.Count() != 4 {
+		t.Fatalf("clear failed: count=%d", b.Count())
+	}
+}
+
+func TestOrAnd(t *testing.T) {
+	a, b := New(130), New(130)
+	a.Set(1)
+	a.Set(100)
+	b.Set(100)
+	b.Set(129)
+	or := a.Clone()
+	or.Or(b)
+	if or.Count() != 3 || !or.Get(1) || !or.Get(100) || !or.Get(129) {
+		t.Fatalf("or wrong: %d", or.Count())
+	}
+	and := a.Clone()
+	and.And(b)
+	if and.Count() != 1 || !and.Get(100) {
+		t.Fatalf("and wrong: %d", and.Count())
+	}
+}
+
+func TestOnesAndFilterPositions(t *testing.T) {
+	b := New(1000)
+	want := []uint64{3, 64, 65, 500, 999}
+	for _, p := range want {
+		b.Set(p)
+	}
+	var got []uint64
+	b.Ones(func(p uint64) bool { got = append(got, p); return true })
+	if len(got) != len(want) {
+		t.Fatalf("ones=%v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ones=%v want %v", got, want)
+		}
+	}
+	f := b.FilterPositions([]uint64{0, 3, 64, 998, 999, 2000})
+	if f.Len() != 6 || f.Count() != 3 {
+		t.Fatalf("filter: len=%d count=%d", f.Len(), f.Count())
+	}
+	if !f.Get(1) || !f.Get(2) || !f.Get(4) || f.Get(0) || f.Get(3) || f.Get(5) {
+		t.Fatal("filter selected wrong bits")
+	}
+}
+
+func TestOnesEarlyStop(t *testing.T) {
+	b := New(100)
+	for i := uint64(0); i < 100; i++ {
+		b.Set(i)
+	}
+	n := 0
+	b.Ones(func(uint64) bool { n++; return n < 7 })
+	if n != 7 {
+		t.Fatalf("visited %d", n)
+	}
+}
+
+func TestQuickAgreesWithWAH(t *testing.T) {
+	// Property: bitset and WAH agree on count and filtering for random
+	// content — the two representations are interchangeable semantically.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := uint64(rng.Intn(2000) + 1)
+		bs := New(n)
+		wb := wah.New()
+		for p := uint64(0); p < n; p++ {
+			if rng.Intn(3) == 0 {
+				bs.Set(p)
+				wb.AppendBit(1)
+			} else {
+				wb.AppendBit(0)
+			}
+		}
+		if bs.Count() != wb.Count() {
+			return false
+		}
+		var positions []uint64
+		for p := uint64(0); p < n; p += uint64(rng.Intn(5) + 1) {
+			positions = append(positions, p)
+		}
+		fb := bs.FilterPositions(positions)
+		fw := wah.FilterPositions(wb, positions)
+		return fb.Count() == fw.Count() && fb.Len() == fw.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package colquery
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestOrderByOnAggregateColumn(t *testing.T) {
+	tab := salesTable(t)
+	rs, err := Run(tab, Query{
+		GroupBy:    "Region",
+		Aggregates: []Agg{{Func: Sum, Column: "Amount", As: "total"}},
+		OrderBy:    "total",
+		Desc:       true,
+		Limit:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{
+		{"east", "80"},
+		{"west", "25"},
+	}
+	if !reflect.DeepEqual(rs.Rows, want) {
+		t.Fatalf("rows=%v", rs.Rows)
+	}
+}
+
+func TestMinMaxNumericVsLexicographic(t *testing.T) {
+	tab := salesTable(t)
+	rs, err := Run(tab, Query{
+		Aggregates: []Agg{
+			{Func: Min, Column: "Amount"},
+			{Func: Max, Column: "Amount"},
+			{Func: Min, Column: "Region"},
+			{Func: Max, Column: "Region"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rs.Rows[0]
+	// Numeric: min 5, max 40 (not lexicographic "10"/"7").
+	// Lexicographic for strings: east..west.
+	want := []string{"5", "40", "east", "west"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got=%v want %v", got, want)
+	}
+}
+
+func TestLimitWithoutOrder(t *testing.T) {
+	tab := salesTable(t)
+	rs, err := Run(tab, Query{Limit: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 2 {
+		t.Fatalf("rows=%d", len(rs.Rows))
+	}
+}
+
+func TestGroupByRespectsRowlessTable(t *testing.T) {
+	tab := salesTable(t)
+	rs, err := Run(tab, Query{
+		Where:      "Region = 'nowhere'",
+		GroupBy:    "Region",
+		Aggregates: []Agg{{Func: Count}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 0 {
+		t.Fatalf("rows=%v", rs.Rows)
+	}
+}
+
+func TestAggFuncString(t *testing.T) {
+	names := map[AggFunc]string{
+		Count: "count", CountDistinct: "count_distinct",
+		Min: "min", Max: "max", Sum: "sum", Avg: "avg",
+	}
+	for f, want := range names {
+		if f.String() != want {
+			t.Errorf("%v.String()=%q want %q", int(f), f.String(), want)
+		}
+	}
+}

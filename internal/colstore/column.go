@@ -1,0 +1,369 @@
+// Package colstore implements the bitmap-indexed column store that CODS
+// operates on. Each column is stored as a value dictionary plus one
+// WAH-compressed bitmap per distinct value — the paper's v×r bitmap matrix
+// (§2.2). Tables are sets of columns sharing a row count.
+//
+// Columns are immutable once constructed. Schema evolution never mutates a
+// column in place; it either reuses the column object in a new table
+// (Property 1 of §2.4: the unchanged decomposition output is created "right
+// away using the existing columns ... without any data operation") or
+// builds a new column from compressed inputs.
+package colstore
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cods/internal/dict"
+	"cods/internal/rle"
+	"cods/internal/wah"
+)
+
+// Encoding identifies the physical representation of a column.
+type Encoding int
+
+const (
+	// EncodingBitmap stores one WAH bitmap per distinct value. It is the
+	// universal encoding used by all evolution algorithms.
+	EncodingBitmap Encoding = iota
+	// EncodingRLE stores the column as run-length-encoded value ids,
+	// appropriate for sorted columns (§2.2).
+	EncodingRLE
+)
+
+func (e Encoding) String() string {
+	switch e {
+	case EncodingBitmap:
+		return "bitmap"
+	case EncodingRLE:
+		return "rle"
+	default:
+		return fmt.Sprintf("Encoding(%d)", int(e))
+	}
+}
+
+// Column is one attribute of a table. Immutable after construction.
+type Column struct {
+	name    string
+	enc     Encoding
+	dict    *dict.Dict
+	bitmaps []*wah.Bitmap // EncodingBitmap: indexed by value id
+	runs    *rle.Column   // EncodingRLE
+	nrows   uint64
+}
+
+// Name returns the column's attribute name.
+func (c *Column) Name() string { return c.name }
+
+// Encoding returns the physical encoding.
+func (c *Column) Encoding() Encoding { return c.enc }
+
+// NumRows returns the number of rows the column covers.
+func (c *Column) NumRows() uint64 { return c.nrows }
+
+// DistinctCount returns the number of distinct values.
+func (c *Column) DistinctCount() int { return c.dict.Len() }
+
+// Dict returns the column's dictionary. Callers must treat it as
+// read-only.
+func (c *Column) Dict() *dict.Dict { return c.dict }
+
+// Renamed returns a column identical to c but with a new attribute name.
+// The underlying data is shared, which makes RENAME COLUMN a metadata-only
+// operation.
+func (c *Column) Renamed(name string) *Column {
+	cc := *c
+	cc.name = name
+	return &cc
+}
+
+// BitmapForID returns the bitmap of the value with the given dictionary
+// id. The column must use EncodingBitmap. The returned bitmap is shared;
+// callers must not mutate it.
+func (c *Column) BitmapForID(id uint32) *wah.Bitmap {
+	return c.bitmaps[id]
+}
+
+// BitmapFor returns the bitmap of rows holding the given value, or an
+// all-zeros bitmap when the value does not occur. The column must use
+// EncodingBitmap.
+func (c *Column) BitmapFor(value string) *wah.Bitmap {
+	if id := c.dict.Lookup(value); id != dict.NoID {
+		return c.bitmaps[id]
+	}
+	empty := wah.New()
+	empty.Extend(c.nrows)
+	return empty
+}
+
+// RowIDs materializes the column into a row-wise value-id slice. This is a
+// decompression step: evolution algorithms use it only where the paper's
+// algorithms require row-order access (sequential scans in mergence), never
+// to rebuild indexes.
+func (c *Column) RowIDs() []uint32 {
+	out := make([]uint32, c.nrows)
+	switch c.enc {
+	case EncodingBitmap:
+		for id, bm := range c.bitmaps {
+			id32 := uint32(id)
+			bm.Ones(func(p uint64) bool {
+				out[p] = id32
+				return true
+			})
+		}
+	case EncodingRLE:
+		out = c.runs.AppendIDsTo(out[:0])
+	}
+	return out
+}
+
+// ValueAt returns the value stored at the given row. Cost is O(distinct ·
+// words) for bitmap columns; intended for display and tests, not bulk
+// access (use RowIDs).
+func (c *Column) ValueAt(row uint64) (string, error) {
+	if row >= c.nrows {
+		return "", fmt.Errorf("colstore: row %d out of range in column %q (%d rows)", row, c.name, c.nrows)
+	}
+	switch c.enc {
+	case EncodingBitmap:
+		for id, bm := range c.bitmaps {
+			if bm.Get(row) {
+				return c.dict.Value(uint32(id)), nil
+			}
+		}
+		return "", fmt.Errorf("colstore: column %q has no value at row %d", c.name, row)
+	case EncodingRLE:
+		id, err := c.runs.Get(row)
+		if err != nil {
+			return "", err
+		}
+		return c.dict.Value(id), nil
+	}
+	return "", fmt.Errorf("colstore: unknown encoding %v", c.enc)
+}
+
+// EqScan returns the bitmap of rows where the column equals value.
+func (c *Column) EqScan(value string) *wah.Bitmap {
+	switch c.enc {
+	case EncodingBitmap:
+		bm := c.BitmapFor(value).Clone()
+		bm.Extend(c.nrows)
+		return bm
+	case EncodingRLE:
+		id := c.dict.Lookup(value)
+		out := wah.New()
+		var pos uint64
+		for _, r := range c.runs.Runs() {
+			if r.ID == id {
+				out.Extend(pos)
+				out.AppendRun(1, r.Count)
+			}
+			pos += r.Count
+		}
+		out.Extend(c.nrows)
+		return out
+	}
+	panic("colstore: unknown encoding")
+}
+
+// ScanWhere returns the bitmap of rows whose value satisfies pred. The
+// predicate is evaluated once per distinct value, not per row — the
+// bitmap-index advantage.
+func (c *Column) ScanWhere(pred func(value string) bool) *wah.Bitmap {
+	switch c.enc {
+	case EncodingBitmap:
+		var selected []*wah.Bitmap
+		for id, bm := range c.bitmaps {
+			if pred(c.dict.Value(uint32(id))) {
+				selected = append(selected, bm)
+			}
+		}
+		out := wah.OrAll(selected)
+		out.Extend(c.nrows)
+		return out
+	case EncodingRLE:
+		match := make(map[uint32]bool, c.dict.Len())
+		for id := 0; id < c.dict.Len(); id++ {
+			match[uint32(id)] = pred(c.dict.Value(uint32(id)))
+		}
+		out := wah.New()
+		for _, r := range c.runs.Runs() {
+			if match[r.ID] {
+				out.AppendRun(1, r.Count)
+			} else {
+				out.AppendRun(0, r.Count)
+			}
+		}
+		return out
+	}
+	panic("colstore: unknown encoding")
+}
+
+// Validate checks the column's structural invariants: every row has
+// exactly one value (per-value bitmaps are disjoint and complete) and the
+// dictionary matches the bitmap set.
+func (c *Column) Validate() error {
+	switch c.enc {
+	case EncodingBitmap:
+		if len(c.bitmaps) != c.dict.Len() {
+			return fmt.Errorf("colstore: column %q has %d bitmaps for %d dictionary entries", c.name, len(c.bitmaps), c.dict.Len())
+		}
+		var total uint64
+		for id, bm := range c.bitmaps {
+			if err := bm.Validate(); err != nil {
+				return fmt.Errorf("colstore: column %q value %d: %w", c.name, id, err)
+			}
+			if bm.Len() > c.nrows {
+				return fmt.Errorf("colstore: column %q value %d bitmap longer than table (%d > %d)", c.name, id, bm.Len(), c.nrows)
+			}
+			total += bm.Count()
+		}
+		if total != c.nrows {
+			return fmt.Errorf("colstore: column %q bitmaps cover %d rows, table has %d", c.name, total, c.nrows)
+		}
+		// Disjointness: pairwise ANDs would be quadratic; OR counting is
+		// equivalent given the total matches.
+		all := make([]*wah.Bitmap, len(c.bitmaps))
+		copy(all, c.bitmaps)
+		if got := wah.OrAll(all).Count(); got != c.nrows {
+			return fmt.Errorf("colstore: column %q bitmaps overlap (union %d != %d rows)", c.name, got, c.nrows)
+		}
+		return nil
+	case EncodingRLE:
+		if c.runs.Len() != c.nrows {
+			return fmt.Errorf("colstore: column %q RLE covers %d rows, table has %d", c.name, c.runs.Len(), c.nrows)
+		}
+		for _, r := range c.runs.Runs() {
+			if int(r.ID) >= c.dict.Len() {
+				return fmt.Errorf("colstore: column %q RLE references id %d beyond dictionary (%d)", c.name, r.ID, c.dict.Len())
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("colstore: unknown encoding %v", c.enc)
+}
+
+// CompressedSizeBytes returns the approximate storage footprint of the
+// column's compressed data (bitmaps or runs, excluding the dictionary).
+func (c *Column) CompressedSizeBytes() uint64 {
+	switch c.enc {
+	case EncodingBitmap:
+		var total uint64
+		for _, bm := range c.bitmaps {
+			total += bm.SizeBytes()
+		}
+		return total
+	case EncodingRLE:
+		return uint64(c.runs.NumRuns()) * 12
+	}
+	return 0
+}
+
+// ToBitmapEncoding returns a bitmap-encoded equivalent of the column. For
+// columns already bitmap-encoded it returns the receiver.
+func (c *Column) ToBitmapEncoding() *Column {
+	if c.enc == EncodingBitmap {
+		return c
+	}
+	bitmaps := make([]*wah.Bitmap, c.dict.Len())
+	for i := range bitmaps {
+		bitmaps[i] = wah.New()
+	}
+	var pos uint64
+	for _, r := range c.runs.Runs() {
+		bm := bitmaps[r.ID]
+		bm.Extend(pos)
+		bm.AppendRun(1, r.Count)
+		pos += r.Count
+	}
+	for _, bm := range bitmaps {
+		bm.Extend(c.nrows)
+	}
+	return &Column{name: c.name, enc: EncodingBitmap, dict: c.dict.Clone(), bitmaps: bitmaps, nrows: c.nrows}
+}
+
+// ToRLEEncoding returns an RLE-encoded equivalent of the column. Most
+// effective when the column is sorted; correct regardless.
+func (c *Column) ToRLEEncoding() *Column {
+	if c.enc == EncodingRLE {
+		return c
+	}
+	runs := rle.FromIDs(c.RowIDs())
+	return &Column{name: c.name, enc: EncodingRLE, dict: c.dict.Clone(), runs: runs, nrows: c.nrows}
+}
+
+// RLERuns exposes the run column for RLE-encoded columns; nil otherwise.
+func (c *Column) RLERuns() *rle.Column { return c.runs }
+
+// RangeScan returns the bitmap of rows whose value lies in [lo, hi]
+// (inclusive bounds; an empty bound is unbounded on that side).
+// Comparison is numeric when the bound and every column value parse as
+// integers, lexicographic otherwise. Like all index scans, the predicate
+// is decided once per distinct value; the row-level work is a compressed
+// OR over the qualifying values' bitmaps.
+func (c *Column) RangeScan(lo, hi string) *wah.Bitmap {
+	ids := c.sortValues()
+	cmp := func(a, b string) int {
+		if x, errX := strconv.ParseInt(a, 10, 64); errX == nil {
+			if y, errY := strconv.ParseInt(b, 10, 64); errY == nil {
+				switch {
+				case x < y:
+					return -1
+				case x > y:
+					return 1
+				}
+				return 0
+			}
+		}
+		return strings.Compare(a, b)
+	}
+	// Binary-search the sorted value order for the qualifying id range.
+	start := 0
+	if lo != "" {
+		start = sort.Search(len(ids), func(i int) bool { return cmp(c.dict.Value(ids[i]), lo) >= 0 })
+	}
+	end := len(ids)
+	if hi != "" {
+		end = sort.Search(len(ids), func(i int) bool { return cmp(c.dict.Value(ids[i]), hi) > 0 })
+	}
+	if start >= end {
+		out := wah.New()
+		out.Extend(c.nrows)
+		return out
+	}
+	bc := c.ToBitmapEncoding()
+	selected := make([]*wah.Bitmap, 0, end-start)
+	for _, id := range ids[start:end] {
+		selected = append(selected, bc.bitmaps[id])
+	}
+	out := wah.OrAll(selected)
+	out.Extend(c.nrows)
+	return out
+}
+
+// sortValues returns value ids ordered for range scans: numerically when
+// every value parses as an integer, lexicographically otherwise.
+func (c *Column) sortValues() []uint32 {
+	ids := make([]uint32, c.dict.Len())
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+	numeric := true
+	nums := make([]int64, len(ids))
+	for i, id := range ids {
+		n, err := strconv.ParseInt(c.dict.Value(id), 10, 64)
+		if err != nil {
+			numeric = false
+			break
+		}
+		nums[i] = n
+	}
+	if numeric {
+		sort.Slice(ids, func(a, b int) bool { return nums[ids[a]] < nums[ids[b]] })
+	} else {
+		sort.Slice(ids, func(a, b int) bool { return c.dict.Value(ids[a]) < c.dict.Value(ids[b]) })
+	}
+	return ids
+}

@@ -1,0 +1,331 @@
+package colstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cods/internal/wah"
+)
+
+// Table is a named set of columns over a shared row count. Tables are
+// immutable: every schema or data change produces a new Table value,
+// sharing unchanged columns with its predecessor (cheap copy-on-write,
+// which is what makes the paper's Property 1 free).
+type Table struct {
+	name   string
+	cols   []*Column
+	byName map[string]int
+	key    []string
+	nrows  uint64
+}
+
+// NewTable assembles a table from finished columns. All columns must have
+// the same row count; key columns must exist.
+func NewTable(name string, cols []*Column, key []string) (*Table, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("colstore: table %q needs at least one column", name)
+	}
+	t := &Table{name: name, cols: cols, byName: make(map[string]int, len(cols)), nrows: cols[0].NumRows()}
+	for i, c := range cols {
+		if c.NumRows() != t.nrows {
+			return nil, fmt.Errorf("colstore: table %q column %q has %d rows, expected %d", name, c.Name(), c.NumRows(), t.nrows)
+		}
+		if _, dup := t.byName[c.Name()]; dup {
+			return nil, fmt.Errorf("colstore: table %q has duplicate column %q", name, c.Name())
+		}
+		t.byName[c.Name()] = i
+	}
+	for _, k := range key {
+		if _, ok := t.byName[k]; !ok {
+			return nil, fmt.Errorf("colstore: table %q key column %q not present", name, k)
+		}
+	}
+	t.key = append([]string(nil), key...)
+	return t, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// NumRows returns the number of rows.
+func (t *Table) NumRows() uint64 { return t.nrows }
+
+// NumColumns returns the number of columns.
+func (t *Table) NumColumns() int { return len(t.cols) }
+
+// Key returns the primary-key column names (possibly empty).
+func (t *Table) Key() []string { return append([]string(nil), t.key...) }
+
+// ColumnNames returns the column names in schema order.
+func (t *Table) ColumnNames() []string {
+	names := make([]string, len(t.cols))
+	for i, c := range t.cols {
+		names[i] = c.Name()
+	}
+	return names
+}
+
+// Column returns the named column.
+func (t *Table) Column(name string) (*Column, error) {
+	if i, ok := t.byName[name]; ok {
+		return t.cols[i], nil
+	}
+	return nil, fmt.Errorf("colstore: table %q has no column %q", t.name, name)
+}
+
+// ColumnAt returns the column at schema position i.
+func (t *Table) ColumnAt(i int) *Column { return t.cols[i] }
+
+// HasColumn reports whether the table has a column with the given name.
+func (t *Table) HasColumn(name string) bool {
+	_, ok := t.byName[name]
+	return ok
+}
+
+// WithName returns a table sharing all columns but carrying a new name
+// (RENAME TABLE / COPY TABLE are metadata operations on a column store).
+func (t *Table) WithName(name string) *Table {
+	nt := *t
+	nt.name = name
+	return &nt
+}
+
+// WithKey returns a table sharing all columns with a different declared
+// key.
+func (t *Table) WithKey(key []string) (*Table, error) {
+	return NewTable(t.name, t.cols, key)
+}
+
+// WithColumnAdded returns a new table with col appended to the schema.
+func (t *Table) WithColumnAdded(col *Column) (*Table, error) {
+	if col.NumRows() != t.nrows {
+		return nil, fmt.Errorf("colstore: new column %q has %d rows, table %q has %d", col.Name(), col.NumRows(), t.name, t.nrows)
+	}
+	cols := append(append([]*Column(nil), t.cols...), col)
+	return NewTable(t.name, cols, t.key)
+}
+
+// WithColumnDropped returns a new table without the named column. Dropping
+// a key column clears the key declaration.
+func (t *Table) WithColumnDropped(name string) (*Table, error) {
+	idx, ok := t.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("colstore: table %q has no column %q", t.name, name)
+	}
+	if len(t.cols) == 1 {
+		return nil, fmt.Errorf("colstore: cannot drop the only column of table %q", t.name)
+	}
+	cols := make([]*Column, 0, len(t.cols)-1)
+	cols = append(cols, t.cols[:idx]...)
+	cols = append(cols, t.cols[idx+1:]...)
+	key := t.key
+	for _, k := range key {
+		if k == name {
+			key = nil
+			break
+		}
+	}
+	return NewTable(t.name, cols, key)
+}
+
+// WithColumnRenamed returns a new table with one column renamed; data is
+// shared.
+func (t *Table) WithColumnRenamed(oldName, newName string) (*Table, error) {
+	idx, ok := t.byName[oldName]
+	if !ok {
+		return nil, fmt.Errorf("colstore: table %q has no column %q", t.name, oldName)
+	}
+	if _, clash := t.byName[newName]; clash {
+		return nil, fmt.Errorf("colstore: table %q already has a column %q", t.name, newName)
+	}
+	cols := append([]*Column(nil), t.cols...)
+	cols[idx] = cols[idx].Renamed(newName)
+	key := append([]string(nil), t.key...)
+	for i, k := range key {
+		if k == oldName {
+			key[i] = newName
+		}
+	}
+	return NewTable(t.name, cols, key)
+}
+
+// Project returns a table with the named columns only (shared data), used
+// by decomposition to assemble the unchanged output table.
+func (t *Table) Project(name string, columns []string, key []string) (*Table, error) {
+	cols := make([]*Column, 0, len(columns))
+	for _, cn := range columns {
+		c, err := t.Column(cn)
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, c)
+	}
+	return NewTable(name, cols, key)
+}
+
+// FilterRows returns a new table containing only the rows selected by
+// mask, applying the paper's bitmap filtering to every column. mask must
+// have the table's row count.
+func (t *Table) FilterRows(name string, mask *wah.Bitmap) (*Table, error) {
+	if mask.Len() != t.nrows {
+		return nil, fmt.Errorf("colstore: mask has %d bits, table %q has %d rows", mask.Len(), t.name, t.nrows)
+	}
+	positions := mask.AppendPositionsTo(make([]uint64, 0, mask.Count()))
+	nrows := uint64(len(positions))
+	cols := make([]*Column, len(t.cols))
+	for i, c := range t.cols {
+		bc := c.ToBitmapEncoding()
+		values := make([]string, bc.DistinctCount())
+		bitmaps := make([]*wah.Bitmap, bc.DistinctCount())
+		for id := 0; id < bc.DistinctCount(); id++ {
+			values[id] = bc.dict.Value(uint32(id))
+			bitmaps[id] = wah.FilterPositions(bc.bitmaps[id], positions)
+		}
+		nc, err := NewColumnFromBitmaps(c.Name(), values, bitmaps, nrows)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = nc
+	}
+	return NewTable(name, cols, t.key)
+}
+
+// Row materializes a single row as values in schema order. O(distinct)
+// per column; for bulk access use Rows or Column.RowIDs.
+func (t *Table) Row(i uint64) ([]string, error) {
+	out := make([]string, len(t.cols))
+	for c, col := range t.cols {
+		v, err := col.ValueAt(i)
+		if err != nil {
+			return nil, err
+		}
+		out[c] = v
+	}
+	return out, nil
+}
+
+// Rows materializes up to limit rows starting at offset. A limit of 0
+// means all remaining rows.
+func (t *Table) Rows(offset, limit uint64) ([][]string, error) {
+	if offset > t.nrows {
+		offset = t.nrows
+	}
+	end := t.nrows
+	if limit > 0 && offset+limit < end {
+		end = offset + limit
+	}
+	n := end - offset
+	out := make([][]string, n)
+	for i := range out {
+		out[i] = make([]string, len(t.cols))
+	}
+	for c, col := range t.cols {
+		ids := col.RowIDs()
+		for i := uint64(0); i < n; i++ {
+			out[i][c] = col.dict.Value(ids[offset+i])
+		}
+	}
+	return out, nil
+}
+
+// SortedTuples materializes all rows and sorts them lexicographically,
+// giving a canonical order-independent representation used by tests and
+// verification.
+func (t *Table) SortedTuples() [][]string {
+	rows, err := t.Rows(0, 0)
+	if err != nil {
+		panic(err) // Rows(0,0) cannot fail on a valid table
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		for i := range rows[a] {
+			if rows[a][i] != rows[b][i] {
+				return rows[a][i] < rows[b][i]
+			}
+		}
+		return false
+	})
+	return rows
+}
+
+// TupleMultiset returns a multiset fingerprint of all rows: joined tuple →
+// occurrence count. Used to compare tables regardless of row order.
+func (t *Table) TupleMultiset() map[string]int {
+	rows, err := t.Rows(0, 0)
+	if err != nil {
+		panic(err)
+	}
+	out := make(map[string]int, len(rows))
+	for _, r := range rows {
+		out[strings.Join(r, "\x00")]++
+	}
+	return out
+}
+
+// Validate checks the structural invariants of the table and all columns.
+func (t *Table) Validate() error {
+	for _, c := range t.cols {
+		if c.NumRows() != t.nrows {
+			return fmt.Errorf("colstore: table %q column %q row count %d != %d", t.name, c.Name(), c.NumRows(), t.nrows)
+		}
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ValidateKey verifies that the declared key is actually unique. Cost is
+// one pass over the key columns.
+func (t *Table) ValidateKey() error {
+	if len(t.key) == 0 {
+		return nil
+	}
+	seen := make(map[string]bool, t.nrows)
+	ids := make([][]uint32, len(t.key))
+	cols := make([]*Column, len(t.key))
+	for i, k := range t.key {
+		c, err := t.Column(k)
+		if err != nil {
+			return err
+		}
+		cols[i] = c
+		ids[i] = c.RowIDs()
+	}
+	var sb strings.Builder
+	for r := uint64(0); r < t.nrows; r++ {
+		sb.Reset()
+		for i := range ids {
+			sb.WriteString(cols[i].dict.Value(ids[i][r]))
+			sb.WriteByte(0)
+		}
+		k := sb.String()
+		if seen[k] {
+			return fmt.Errorf("colstore: table %q key %v violated at row %d", t.name, t.key, r)
+		}
+		seen[k] = true
+	}
+	return nil
+}
+
+// Stats summarizes the table's physical footprint.
+type Stats struct {
+	Rows            uint64
+	Columns         int
+	DistinctTotal   int
+	CompressedBytes uint64
+}
+
+// Stats returns storage statistics for the table.
+func (t *Table) Stats() Stats {
+	s := Stats{Rows: t.nrows, Columns: len(t.cols)}
+	for _, c := range t.cols {
+		s.DistinctTotal += c.DistinctCount()
+		s.CompressedBytes += c.CompressedSizeBytes()
+	}
+	return s
+}
+
+func (t *Table) String() string {
+	return fmt.Sprintf("Table %s(%s) rows=%d key=%v", t.name, strings.Join(t.ColumnNames(), ", "), t.nrows, t.key)
+}

@@ -1,0 +1,419 @@
+// Package core implements the CODS platform engine: a catalog of
+// bitmap-indexed column-store tables, execution of Schema Modification
+// Operators via the data-level evolution algorithms, schema version
+// history, and step-by-step status tracking (the demo's "Data Evolution
+// Status" panel, paper §3).
+package core
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"cods/internal/colstore"
+	"cods/internal/evolve"
+	"cods/internal/smo"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Parallelism bounds per-value bitmap work; 0 means GOMAXPROCS.
+	Parallelism int
+	// ValidateFD makes DECOMPOSE verify losslessness (Property 2) before
+	// evolving data.
+	ValidateFD bool
+	// Status, when non-nil, receives live evolution progress events.
+	Status func(step string)
+	// ValuesLoader resolves ADD COLUMN ... FROM 'file' into per-row
+	// values. The default reads the file as one value per line.
+	ValuesLoader func(path string) ([]string, error)
+}
+
+// Engine is the CODS platform: it owns the table catalog and executes
+// SMOs. Safe for concurrent use; SMO execution takes the write lock, reads
+// take the read lock.
+type Engine struct {
+	mu      sync.RWMutex
+	tables  map[string]*colstore.Table
+	version int
+	history []HistoryEntry
+	// snapshots holds the catalog as of each schema version. Tables are
+	// immutable, so a snapshot is a map copy sharing all column data —
+	// versioned schemas cost almost nothing, and any version can be
+	// rolled back to (the "audibility" PRISM motivates; paper §1).
+	snapshots map[int]map[string]*colstore.Table
+	cfg       Config
+}
+
+// HistoryEntry records one executed operator.
+type HistoryEntry struct {
+	Version int
+	Op      string
+	Kind    string
+	Elapsed time.Duration
+	Steps   []string
+}
+
+// Result reports one operator execution.
+type Result struct {
+	Op      smo.Op
+	Version int
+	Elapsed time.Duration
+	// Steps are the data-evolution status events emitted while executing.
+	Steps []string
+	// Created and Dropped list catalog changes.
+	Created []string
+	Dropped []string
+}
+
+// New returns an engine with the given configuration.
+func New(cfg Config) *Engine {
+	if cfg.ValuesLoader == nil {
+		cfg.ValuesLoader = loadValuesFile
+	}
+	e := &Engine{tables: make(map[string]*colstore.Table), snapshots: make(map[int]map[string]*colstore.Table), cfg: cfg}
+	e.snapshots[0] = map[string]*colstore.Table{}
+	return e
+}
+
+// snapshot records the current catalog under the current version.
+func (e *Engine) snapshot() {
+	copied := make(map[string]*colstore.Table, len(e.tables))
+	for k, v := range e.tables {
+		copied[k] = v
+	}
+	e.snapshots[e.version] = copied
+}
+
+func loadValuesFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	return lines, nil
+}
+
+// Register adds an externally built table (data loading) to the catalog.
+func (e *Engine) Register(t *colstore.Table) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, exists := e.tables[t.Name()]; exists {
+		return fmt.Errorf("core: table %q already exists", t.Name())
+	}
+	e.tables[t.Name()] = t
+	e.snapshot()
+	return nil
+}
+
+// Table returns the named table.
+func (e *Engine) Table(name string) (*colstore.Table, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if t, ok := e.tables[name]; ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("core: no table %q", name)
+}
+
+// Tables returns the catalog's table names, sorted.
+func (e *Engine) Tables() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, 0, len(e.tables))
+	for n := range e.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Version returns the schema version, incremented by each applied SMO.
+func (e *Engine) Version() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.version
+}
+
+// History returns the executed-operator log.
+func (e *Engine) History() []HistoryEntry {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return append([]HistoryEntry(nil), e.history...)
+}
+
+// Apply executes one SMO atomically: either the whole catalog change
+// commits or the catalog is untouched.
+func (e *Engine) Apply(op smo.Op) (*Result, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	res := &Result{Op: op}
+	opts := evolve.Options{
+		Parallelism: e.cfg.Parallelism,
+		ValidateFD:  e.cfg.ValidateFD,
+		Status: func(step string) {
+			res.Steps = append(res.Steps, step)
+			if e.cfg.Status != nil {
+				e.cfg.Status(step)
+			}
+		},
+	}
+
+	start := time.Now()
+	add, drop, err := e.execute(op, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", op.Kind(), err)
+	}
+	res.Elapsed = time.Since(start)
+
+	for _, name := range drop {
+		delete(e.tables, name)
+		res.Dropped = append(res.Dropped, name)
+	}
+	for _, t := range add {
+		e.tables[t.Name()] = t
+		res.Created = append(res.Created, t.Name())
+	}
+	e.version++
+	res.Version = e.version
+	e.history = append(e.history, HistoryEntry{
+		Version: e.version,
+		Op:      op.String(),
+		Kind:    op.Kind(),
+		Elapsed: res.Elapsed,
+		Steps:   res.Steps,
+	})
+	e.snapshot()
+	return res, nil
+}
+
+// Rollback restores the catalog to a previous schema version. The
+// rollback itself is recorded as a new version; history is append-only.
+func (e *Engine) Rollback(version int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	snap, ok := e.snapshots[version]
+	if !ok {
+		return fmt.Errorf("core: no schema version %d (current: %d)", version, e.version)
+	}
+	restored := make(map[string]*colstore.Table, len(snap))
+	for k, v := range snap {
+		restored[k] = v
+	}
+	e.tables = restored
+	e.version++
+	e.history = append(e.history, HistoryEntry{
+		Version: e.version,
+		Op:      fmt.Sprintf("ROLLBACK TO %d", version),
+		Kind:    "ROLLBACK",
+	})
+	e.snapshot()
+	return nil
+}
+
+// ApplyScript executes a sequence of operators, stopping at the first
+// failure.
+func (e *Engine) ApplyScript(ops []smo.Op) ([]*Result, error) {
+	var results []*Result
+	for _, op := range ops {
+		r, err := e.Apply(op)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// get looks a table up under the already-held lock.
+func (e *Engine) get(name string) (*colstore.Table, error) {
+	if t, ok := e.tables[name]; ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("no table %q", name)
+}
+
+// ensureFree fails when an output name is taken and not about to be
+// dropped.
+func (e *Engine) ensureFree(name string, dropping ...string) error {
+	if _, exists := e.tables[name]; !exists {
+		return nil
+	}
+	for _, d := range dropping {
+		if d == name {
+			return nil
+		}
+	}
+	return fmt.Errorf("table %q already exists", name)
+}
+
+// execute computes an operator's outputs without touching the catalog.
+func (e *Engine) execute(op smo.Op, opts evolve.Options) (add []*colstore.Table, drop []string, err error) {
+	switch o := op.(type) {
+	case smo.CreateTable:
+		if err := e.ensureFree(o.Table); err != nil {
+			return nil, nil, err
+		}
+		tb, err := colstore.NewTableBuilder(o.Table, o.Columns, o.Key)
+		if err != nil {
+			return nil, nil, err
+		}
+		t, err := tb.Finish()
+		if err != nil {
+			return nil, nil, err
+		}
+		return []*colstore.Table{t}, nil, nil
+
+	case smo.DropTable:
+		if _, err := e.get(o.Table); err != nil {
+			return nil, nil, err
+		}
+		return nil, []string{o.Table}, nil
+
+	case smo.RenameTable:
+		t, err := e.get(o.From)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := e.ensureFree(o.To, o.From); err != nil {
+			return nil, nil, err
+		}
+		return []*colstore.Table{t.WithName(o.To)}, []string{o.From}, nil
+
+	case smo.CopyTable:
+		t, err := e.get(o.From)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := e.ensureFree(o.To); err != nil {
+			return nil, nil, err
+		}
+		return []*colstore.Table{evolve.Copy(t, o.To, opts)}, nil, nil
+
+	case smo.UnionTables:
+		a, err := e.get(o.A)
+		if err != nil {
+			return nil, nil, err
+		}
+		b, err := e.get(o.B)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := e.ensureFree(o.Out, o.A, o.B); err != nil {
+			return nil, nil, err
+		}
+		u, err := evolve.Union(a, b, o.Out, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return []*colstore.Table{u}, []string{o.A, o.B}, nil
+
+	case smo.PartitionTable:
+		t, err := e.get(o.Table)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := e.ensureFree(o.OutYes, o.Table); err != nil {
+			return nil, nil, err
+		}
+		if err := e.ensureFree(o.OutNo, o.Table); err != nil {
+			return nil, nil, err
+		}
+		if o.OutYes == o.OutNo {
+			return nil, nil, fmt.Errorf("partition outputs must differ")
+		}
+		yes, no, err := evolve.Partition(t, o.Condition, o.OutYes, o.OutNo, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return []*colstore.Table{yes, no}, []string{o.Table}, nil
+
+	case smo.DecomposeTable:
+		t, err := e.get(o.Table)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := e.ensureFree(o.OutS, o.Table); err != nil {
+			return nil, nil, err
+		}
+		if err := e.ensureFree(o.OutT, o.Table); err != nil {
+			return nil, nil, err
+		}
+		res, err := evolve.Decompose(t, evolve.DecomposeSpec{
+			OutS: o.OutS, SColumns: o.SColumns,
+			OutT: o.OutT, TColumns: o.TColumns,
+		}, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return []*colstore.Table{res.S, res.T}, []string{o.Table}, nil
+
+	case smo.MergeTables:
+		a, err := e.get(o.A)
+		if err != nil {
+			return nil, nil, err
+		}
+		b, err := e.get(o.B)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := e.ensureFree(o.Out, o.A, o.B); err != nil {
+			return nil, nil, err
+		}
+		res, err := evolve.Merge(a, b, o.Out, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return []*colstore.Table{res.Table}, []string{o.A, o.B}, nil
+
+	case smo.AddColumn:
+		t, err := e.get(o.Table)
+		if err != nil {
+			return nil, nil, err
+		}
+		var nt *colstore.Table
+		if o.ValuesFile != "" {
+			values, err := e.cfg.ValuesLoader(o.ValuesFile)
+			if err != nil {
+				return nil, nil, fmt.Errorf("loading column values: %w", err)
+			}
+			nt, err = evolve.AddColumnValues(t, o.Column, values, opts)
+			if err != nil {
+				return nil, nil, err
+			}
+		} else {
+			nt, err = evolve.AddColumnDefault(t, o.Column, o.Default, opts)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		return []*colstore.Table{nt}, []string{o.Table}, nil
+
+	case smo.DropColumn:
+		t, err := e.get(o.Table)
+		if err != nil {
+			return nil, nil, err
+		}
+		nt, err := evolve.DropColumn(t, o.Column, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return []*colstore.Table{nt}, []string{o.Table}, nil
+
+	case smo.RenameColumn:
+		t, err := e.get(o.Table)
+		if err != nil {
+			return nil, nil, err
+		}
+		nt, err := t.WithColumnRenamed(o.From, o.To)
+		if err != nil {
+			return nil, nil, err
+		}
+		return []*colstore.Table{nt}, []string{o.Table}, nil
+	}
+	return nil, nil, fmt.Errorf("unsupported operator %T", op)
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"cods/internal/smo"
+	"cods/internal/workload"
+)
+
+// TestOperatorErrorPaths drives every operator's main failure mode through
+// the engine and verifies the catalog stays intact.
+func TestOperatorErrorPaths(t *testing.T) {
+	e := New(Config{ValidateFD: true})
+	r, err := workload.EmployeeTable("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Register(r)
+
+	bad := []string{
+		"CREATE TABLE R (X)",                            // name taken
+		"DROP TABLE Nope",                               // unknown table
+		"RENAME TABLE Nope TO X",                        // unknown source
+		"COPY TABLE Nope TO X",                          // unknown source
+		"COPY TABLE R TO R",                             // target taken
+		"UNION TABLES R, Nope INTO U",                   // unknown input
+		"PARTITION TABLE R WHERE Nope = 1 INTO A, B",    // unknown column
+		"PARTITION TABLE R WHERE Skill = 'x' INTO A, A", // same outputs
+		"DECOMPOSE TABLE Nope INTO S (A), T (B)",        // unknown input
+		"MERGE TABLES R, Nope INTO M",                   // unknown input
+		"ADD COLUMN Skill TO R DEFAULT 'x'",             // column exists
+		"ADD COLUMN Z TO R FROM '/nonexistent/file'",    // unreadable file
+		"DROP COLUMN Nope FROM R",                       // unknown column
+		"RENAME COLUMN Nope TO X IN R",                  // unknown column
+	}
+	for _, text := range bad {
+		op, err := smo.Parse(text)
+		if err != nil {
+			t.Fatalf("parse %q: %v", text, err)
+		}
+		if _, err := e.Apply(op); err == nil {
+			t.Errorf("%q should have failed", text)
+		}
+	}
+	// After all failures the catalog is exactly {R} at version 0.
+	if got := e.Tables(); len(got) != 1 || got[0] != "R" {
+		t.Fatalf("catalog=%v", got)
+	}
+	if e.Version() != 0 {
+		t.Fatalf("version=%d", e.Version())
+	}
+	tab, err := e.Table("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterAfterOperators(t *testing.T) {
+	e := New(Config{})
+	r, _ := workload.EmployeeTable("R")
+	e.Register(r)
+	op, _ := smo.Parse("RENAME TABLE R TO R2")
+	if _, err := e.Apply(op); err != nil {
+		t.Fatal(err)
+	}
+	// Registering under the now-free name works and is snapshotted.
+	r3, _ := workload.EmployeeTable("R")
+	if err := e.Register(r3); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Rollback(1); err != nil {
+		t.Fatal(err)
+	}
+	// Version 1 had R2 only (register of R came after and re-snapshotted
+	// version 1; rollback targets the latest snapshot of that version).
+	if _, err := e.Table("R2"); err != nil {
+		t.Fatal("R2 missing after rollback")
+	}
+}

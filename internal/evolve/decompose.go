@@ -1,0 +1,313 @@
+package evolve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cods/internal/colstore"
+	"cods/internal/wah"
+)
+
+// DecomposeSpec describes DECOMPOSE TABLE: split the input into two output
+// tables whose attribute sets union to the input's attributes and overlap
+// in the common attributes (paper Table 1, §2.4).
+type DecomposeSpec struct {
+	OutS     string   // name of the first output table
+	SColumns []string // attributes of the first output (includes the common attributes)
+	OutT     string   // name of the second output table
+	TColumns []string // attributes of the second output (includes the common attributes)
+}
+
+// DecomposeResult carries both outputs plus which side was reused
+// unchanged (Property 1).
+type DecomposeResult struct {
+	S, T *colstore.Table
+	// Reused names the output table that shares the input's columns with
+	// zero data movement.
+	Reused string
+	// Deduplicated names the output table built by distinction +
+	// filtering.
+	Deduplicated string
+}
+
+// Decompose performs a lossless-join decomposition of r according to spec.
+//
+// The common attributes must be a candidate key of one output; that output
+// is the deduplicated side and the other output is reused unchanged.
+// Orientation is detected automatically: the side whose remaining
+// attributes are functionally determined by the common attributes becomes
+// the deduplicated side (preferring T when both qualify, matching the
+// paper's presentation where S is unchanged).
+func Decompose(r *colstore.Table, spec DecomposeSpec, opt Options) (*DecomposeResult, error) {
+	if err := validateDecomposeSpec(r, spec); err != nil {
+		return nil, err
+	}
+	common := intersect(spec.SColumns, spec.TColumns)
+	if len(common) == 0 {
+		return nil, fmt.Errorf("evolve: decomposition of %q has no common attributes; the join would be a cross product", r.Name())
+	}
+
+	// Orientation: which output is keyed by the common attributes?
+	dedupT := true
+	if opt.ValidateFD {
+		okT := fdHolds(r, common, minus(spec.TColumns, common))
+		okS := fdHolds(r, common, minus(spec.SColumns, common))
+		switch {
+		case okT:
+			dedupT = true
+		case okS:
+			dedupT = false
+		default:
+			return nil, fmt.Errorf("evolve: decomposition of %q is lossy: common attributes %v are not a key of either output", r.Name(), common)
+		}
+	}
+
+	sCols, sName, tCols, tName := spec.SColumns, spec.OutS, spec.TColumns, spec.OutT
+	if !dedupT {
+		sCols, tCols = tCols, sCols
+		sName, tName = tName, sName
+	}
+
+	// Property 1: the unchanged output reuses the input's columns.
+	opt.trace(fmt.Sprintf("reuse: creating %s from existing columns of %s (no data movement)", sName, r.Name()))
+	s, err := r.Project(sName, sCols, r.Key())
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 1 — distinction (paper §2.4 step 1): one tuple position in r
+	// per distinct value of the common attributes.
+	opt.trace(fmt.Sprintf("distinction: locating one representative row per distinct %v", common))
+	positions, keyIDsByRank, err := distinction(r, common)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 2 — bitmap filtering (paper §2.4 step 2): shrink every bitmap
+	// of T's attributes by the position list.
+	opt.trace(fmt.Sprintf("bitmap filtering: building %s's columns from compressed bitmaps", tName))
+	t, err := filterColumns(r, tName, tCols, positions, keyIDsByRank, common, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &DecomposeResult{Reused: sName, Deduplicated: tName}
+	if dedupT {
+		res.S, res.T = s, t
+	} else {
+		res.S, res.T = t, s
+	}
+	return res, nil
+}
+
+func validateDecomposeSpec(r *colstore.Table, spec DecomposeSpec) error {
+	if spec.OutS == "" || spec.OutT == "" {
+		return fmt.Errorf("evolve: decomposition outputs must be named")
+	}
+	if spec.OutS == spec.OutT {
+		return fmt.Errorf("evolve: decomposition outputs must have distinct names")
+	}
+	covered := make(map[string]bool)
+	for _, set := range [][]string{spec.SColumns, spec.TColumns} {
+		seen := make(map[string]bool)
+		for _, c := range set {
+			if !r.HasColumn(c) {
+				return fmt.Errorf("evolve: table %q has no column %q", r.Name(), c)
+			}
+			if seen[c] {
+				return fmt.Errorf("evolve: column %q listed twice in one output", c)
+			}
+			seen[c] = true
+			covered[c] = true
+		}
+		if len(set) == 0 {
+			return fmt.Errorf("evolve: decomposition output with no columns")
+		}
+	}
+	for _, c := range r.ColumnNames() {
+		if !covered[c] {
+			return fmt.Errorf("evolve: the union of output attributes must equal %q's attributes; %q missing", r.Name(), c)
+		}
+	}
+	return nil
+}
+
+// distinction returns the sorted position list over r's rows with one
+// entry per distinct value combination of the given columns. For a
+// single-attribute key it also returns the key's value id at each
+// position, which lets the output key column be assembled directly (one
+// bit per value, no filtering, shared dictionary).
+func distinction(r *colstore.Table, columns []string) (positions []uint64, keyIDsByRank []uint32, err error) {
+	if len(columns) == 1 {
+		// Fast path: the first position of each value's bitmap, found by
+		// skipping leading zero fills on the compressed form.
+		col, err := r.Column(columns[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		bc := col.ToBitmapEncoding()
+		n := bc.DistinctCount()
+		type rep struct {
+			pos uint64
+			id  uint32
+		}
+		reps := make([]rep, n)
+		for id := 0; id < n; id++ {
+			p, ok := bc.BitmapForID(uint32(id)).FirstOne()
+			if !ok {
+				return nil, nil, fmt.Errorf("evolve: column %q value id %d has an empty bitmap", columns[0], id)
+			}
+			reps[id] = rep{pos: p, id: uint32(id)}
+		}
+		sort.Slice(reps, func(a, b int) bool { return reps[a].pos < reps[b].pos })
+		positions = make([]uint64, n)
+		keyIDsByRank = make([]uint32, n)
+		for i, rp := range reps {
+			positions[i] = rp.pos
+			keyIDsByRank[i] = rp.id
+		}
+		return positions, keyIDsByRank, nil
+	}
+	// Composite key: one scan over the key columns' row-wise ids.
+	ids := make([][]uint32, len(columns))
+	for i, cn := range columns {
+		col, err := r.Column(cn)
+		if err != nil {
+			return nil, nil, err
+		}
+		ids[i] = col.RowIDs()
+	}
+	seen := make(map[string]bool, 1024)
+	var kb strings.Builder
+	for row := uint64(0); row < r.NumRows(); row++ {
+		kb.Reset()
+		for i := range ids {
+			fmt.Fprintf(&kb, "%d\x00", ids[i][row])
+		}
+		k := kb.String()
+		if !seen[k] {
+			seen[k] = true
+			positions = append(positions, row)
+		}
+	}
+	return positions, nil, nil
+}
+
+// filterColumns builds the deduplicated output table by filtering each of
+// its attributes' bitmaps with the distinction position list.
+func filterColumns(r *colstore.Table, name string, columns []string, positions []uint64, keyIDsByRank []uint32, key []string, opt Options) (*colstore.Table, error) {
+	nrows := uint64(len(positions))
+	outCols := make([]*colstore.Column, len(columns))
+	for ci, cn := range columns {
+		col, err := r.Column(cn)
+		if err != nil {
+			return nil, err
+		}
+		bc := col.ToBitmapEncoding()
+		if keyIDsByRank != nil && len(key) == 1 && cn == key[0] {
+			// Key column fast path: every value survives with exactly one
+			// row, whose output position is its representative's rank.
+			// Build each single-bit vector directly and share the
+			// dictionary — no filtering, no re-interning.
+			bitmaps := make([]*wah.Bitmap, bc.DistinctCount())
+			for rank, id := range keyIDsByRank {
+				bm := wah.New()
+				bm.Add(uint64(rank))
+				bitmaps[id] = bm
+			}
+			nc, err := colstore.NewColumnSharingDict(col.Name(), bc.Dict(), bitmaps, nrows)
+			if err != nil {
+				return nil, err
+			}
+			outCols[ci] = nc
+			continue
+		}
+		n := bc.DistinctCount()
+		values := make([]string, n)
+		bitmaps := make([]*wah.Bitmap, n)
+		opt.forEach(n, func(id int) {
+			values[id] = bc.Dict().Value(uint32(id))
+			bitmaps[id] = wah.FilterPositions(bc.BitmapForID(uint32(id)), positions)
+		})
+		nc, err := colstore.NewColumnFromBitmaps(col.Name(), values, bitmaps, nrows)
+		if err != nil {
+			return nil, err
+		}
+		outCols[ci] = nc
+	}
+	return colstore.NewTable(name, outCols, key)
+}
+
+// fdHolds reports whether the functional dependency det → dep holds in t.
+// One scan over the referenced columns.
+func fdHolds(t *colstore.Table, det, dep []string) bool {
+	if len(dep) == 0 {
+		return true
+	}
+	detIDs := make([][]uint32, len(det))
+	for i, cn := range det {
+		c, err := t.Column(cn)
+		if err != nil {
+			return false
+		}
+		detIDs[i] = c.RowIDs()
+	}
+	depIDs := make([][]uint32, len(dep))
+	for i, cn := range dep {
+		c, err := t.Column(cn)
+		if err != nil {
+			return false
+		}
+		depIDs[i] = c.RowIDs()
+	}
+	seen := make(map[string]string, 1024)
+	var kb, vb strings.Builder
+	for row := uint64(0); row < t.NumRows(); row++ {
+		kb.Reset()
+		vb.Reset()
+		for i := range detIDs {
+			fmt.Fprintf(&kb, "%d\x00", detIDs[i][row])
+		}
+		for i := range depIDs {
+			fmt.Fprintf(&vb, "%d\x00", depIDs[i][row])
+		}
+		k, v := kb.String(), vb.String()
+		if prev, ok := seen[k]; ok {
+			if prev != v {
+				return false
+			}
+		} else {
+			seen[k] = v
+		}
+	}
+	return true
+}
+
+func intersect(a, b []string) []string {
+	inB := make(map[string]bool, len(b))
+	for _, c := range b {
+		inB[c] = true
+	}
+	var out []string
+	for _, c := range a {
+		if inB[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func minus(a, b []string) []string {
+	inB := make(map[string]bool, len(b))
+	for _, c := range b {
+		inB[c] = true
+	}
+	var out []string
+	for _, c := range a {
+		if !inB[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}

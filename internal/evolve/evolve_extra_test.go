@@ -1,0 +1,212 @@
+package evolve
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cods/internal/colstore"
+)
+
+func TestMergeGeneralCompositeJoin(t *testing.T) {
+	// Two join attributes, a key of neither side.
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 15; trial++ {
+		var sRows, tRows [][]string
+		for i := 0; i < rng.Intn(30)+1; i++ {
+			sRows = append(sRows, []string{
+				fmt.Sprintf("x%d", rng.Intn(3)), fmt.Sprintf("y%d", rng.Intn(3)),
+				fmt.Sprintf("b%d", rng.Intn(4)),
+			})
+		}
+		for i := 0; i < rng.Intn(30)+1; i++ {
+			tRows = append(tRows, []string{
+				fmt.Sprintf("x%d", rng.Intn(3)), fmt.Sprintf("y%d", rng.Intn(3)),
+				fmt.Sprintf("c%d", rng.Intn(4)),
+			})
+		}
+		s := buildTable(t, "S", []string{"J1", "J2", "B"}, nil, sRows)
+		tt := buildTable(t, "T", []string{"J1", "J2", "C"}, nil, tRows)
+		merged, err := MergeGeneral(s, tt, "R", Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := merged.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got := mergedMultiset(t, merged, s, tt)
+		want := naiveJoin(t, s, tt)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: composite join mismatch\ngot  %v\nwant %v", trial, got, want)
+		}
+	}
+}
+
+func TestMergeAutoSelectsGeneralForComposite(t *testing.T) {
+	s := buildTable(t, "S", []string{"J1", "J2", "B"}, nil, [][]string{
+		{"x", "p", "b1"}, {"x", "p", "b2"},
+	})
+	tt := buildTable(t, "T", []string{"J1", "J2", "C"}, nil, [][]string{
+		{"x", "p", "c1"}, {"x", "p", "c2"},
+	})
+	res, err := Merge(s, tt, "R", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reused != "" || res.Table.NumRows() != 4 {
+		t.Fatalf("res=%+v rows=%d", res.Reused, res.Table.NumRows())
+	}
+}
+
+// rleTable builds a table whose columns are RLE encoded, to verify the
+// evolution algorithms accept the alternate encoding (§2.2: RLE for
+// sorted columns) by converting on demand.
+func rleTable(t *testing.T, name string, columns []string, rows [][]string) *colstore.Table {
+	t.Helper()
+	cols := make([]*colstore.Column, len(columns))
+	for c := range columns {
+		vals := make([]string, len(rows))
+		for r := range rows {
+			vals[r] = rows[r][c]
+		}
+		cols[c] = colstore.NewRLEColumn(columns[c], vals)
+	}
+	tab, err := colstore.NewTable(name, cols, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestDecomposeRLEInput(t *testing.T) {
+	rows := [][]string{
+		// Sorted by K: the RLE-friendly shape.
+		{"k1", "b1", "c1"},
+		{"k1", "b2", "c1"},
+		{"k1", "b3", "c1"},
+		{"k2", "b1", "c2"},
+		{"k2", "b4", "c2"},
+		{"k3", "b1", "c3"},
+	}
+	r := rleTable(t, "R", []string{"K", "B", "C"}, rows)
+	kcol, _ := r.Column("K")
+	if kcol.Encoding() != colstore.EncodingRLE {
+		t.Fatal("test setup: K not RLE")
+	}
+	res, err := Decompose(r, DecomposeSpec{
+		OutS: "S", SColumns: []string{"K", "B"},
+		OutT: "T", TColumns: []string{"K", "C"},
+	}, Options{ValidateFD: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.T.NumRows() != 3 {
+		t.Fatalf("T rows=%d", res.T.NumRows())
+	}
+	want := buildTable(t, "W", []string{"K", "C"}, nil, [][]string{
+		{"k1", "c1"}, {"k2", "c2"}, {"k3", "c3"},
+	})
+	assertSameTuples(t, res.T, want, "RLE decompose")
+}
+
+func TestMergeKeyFKRLEInput(t *testing.T) {
+	s := rleTable(t, "S", []string{"K", "B"}, [][]string{
+		{"k1", "b1"}, {"k1", "b2"}, {"k2", "b3"},
+	})
+	dim := rleTable(t, "T", []string{"K", "C"}, [][]string{
+		{"k1", "c1"}, {"k2", "c2"},
+	})
+	res, err := MergeKeyFK(s, dim, "R", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := buildTable(t, "W", []string{"K", "B", "C"}, nil, [][]string{
+		{"k1", "b1", "c1"}, {"k1", "b2", "c1"}, {"k2", "b3", "c2"},
+	})
+	assertSameTuples(t, res.Table, want, "RLE merge")
+}
+
+func TestDecomposeKeyColumnSharesDictionary(t *testing.T) {
+	// The deduplicated output's key column must carry every source key
+	// value with exactly one row (the fast path that shares the source
+	// dictionary).
+	rng := rand.New(rand.NewSource(23))
+	var rows [][]string
+	cOf := map[string]string{}
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("k%03d", rng.Intn(120))
+		if _, ok := cOf[k]; !ok {
+			cOf[k] = fmt.Sprintf("c%d", rng.Intn(9))
+		}
+		rows = append(rows, []string{k, fmt.Sprintf("b%d", i), cOf[k]})
+	}
+	r := buildTable(t, "R", []string{"K", "B", "C"}, nil, rows)
+	res, err := Decompose(r, DecomposeSpec{
+		OutS: "S", SColumns: []string{"K", "B"},
+		OutT: "T", TColumns: []string{"K", "C"},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kcol, _ := res.T.Column("K")
+	if kcol.DistinctCount() != len(cOf) {
+		t.Fatalf("key distinct=%d want %d", kcol.DistinctCount(), len(cOf))
+	}
+	if err := res.T.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.T.ValidateKey(); err != nil {
+		t.Fatal(err)
+	}
+	// Row order of T follows first occurrence in R.
+	firstSeen := map[string]bool{}
+	var wantOrder []string
+	for _, row := range rows {
+		if !firstSeen[row[0]] {
+			firstSeen[row[0]] = true
+			wantOrder = append(wantOrder, row[0])
+		}
+	}
+	got, _ := res.T.Rows(0, 0)
+	for i, w := range wantOrder {
+		if got[i][0] != w {
+			t.Fatalf("T row %d key=%q want %q", i, got[i][0], w)
+		}
+	}
+}
+
+func TestGeneralMergeEmptyIntersection(t *testing.T) {
+	s := buildTable(t, "S", []string{"J", "B"}, nil, [][]string{{"x", "b"}})
+	tt := buildTable(t, "T", []string{"J", "C"}, nil, [][]string{{"y", "c"}})
+	merged, err := MergeGeneral(s, tt, "R", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.NumRows() != 0 {
+		t.Fatalf("rows=%d want 0", merged.NumRows())
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnionDisjointDictionaries(t *testing.T) {
+	// Values present in only one input must still union correctly.
+	a := buildTable(t, "A", []string{"X"}, nil, [][]string{{"only-a"}, {"shared"}})
+	b := buildTable(t, "B", []string{"X"}, nil, [][]string{{"only-b"}, {"shared"}})
+	u, err := Union(a, b, "U", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, _ := u.Column("X")
+	if col.DistinctCount() != 3 {
+		t.Fatalf("distinct=%d", col.DistinctCount())
+	}
+	if col.BitmapFor("shared").Count() != 2 {
+		t.Fatal("shared value lost an occurrence")
+	}
+	if p, _ := col.BitmapFor("only-b").FirstOne(); p != 2 {
+		t.Fatalf("only-b at position %d want 2", p)
+	}
+}

@@ -1,0 +1,199 @@
+package evolve
+
+import (
+	"fmt"
+
+	"cods/internal/colstore"
+	"cods/internal/dict"
+)
+
+// joinGroup describes one distinct join value occurring in both inputs.
+type joinGroup struct {
+	sPositions []uint64 // rows of s holding the value, ascending
+	tPositions []uint64 // rows of t holding the value, ascending
+}
+
+// MergeGeneral performs general mergence (paper §2.5.2): an equi-join of s
+// and t on their common attributes when those attributes are not a key of
+// either input, so no column can be reused.
+//
+// Pass 1 runs over the join attributes only and counts occurrences n1(v)
+// and n2(v) of each distinct join value; the output is clustered by join
+// value, each value occupying a block of n1·n2 consecutive rows, so the
+// join attributes' bitmaps are single fill runs derived from the counts.
+// Pass 2 streams the non-join attributes: values from s repeat in
+// consecutive stretches of length n2 within a block, values from t repeat
+// with stride n2 ("non-consecutive but with the same distance"); both
+// layouts are emitted in ascending output position, so every per-value
+// bitmap is built by monotone compressed appends.
+func MergeGeneral(s, t *colstore.Table, outName string, opt Options) (*colstore.Table, error) {
+	common, err := commonColumns(s, t)
+	if err != nil {
+		return nil, err
+	}
+	opt.trace(fmt.Sprintf("general mergence pass 1: counting join values of %v", common))
+	groups, err := buildJoinGroups(s, t, common)
+	if err != nil {
+		return nil, err
+	}
+
+	var outRows uint64
+	for _, g := range groups {
+		outRows += uint64(len(g.sPositions)) * uint64(len(g.tPositions))
+	}
+
+	opt.trace(fmt.Sprintf("general mergence pass 2: laying out %d output rows clustered by join value", outRows))
+	var outCols []*colstore.Column
+
+	// Join attribute columns: per group a single fill run.
+	for _, cn := range common {
+		sc, err := s.Column(cn)
+		if err != nil {
+			return nil, err
+		}
+		ids := sc.RowIDs()
+		b := colstore.NewColumnBuilderWithDict(cn, sc.Dict())
+		for _, g := range groups {
+			v := ids[g.sPositions[0]]
+			b.AppendRunID(v, uint64(len(g.sPositions))*uint64(len(g.tPositions)))
+		}
+		outCols = append(outCols, b.Finish())
+	}
+
+	// Non-join attributes of s: consecutive runs of length n2.
+	for _, cn := range minus(s.ColumnNames(), common) {
+		sc, err := s.Column(cn)
+		if err != nil {
+			return nil, err
+		}
+		ids := sc.RowIDs()
+		b := colstore.NewColumnBuilderWithDict(cn, sc.Dict())
+		for _, g := range groups {
+			n2 := uint64(len(g.tPositions))
+			for _, p := range g.sPositions {
+				b.AppendRunID(ids[p], n2)
+			}
+		}
+		outCols = append(outCols, b.Finish())
+	}
+
+	// Non-join attributes of t: the per-block value sequence (one value
+	// per t row in the group) repeats n1 times; emit its runs per
+	// repetition so appends stay monotone.
+	for _, cn := range minus(t.ColumnNames(), common) {
+		tc, err := t.Column(cn)
+		if err != nil {
+			return nil, err
+		}
+		ids := tc.RowIDs()
+		b := colstore.NewColumnBuilderWithDict(cn, tc.Dict())
+		var runIDs []uint32
+		var runLens []uint64
+		for _, g := range groups {
+			runIDs, runLens = runIDs[:0], runLens[:0]
+			for _, p := range g.tPositions {
+				id := ids[p]
+				if n := len(runIDs); n > 0 && runIDs[n-1] == id {
+					runLens[n-1]++
+				} else {
+					runIDs = append(runIDs, id)
+					runLens = append(runLens, 1)
+				}
+			}
+			for j := 0; j < len(g.sPositions); j++ {
+				for k := range runIDs {
+					b.AppendRunID(runIDs[k], runLens[k])
+				}
+			}
+		}
+		outCols = append(outCols, b.Finish())
+	}
+
+	return colstore.NewTable(outName, outCols, nil)
+}
+
+// buildJoinGroups returns, per distinct join value present in both inputs,
+// the ascending row positions in each input. Join values appearing in only
+// one input produce no output rows (inner-join semantics) and are skipped.
+// Group order follows s's dictionary id order for single-attribute joins
+// and first appearance in s for composite joins, making output layout
+// deterministic.
+func buildJoinGroups(s, t *colstore.Table, common []string) ([]joinGroup, error) {
+	if len(common) == 1 {
+		sc, err := s.Column(common[0])
+		if err != nil {
+			return nil, err
+		}
+		tc, err := t.Column(common[0])
+		if err != nil {
+			return nil, err
+		}
+		sb, tb := sc.ToBitmapEncoding(), tc.ToBitmapEncoding()
+		var groups []joinGroup
+		for id := 0; id < sb.DistinctCount(); id++ {
+			value := sb.Dict().Value(uint32(id))
+			tid := tb.Dict().Lookup(value)
+			if tid == dict.NoID {
+				continue
+			}
+			groups = append(groups, joinGroup{
+				sPositions: sb.BitmapForID(uint32(id)).AppendPositionsTo(nil),
+				tPositions: tb.BitmapForID(tid).AppendPositionsTo(nil),
+			})
+		}
+		return groups, nil
+	}
+	// Composite join: group rows by composite value with one scan per
+	// input.
+	sKeys, err := compositeKeys(s, common)
+	if err != nil {
+		return nil, err
+	}
+	tKeys, err := compositeKeys(t, common)
+	if err != nil {
+		return nil, err
+	}
+	tIndex := make(map[string][]uint64)
+	for row, k := range tKeys {
+		tIndex[k] = append(tIndex[k], uint64(row))
+	}
+	sIndex := make(map[string]int)
+	var groups []joinGroup
+	for row, k := range sKeys {
+		tpos, ok := tIndex[k]
+		if !ok {
+			continue
+		}
+		gi, seen := sIndex[k]
+		if !seen {
+			gi = len(groups)
+			sIndex[k] = gi
+			groups = append(groups, joinGroup{tPositions: tpos})
+		}
+		groups[gi].sPositions = append(groups[gi].sPositions, uint64(row))
+	}
+	return groups, nil
+}
+
+// compositeKeys materializes the composite join key of every row.
+func compositeKeys(t *colstore.Table, columns []string) ([]string, error) {
+	ids := make([][]uint32, len(columns))
+	dicts := make([]func(uint32) string, len(columns))
+	for i, cn := range columns {
+		c, err := t.Column(cn)
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = c.RowIDs()
+		dicts[i] = c.Dict().Value
+	}
+	out := make([]string, t.NumRows())
+	for row := range out {
+		k := ""
+		for i := range ids {
+			k += dicts[i](ids[i][row]) + "\x00"
+		}
+		out[row] = k
+	}
+	return out, nil
+}

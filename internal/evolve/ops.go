@@ -1,0 +1,147 @@
+package evolve
+
+import (
+	"fmt"
+
+	"cods/internal/colstore"
+	"cods/internal/expr"
+	"cods/internal/wah"
+)
+
+// Union implements UNION TABLES: combine the tuples of two tables with the
+// same schema into one table. At storage level each output value's bitmap
+// is the first table's vector with the second table's vector concatenated
+// at a row offset — pure compressed fill arithmetic, no decompression
+// (paper Table 1; §2.3 classifies it as data movement without data
+// change).
+func Union(a, b *colstore.Table, outName string, opt Options) (*colstore.Table, error) {
+	an, bn := a.ColumnNames(), b.ColumnNames()
+	if len(an) != len(bn) {
+		return nil, fmt.Errorf("evolve: union of %q and %q: schemas differ (%d vs %d columns)", a.Name(), b.Name(), len(an), len(bn))
+	}
+	for i := range an {
+		if an[i] != bn[i] {
+			return nil, fmt.Errorf("evolve: union of %q and %q: column %d is %q vs %q", a.Name(), b.Name(), i, an[i], bn[i])
+		}
+	}
+	opt.trace(fmt.Sprintf("union: concatenating %s's bitmap vectors after %s's at row offset %d", b.Name(), a.Name(), a.NumRows()))
+	outRows := a.NumRows() + b.NumRows()
+	cols := make([]*colstore.Column, len(an))
+	for i, cn := range an {
+		ca, err := a.Column(cn)
+		if err != nil {
+			return nil, err
+		}
+		cb, err := b.Column(cn)
+		if err != nil {
+			return nil, err
+		}
+		ba, bb := ca.ToBitmapEncoding(), cb.ToBitmapEncoding()
+		// Output dictionary: a's values then b's new values.
+		var values []string
+		index := make(map[string]int)
+		for id := 0; id < ba.DistinctCount(); id++ {
+			v := ba.Dict().Value(uint32(id))
+			index[v] = len(values)
+			values = append(values, v)
+		}
+		for id := 0; id < bb.DistinctCount(); id++ {
+			v := bb.Dict().Value(uint32(id))
+			if _, ok := index[v]; !ok {
+				index[v] = len(values)
+				values = append(values, v)
+			}
+		}
+		bitmaps := make([]*wah.Bitmap, len(values))
+		for vi, v := range values {
+			var bm *wah.Bitmap
+			if id := ba.Dict().Lookup(v); id != noID {
+				bm = ba.BitmapForID(id).Clone()
+			} else {
+				bm = wah.New()
+			}
+			bm.Extend(a.NumRows())
+			if id := bb.Dict().Lookup(v); id != noID {
+				bm.Concat(bb.BitmapForID(id))
+			}
+			bitmaps[vi] = bm
+		}
+		nc, err := colstore.NewColumnFromBitmaps(cn, values, bitmaps, outRows)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = nc
+	}
+	// A union generally breaks key uniqueness; the output carries no key.
+	return colstore.NewTable(outName, cols, nil)
+}
+
+const noID = ^uint32(0)
+
+// Partition implements PARTITION TABLE: split a table's tuples into two
+// tables with the same schema according to a predicate. The predicate is
+// evaluated once per distinct value into a mask bitmap; both outputs are
+// then produced by bitmap filtering with the mask and its complement.
+func Partition(t *colstore.Table, condition string, outYes, outNo string, opt Options) (yes, no *colstore.Table, err error) {
+	pred, err := expr.Parse(condition)
+	if err != nil {
+		return nil, nil, err
+	}
+	opt.trace(fmt.Sprintf("partition: evaluating %s over bitmap index", pred))
+	mask, err := pred.Eval(t)
+	if err != nil {
+		return nil, nil, err
+	}
+	opt.trace(fmt.Sprintf("partition: filtering %d rows into %s, %d into %s", mask.Count(), outYes, mask.Len()-mask.Count(), outNo))
+	yes, err = t.FilterRows(outYes, mask)
+	if err != nil {
+		return nil, nil, err
+	}
+	no, err = t.FilterRows(outNo, mask.Not())
+	if err != nil {
+		return nil, nil, err
+	}
+	return yes, no, nil
+}
+
+// AddColumnValues implements ADD COLUMN with explicit per-row data loaded
+// from user input (paper Table 1). values must have one entry per row.
+func AddColumnValues(t *colstore.Table, name string, values []string, opt Options) (*colstore.Table, error) {
+	if uint64(len(values)) != t.NumRows() {
+		return nil, fmt.Errorf("evolve: add column %q: %d values for %d rows", name, len(values), t.NumRows())
+	}
+	opt.trace(fmt.Sprintf("add column: building bitmap index for %q", name))
+	return t.WithColumnAdded(colstore.NewColumnFromValues(name, values))
+}
+
+// AddColumnDefault implements ADD COLUMN with a default value: the new
+// column is a single all-ones fill bitmap, constructed in O(1) regardless
+// of row count.
+func AddColumnDefault(t *colstore.Table, name, defaultValue string, opt Options) (*colstore.Table, error) {
+	opt.trace(fmt.Sprintf("add column: single fill vector for default %q", defaultValue))
+	bm := wah.New()
+	bm.AppendRun(1, t.NumRows())
+	col, err := colstore.NewColumnFromBitmaps(name, []string{defaultValue}, []*wah.Bitmap{bm}, t.NumRows())
+	if err != nil {
+		return nil, err
+	}
+	if t.NumRows() == 0 {
+		// An empty table still needs the column object.
+		col = colstore.NewColumnFromValues(name, nil)
+	}
+	return t.WithColumnAdded(col)
+}
+
+// DropColumn implements DROP COLUMN: the column object and its bitmaps are
+// dropped; no other column is touched.
+func DropColumn(t *colstore.Table, name string, opt Options) (*colstore.Table, error) {
+	opt.trace(fmt.Sprintf("drop column: removing %q", name))
+	return t.WithColumnDropped(name)
+}
+
+// Copy implements COPY TABLE. Columns are immutable, so a copy shares all
+// column data with the source — constant time.
+func Copy(t *colstore.Table, outName string, opt Options) *colstore.Table {
+	opt.trace(fmt.Sprintf("copy: sharing %s's columns as %s", t.Name(), outName))
+	return t.WithName(outName)
+}

@@ -1,0 +1,74 @@
+// Package evolve implements CODS's data-level data evolution algorithms
+// (paper §2.4–§2.5): table decomposition via "distinction" and "bitmap
+// filtering", key–foreign-key based mergence via compressed OR
+// combination, the two-pass general mergence, and the data-affecting
+// column-level and tuple-level SMOs (union, partition, add/drop column).
+//
+// Every algorithm consumes and produces colstore tables whose columns are
+// WAH bitmap indexes. No algorithm materializes query results as tuples
+// and none rebuilds an index from scratch: outputs are assembled by
+// compressed-form operations (filter, OR, concatenation, fill-run
+// construction) on the inputs' bitmaps.
+package evolve
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options control tracing and parallelism of the evolution algorithms.
+type Options struct {
+	// Status, when non-nil, receives progress events ("distinction",
+	// "bitmap filtering", ...) as they happen — the demo UI's "Data
+	// Evolution Status" panel (paper §3).
+	Status func(step string)
+	// Parallelism bounds the worker pool used for per-value bitmap work.
+	// Zero means GOMAXPROCS.
+	Parallelism int
+	// ValidateFD makes Decompose verify Property 2 (the functional
+	// dependency key → non-key in the input) and fail on violations
+	// instead of silently producing a lossy decomposition.
+	ValidateFD bool
+}
+
+func (o Options) trace(step string) {
+	if o.Status != nil {
+		o.Status(step)
+	}
+}
+
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs fn(i) for i in [0, n) on a bounded worker pool. fn must be
+// safe for concurrent invocation on distinct indexes.
+func (o Options) forEach(n int, fn func(i int)) {
+	workers := min(o.workers(), n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,79 @@
+package expr
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"cods/internal/colstore"
+)
+
+// randomPredicate builds a random predicate tree and an equivalent
+// row-level evaluator, for differential testing of the bitmap-index
+// evaluation against a naive scan.
+func randomPredicate(rng *rand.Rand, columns []string, depth int) (string, func(row map[string]string) bool) {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		col := columns[rng.Intn(len(columns))]
+		ops := []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+		op := ops[rng.Intn(len(ops))]
+		lit := fmt.Sprintf("%d", rng.Intn(30))
+		return fmt.Sprintf("%s %s '%s'", col, op, lit),
+			func(row map[string]string) bool { return op.Compare(row[col], lit) }
+	}
+	switch rng.Intn(3) {
+	case 0:
+		l, fl := randomPredicate(rng, columns, depth-1)
+		r, fr := randomPredicate(rng, columns, depth-1)
+		return fmt.Sprintf("(%s AND %s)", l, r),
+			func(row map[string]string) bool { return fl(row) && fr(row) }
+	case 1:
+		l, fl := randomPredicate(rng, columns, depth-1)
+		r, fr := randomPredicate(rng, columns, depth-1)
+		return fmt.Sprintf("(%s OR %s)", l, r),
+			func(row map[string]string) bool { return fl(row) || fr(row) }
+	default:
+		x, fx := randomPredicate(rng, columns, depth-1)
+		return fmt.Sprintf("NOT %s", x),
+			func(row map[string]string) bool { return !fx(row) }
+	}
+}
+
+func TestQuickRandomPredicatesMatchNaiveScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	columns := []string{"X", "Y"}
+	tb, err := colstore.NewTableBuilder("T", columns, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]string
+	for i := 0; i < 500; i++ {
+		x := fmt.Sprintf("%d", rng.Intn(25))
+		y := fmt.Sprintf("%d", rng.Intn(25))
+		tb.AppendRow([]string{x, y})
+		rows = append(rows, map[string]string{"X": x, "Y": y})
+	}
+	tab, err := tb.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 200; trial++ {
+		text, naive := randomPredicate(rng, columns, 3)
+		node, err := Parse(text)
+		if err != nil {
+			t.Fatalf("trial %d: Parse(%q): %v", trial, text, err)
+		}
+		bm, err := node.Eval(tab)
+		if err != nil {
+			t.Fatalf("trial %d: Eval(%q): %v", trial, text, err)
+		}
+		var want uint64
+		for _, row := range rows {
+			if naive(row) {
+				want++
+			}
+		}
+		if got := bm.Count(); got != want {
+			t.Fatalf("trial %d: %q: bitmap count=%d, naive scan=%d", trial, text, got, want)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package queryevolve implements query-level data evolution on the column
+// store — the right-hand path of the paper's Figure 2 and the behavioral
+// stand-in for the MonetDB baseline ("M" in Figure 3). Unlike package
+// evolve, which operates directly on compressed bitmaps, this package does
+// what a column-oriented query engine must do to execute
+// "INSERT INTO new SELECT ... FROM old":
+//
+//  1. decompress the input columns into row-wise values,
+//  2. materialize the query result as tuples (projection, distinct, join),
+//  3. split the result back into columns, and
+//  4. re-compress each output column into a fresh bitmap index.
+//
+// The contrast between this package and package evolve on identical inputs
+// is the paper's core claim.
+package queryevolve
+
+import (
+	"fmt"
+	"strings"
+
+	"cods/internal/colstore"
+)
+
+// materialize decompresses the named columns into row-wise value arrays
+// (step 1 of the query-level path). Value strings are shared with the
+// dictionaries, as a column engine's value heap would be.
+func materialize(t *colstore.Table, columns []string) ([][]string, error) {
+	out := make([][]string, len(columns))
+	for i, cn := range columns {
+		col, err := t.Column(cn)
+		if err != nil {
+			return nil, err
+		}
+		ids := col.RowIDs()
+		vals := make([]string, len(ids))
+		d := col.Dict()
+		for r, id := range ids {
+			vals[r] = d.Value(id)
+		}
+		out[i] = vals
+	}
+	return out, nil
+}
+
+// Decompose evolves r into S and T at query level:
+//
+//	INSERT INTO S SELECT sCols FROM r;
+//	INSERT INTO T SELECT DISTINCT tCols FROM r;
+//
+// Both inserts materialize tuples and re-compress the outputs from
+// scratch.
+func Decompose(r *colstore.Table, outS string, sCols []string, outT string, tCols []string) (*colstore.Table, *colstore.Table, error) {
+	n := r.NumRows()
+
+	// INSERT INTO S SELECT sCols FROM r.
+	sVals, err := materialize(r, sCols)
+	if err != nil {
+		return nil, nil, err
+	}
+	sb, err := colstore.NewTableBuilder(outS, sCols, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	tuple := make([]string, len(sCols))
+	for row := uint64(0); row < n; row++ {
+		for c := range sVals {
+			tuple[c] = sVals[c][row] // tuple formation
+		}
+		if err := sb.AppendRow(tuple); err != nil {
+			return nil, nil, err
+		}
+	}
+	s, err := sb.Finish() // re-compression
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// INSERT INTO T SELECT DISTINCT tCols FROM r.
+	tVals, err := materialize(r, tCols)
+	if err != nil {
+		return nil, nil, err
+	}
+	tb, err := colstore.NewTableBuilder(outT, tCols, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	seen := make(map[string]bool, 1024)
+	tTuple := make([]string, len(tCols))
+	var kb strings.Builder
+	for row := uint64(0); row < n; row++ {
+		kb.Reset()
+		for c := range tVals {
+			tTuple[c] = tVals[c][row]
+			kb.WriteString(tTuple[c])
+			kb.WriteByte(0)
+		}
+		k := kb.String()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if err := tb.AppendRow(tTuple); err != nil {
+			return nil, nil, err
+		}
+	}
+	t, err := tb.Finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, t, nil
+}
+
+// Merge evolves s and t into one table at query level:
+//
+//	INSERT INTO out SELECT s.*, t.extra FROM s JOIN t ON common;
+//
+// via decompress → hash join on materialized tuples → re-compress.
+func Merge(s, t *colstore.Table, out string) (*colstore.Table, error) {
+	common := intersect(s.ColumnNames(), t.ColumnNames())
+	if len(common) == 0 {
+		return nil, fmt.Errorf("queryevolve: tables %q and %q share no attributes", s.Name(), t.Name())
+	}
+	tExtra := minus(t.ColumnNames(), common)
+
+	sVals, err := materialize(s, s.ColumnNames())
+	if err != nil {
+		return nil, err
+	}
+	commonTVals, err := materialize(t, common)
+	if err != nil {
+		return nil, err
+	}
+	extraTVals, err := materialize(t, tExtra)
+	if err != nil {
+		return nil, err
+	}
+	sKeyVals, err := materialize(s, common)
+	if err != nil {
+		return nil, err
+	}
+
+	// Build hash table on t.
+	build := make(map[string][]uint64, t.NumRows())
+	var kb strings.Builder
+	for row := uint64(0); row < t.NumRows(); row++ {
+		kb.Reset()
+		for c := range commonTVals {
+			kb.WriteString(commonTVals[c][row])
+			kb.WriteByte(0)
+		}
+		build[kb.String()] = append(build[kb.String()], row)
+	}
+
+	outCols := append(append([]string{}, s.ColumnNames()...), tExtra...)
+	ob, err := colstore.NewTableBuilder(out, outCols, nil)
+	if err != nil {
+		return nil, err
+	}
+	tuple := make([]string, len(outCols))
+	for row := uint64(0); row < s.NumRows(); row++ {
+		kb.Reset()
+		for c := range sKeyVals {
+			kb.WriteString(sKeyVals[c][row])
+			kb.WriteByte(0)
+		}
+		for _, tRow := range build[kb.String()] {
+			for c := range sVals {
+				tuple[c] = sVals[c][row]
+			}
+			for c := range extraTVals {
+				tuple[len(sVals)+c] = extraTVals[c][tRow]
+			}
+			if err := ob.AppendRow(tuple); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ob.Finish()
+}
+
+func intersect(a, b []string) []string {
+	inB := make(map[string]bool, len(b))
+	for _, c := range b {
+		inB[c] = true
+	}
+	var out []string
+	for _, c := range a {
+		if inB[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func minus(a, b []string) []string {
+	inB := make(map[string]bool, len(b))
+	for _, c := range b {
+		inB[c] = true
+	}
+	var out []string
+	for _, c := range a {
+		if !inB[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package queryevolve
+
+import (
+	"reflect"
+	"testing"
+
+	"cods/internal/evolve"
+	"cods/internal/workload"
+)
+
+func TestDecomposeMatchesDataLevel(t *testing.T) {
+	r, err := workload.BuildColstore(workload.Spec{Rows: 3000, DistinctKeys: 50, Seed: 1}, "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qS, qT, err := Decompose(r, "S", []string{"A", "B"}, "T", []string{"A", "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dRes, err := evolve.Decompose(r, evolve.DecomposeSpec{
+		OutS: "S", SColumns: []string{"A", "B"},
+		OutT: "T", TColumns: []string{"A", "C"},
+	}, evolve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(qS.TupleMultiset(), dRes.S.TupleMultiset()) {
+		t.Fatal("S differs between query-level and data-level evolution")
+	}
+	if !reflect.DeepEqual(qT.TupleMultiset(), dRes.T.TupleMultiset()) {
+		t.Fatal("T differs between query-level and data-level evolution")
+	}
+	if err := qS.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := qT.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeMatchesDataLevel(t *testing.T) {
+	s, tt, err := workload.BuildColstoreST(workload.Spec{Rows: 2500, DistinctKeys: 40, Seed: 2}, "S", "T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qR, err := Merge(s, tt, "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dRes, err := evolve.MergeKeyFK(s, tt, "R", evolve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(qR.TupleMultiset(), dRes.Table.TupleMultiset()) {
+		t.Fatal("merge differs between query-level and data-level evolution")
+	}
+	if err := qR.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeNoCommonColumns(t *testing.T) {
+	a, err := workload.BuildColstore(workload.Spec{Rows: 10, DistinctKeys: 2, Seed: 3}, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := a.Project("B", []string{"B"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.WithColumnRenamed("B", "Z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge(a.WithName("A2"), c, "out"); err == nil {
+		t.Fatal("expected error for disjoint schemas")
+	}
+}
+
+func TestDecomposeUnknownColumn(t *testing.T) {
+	r, err := workload.BuildColstore(workload.Spec{Rows: 10, DistinctKeys: 2, Seed: 4}, "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Decompose(r, "S", []string{"A", "Nope"}, "T", []string{"A", "C"}); err == nil {
+		t.Fatal("expected unknown column error")
+	}
+}

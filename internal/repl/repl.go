@@ -1,0 +1,267 @@
+// Package repl implements the interactive CODS platform loop used by
+// cmd/cods — the CLI counterpart of the paper's demo UI (§3, Figure 4). It
+// is a separate package so the command surface (operators, meta commands,
+// table display, status tracking) is tested like any other component.
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"cods"
+)
+
+// Repl drives a DB from a line-oriented input stream.
+type Repl struct {
+	DB  *cods.DB
+	Out io.Writer
+	// Prompt is written before each input line when non-empty.
+	Prompt string
+}
+
+// Run processes lines from r until EOF or \quit.
+func (rp *Repl) Run(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		if rp.Prompt != "" {
+			fmt.Fprint(rp.Out, rp.Prompt)
+		}
+		if !sc.Scan() {
+			return sc.Err()
+		}
+		if quit := rp.Line(strings.TrimSpace(sc.Text())); quit {
+			return nil
+		}
+	}
+}
+
+// Line processes one input line and reports whether the loop should exit.
+func (rp *Repl) Line(line string) (quit bool) {
+	if line == "" || strings.HasPrefix(line, "--") || strings.HasPrefix(line, "#") {
+		return false
+	}
+	if strings.HasPrefix(line, `\`) {
+		return rp.meta(line)
+	}
+	res, err := rp.DB.Exec(line)
+	if err != nil {
+		fmt.Fprintln(rp.Out, "error:", err)
+		return false
+	}
+	fmt.Fprintf(rp.Out, "ok: %s in %v (schema version %d)\n", res.Kind, res.Elapsed, res.Version)
+	if len(res.Created) > 0 {
+		fmt.Fprintf(rp.Out, "  created: %s\n", strings.Join(res.Created, ", "))
+	}
+	if len(res.Dropped) > 0 {
+		fmt.Fprintf(rp.Out, "  dropped: %s\n", strings.Join(res.Dropped, ", "))
+	}
+	return false
+}
+
+const helpText = `meta commands:
+  \tables                     list tables
+  \describe <table>           schema and storage statistics
+  \display <table> [n]        show the first n rows (default 20)
+  \select <table> <condition> show rows satisfying a condition
+  \count <table> <condition>  count rows satisfying a condition
+  \load <file.csv> <table>    load a CSV file
+  \export <table> <file.csv>  write a table as CSV
+  \save <dir>                 persist the database
+  \history                    executed-operator log
+  \rollback <version>         restore an earlier schema version
+  \validate                   check table invariants
+  \advise <table>             discover FDs and suggest decompositions
+  \quit                       exit
+operators: CREATE/DROP/RENAME/COPY TABLE, UNION TABLES, PARTITION TABLE,
+DECOMPOSE TABLE, MERGE TABLES, ADD/DROP/RENAME COLUMN`
+
+func (rp *Repl) meta(line string) (quit bool) {
+	db, out := rp.DB, rp.Out
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case `\quit`, `\q`:
+		return true
+	case `\help`:
+		fmt.Fprintln(out, helpText)
+	case `\tables`:
+		for _, name := range db.Tables() {
+			n, _ := db.NumRows(name)
+			fmt.Fprintf(out, "  %-20s %10d rows\n", name, n)
+		}
+	case `\describe`:
+		if len(fields) < 2 {
+			fmt.Fprintln(out, "usage: \\describe <table>")
+			return false
+		}
+		info, err := db.Describe(fields[1])
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return false
+		}
+		fmt.Fprintf(out, "table %s: %d rows, key %v\n", info.Name, info.Rows, info.Key)
+		for _, c := range info.Columns {
+			fmt.Fprintf(out, "  %-20s %-7s %8d distinct %12d bytes compressed\n",
+				c.Name, c.Encoding, c.DistinctValues, c.CompressedBytes)
+		}
+	case `\display`:
+		if len(fields) < 2 {
+			fmt.Fprintln(out, "usage: \\display <table> [n]")
+			return false
+		}
+		limit := uint64(20)
+		if len(fields) > 2 {
+			if n, err := strconv.ParseUint(fields[2], 10, 64); err == nil {
+				limit = n
+			}
+		}
+		cols, err := db.Columns(fields[1])
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return false
+		}
+		rows, err := db.Rows(fields[1], 0, limit)
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return false
+		}
+		rp.printRows(cols, rows)
+		total, _ := db.NumRows(fields[1])
+		if uint64(len(rows)) < total {
+			fmt.Fprintf(out, "  ... %d more rows\n", total-uint64(len(rows)))
+		}
+	case `\select`:
+		if len(fields) < 3 {
+			fmt.Fprintln(out, "usage: \\select <table> <condition>")
+			return false
+		}
+		cols, err := db.Columns(fields[1])
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return false
+		}
+		rows, err := db.Query(fields[1], strings.Join(fields[2:], " "))
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return false
+		}
+		rp.printRows(cols, rows)
+	case `\count`:
+		if len(fields) < 3 {
+			fmt.Fprintln(out, "usage: \\count <table> <condition>")
+			return false
+		}
+		n, err := db.Count(fields[1], strings.Join(fields[2:], " "))
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return false
+		}
+		fmt.Fprintf(out, "%d rows\n", n)
+	case `\load`:
+		if len(fields) < 3 {
+			fmt.Fprintln(out, "usage: \\load <file.csv> <table>")
+			return false
+		}
+		if err := db.LoadCSV(fields[1], fields[2]); err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return false
+		}
+		n, _ := db.NumRows(fields[2])
+		fmt.Fprintf(out, "loaded %d rows into %s\n", n, fields[2])
+	case `\export`:
+		if len(fields) < 3 {
+			fmt.Fprintln(out, "usage: \\export <table> <file.csv>")
+			return false
+		}
+		if err := db.SaveCSV(fields[2], fields[1]); err != nil {
+			fmt.Fprintln(out, "error:", err)
+		}
+	case `\save`:
+		if len(fields) < 2 {
+			fmt.Fprintln(out, "usage: \\save <dir>")
+			return false
+		}
+		if err := db.Save(fields[1]); err != nil {
+			fmt.Fprintln(out, "error:", err)
+		} else {
+			fmt.Fprintln(out, "saved to", fields[1])
+		}
+	case `\history`:
+		for _, h := range db.History() {
+			fmt.Fprintf(out, "  v%-3d %-40s %v\n", h.Version, h.Op, h.Elapsed)
+		}
+	case `\rollback`:
+		if len(fields) < 2 {
+			fmt.Fprintln(out, "usage: \\rollback <version>")
+			return false
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			fmt.Fprintln(out, "error: version must be a number")
+			return false
+		}
+		if err := db.Rollback(v); err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return false
+		}
+		fmt.Fprintf(out, "rolled back to schema version %d (now at version %d)\n", v, db.Version())
+	case `\validate`:
+		if err := db.Validate(); err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return false
+		}
+		fmt.Fprintln(out, "all tables validate")
+	case `\advise`:
+		if len(fields) < 2 {
+			fmt.Fprintln(out, "usage: \\advise <table>")
+			return false
+		}
+		suggestions, err := db.Advise(fields[1])
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return false
+		}
+		if len(suggestions) == 0 {
+			fmt.Fprintln(out, "no decomposition opportunities found")
+			return false
+		}
+		for i, s := range suggestions {
+			fmt.Fprintf(out, "%d. %s\n", i+1, s.Operator)
+			for _, fd := range s.FDs {
+				fmt.Fprintf(out, "     because %s\n", fd)
+			}
+			fmt.Fprintf(out, "     removes ~%d redundant cells\n", s.SavedCells)
+		}
+	default:
+		fmt.Fprintln(out, "unknown command; try \\help")
+	}
+	return false
+}
+
+func (rp *Repl) printRows(cols []string, rows [][]string) {
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	for _, r := range rows {
+		for i, v := range r {
+			if len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	for i, c := range cols {
+		fmt.Fprintf(rp.Out, "%-*s  ", widths[i], c)
+	}
+	fmt.Fprintln(rp.Out)
+	for _, r := range rows {
+		for i, v := range r {
+			fmt.Fprintf(rp.Out, "%-*s  ", widths[i], v)
+		}
+		fmt.Fprintln(rp.Out)
+	}
+	fmt.Fprintf(rp.Out, "(%d rows)\n", len(rows))
+}

@@ -1,0 +1,134 @@
+// Package rle implements run-length encoding of value-id sequences. The
+// paper (§2.2) notes that sorted columns are sometimes stored with
+// run-length encoding instead of bitmaps; this codec backs that column
+// representation in the column store.
+package rle
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Run is a maximal run of a single value id.
+type Run struct {
+	ID    uint32 // value id
+	Count uint64 // repetitions
+}
+
+// Column is an RLE-compressed sequence of value ids. The zero value is an
+// empty column ready for appends.
+type Column struct {
+	runs  []Run
+	nrows uint64
+}
+
+// Len returns the number of encoded rows.
+func (c *Column) Len() uint64 { return c.nrows }
+
+// Runs returns the run slice. Callers must not modify it.
+func (c *Column) Runs() []Run { return c.runs }
+
+// NumRuns returns the number of runs, a direct measure of compression.
+func (c *Column) NumRuns() int { return len(c.runs) }
+
+// Append adds count rows with value id at the end, coalescing with the
+// previous run when the id matches.
+func (c *Column) Append(id uint32, count uint64) {
+	if count == 0 {
+		return
+	}
+	c.nrows += count
+	if n := len(c.runs); n > 0 && c.runs[n-1].ID == id {
+		c.runs[n-1].Count += count
+		return
+	}
+	c.runs = append(c.runs, Run{ID: id, Count: count})
+}
+
+// FromIDs encodes a row-wise id sequence.
+func FromIDs(ids []uint32) *Column {
+	c := &Column{}
+	for _, id := range ids {
+		c.Append(id, 1)
+	}
+	return c
+}
+
+// Get returns the id at row, walking the runs (O(runs)).
+func (c *Column) Get(row uint64) (uint32, error) {
+	if row >= c.nrows {
+		return 0, fmt.Errorf("rle: row %d out of range (%d rows)", row, c.nrows)
+	}
+	var seen uint64
+	for _, r := range c.runs {
+		if row < seen+r.Count {
+			return r.ID, nil
+		}
+		seen += r.Count
+	}
+	return 0, fmt.Errorf("rle: internal inconsistency at row %d", row)
+}
+
+// AppendIDsTo decodes the whole column into dst and returns it.
+func (c *Column) AppendIDsTo(dst []uint32) []uint32 {
+	for _, r := range c.runs {
+		for i := uint64(0); i < r.Count; i++ {
+			dst = append(dst, r.ID)
+		}
+	}
+	return dst
+}
+
+// IsSorted reports whether ids are non-decreasing across runs, the shape
+// for which RLE is the encoding of choice.
+func (c *Column) IsSorted() bool {
+	for i := 1; i < len(c.runs); i++ {
+		if c.runs[i].ID < c.runs[i-1].ID {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteTo writes the column in binary form.
+func (c *Column) WriteTo(w io.Writer) (int64, error) {
+	buf := make([]byte, 0, 8+4+len(c.runs)*12)
+	buf = binary.LittleEndian.AppendUint64(buf, c.nrows)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.runs)))
+	for _, r := range c.runs {
+		buf = binary.LittleEndian.AppendUint32(buf, r.ID)
+		buf = binary.LittleEndian.AppendUint64(buf, r.Count)
+	}
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// ReadFrom replaces the column with one read from r.
+func (c *Column) ReadFrom(r io.Reader) (int64, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, fmt.Errorf("rle: reading header: %w", err)
+	}
+	nrows := binary.LittleEndian.Uint64(hdr[0:8])
+	nruns := binary.LittleEndian.Uint32(hdr[8:12])
+	body := make([]byte, int(nruns)*12)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 12, fmt.Errorf("rle: reading runs: %w", err)
+	}
+	runs := make([]Run, nruns)
+	var total uint64
+	for i := range runs {
+		runs[i].ID = binary.LittleEndian.Uint32(body[i*12:])
+		runs[i].Count = binary.LittleEndian.Uint64(body[i*12+4:])
+		if runs[i].Count == 0 {
+			return 12 + int64(len(body)), fmt.Errorf("rle: run %d has zero count", i)
+		}
+		total += runs[i].Count
+	}
+	if total != nrows {
+		return 12 + int64(len(body)), fmt.Errorf("rle: runs sum to %d rows, header says %d", total, nrows)
+	}
+	c.runs, c.nrows = runs, nrows
+	return 12 + int64(len(body)), nil
+}

@@ -1,0 +1,128 @@
+package rle
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendCoalesces(t *testing.T) {
+	var c Column
+	c.Append(1, 5)
+	c.Append(1, 3)
+	c.Append(2, 1)
+	c.Append(2, 0) // no-op
+	if c.NumRuns() != 2 {
+		t.Fatalf("runs=%d want 2", c.NumRuns())
+	}
+	if c.Len() != 9 {
+		t.Fatalf("len=%d want 9", c.Len())
+	}
+}
+
+func TestFromIDsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(500)
+		ids := make([]uint32, n)
+		cur := uint32(0)
+		for i := range ids {
+			if rng.Intn(10) == 0 {
+				cur = uint32(rng.Intn(8))
+			}
+			ids[i] = cur
+		}
+		c := FromIDs(ids)
+		got := c.AppendIDsTo(nil)
+		if len(got) != len(ids) {
+			t.Fatalf("decoded %d ids want %d", len(got), len(ids))
+		}
+		for i := range ids {
+			if got[i] != ids[i] {
+				t.Fatalf("id %d: got %d want %d", i, got[i], ids[i])
+			}
+			v, err := c.Get(uint64(i))
+			if err != nil || v != ids[i] {
+				t.Fatalf("Get(%d)=%d,%v want %d", i, v, err, ids[i])
+			}
+		}
+	}
+}
+
+func TestGetOutOfRange(t *testing.T) {
+	c := FromIDs([]uint32{1, 2, 3})
+	if _, err := c.Get(3); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	if !FromIDs([]uint32{0, 0, 1, 1, 2}).IsSorted() {
+		t.Fatal("sorted column reported unsorted")
+	}
+	if FromIDs([]uint32{0, 2, 1}).IsSorted() {
+		t.Fatal("unsorted column reported sorted")
+	}
+	if !(&Column{}).IsSorted() {
+		t.Fatal("empty column should be sorted")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	c := FromIDs([]uint32{5, 5, 5, 1, 2, 2, 9})
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Column
+	if _, err := got.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a, b := c.AppendIDsTo(nil), got.AppendIDsTo(nil)
+	if len(a) != len(b) {
+		t.Fatalf("len %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("id %d mismatch", i)
+		}
+	}
+}
+
+func TestCodecRejectsCorrupt(t *testing.T) {
+	c := FromIDs([]uint32{1, 1, 2})
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[0] ^= 0xFF // nrows no longer matches run sum
+	var got Column
+	if _, err := got.ReadFrom(bytes.NewReader(data)); err == nil {
+		t.Fatal("expected corruption error")
+	}
+}
+
+func TestQuickEncodeDecode(t *testing.T) {
+	f := func(raw []uint8) bool {
+		ids := make([]uint32, len(raw))
+		for i, v := range raw {
+			ids[i] = uint32(v % 5) // few distinct values => real runs
+		}
+		c := FromIDs(ids)
+		if c.Len() != uint64(len(ids)) {
+			return false
+		}
+		got := c.AppendIDsTo(nil)
+		for i := range ids {
+			if got[i] != ids[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,202 @@
+package rowstore
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// maxKeys is the fan-out of B+tree nodes.
+const maxKeys = 64
+
+// BTree is an in-memory B+tree with string keys and opaque byte payloads.
+// Duplicate keys are allowed and preserved in insertion order. It backs
+// both secondary indexes (key = column value, payload = RowID) and
+// B-tree-clustered table storage in the SQLite-like profile (key = rowid,
+// payload = tuple bytes).
+type BTree struct {
+	root *bnode
+	size int
+}
+
+type bnode struct {
+	leaf     bool
+	keys     []string
+	vals     [][]byte // leaf payloads, parallel to keys
+	children []*bnode // internal: len(children) == len(keys)+1
+	next     *bnode   // leaf chain
+}
+
+// NewBTree returns an empty tree.
+func NewBTree() *BTree {
+	return &BTree{root: &bnode{leaf: true}}
+}
+
+// Len returns the number of stored entries.
+func (t *BTree) Len() int { return t.size }
+
+// Height returns the tree height (1 for a single leaf).
+func (t *BTree) Height() int {
+	h := 1
+	for n := t.root; !n.leaf; n = n.children[0] {
+		h++
+	}
+	return h
+}
+
+// Insert adds an entry. Duplicate keys are kept.
+func (t *BTree) Insert(key string, val []byte) {
+	sep, right := t.insert(t.root, key, val)
+	if right != nil {
+		t.root = &bnode{keys: []string{sep}, children: []*bnode{t.root, right}}
+	}
+	t.size++
+}
+
+// insert descends into n; on child split it absorbs the separator, and
+// when n itself overflows it returns the new right sibling.
+func (t *BTree) insert(n *bnode, key string, val []byte) (string, *bnode) {
+	if n.leaf {
+		// Upper bound keeps duplicate insertion order stable.
+		i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > key })
+		n.keys = append(n.keys, "")
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.vals = append(n.vals, nil)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = val
+		return t.maybeSplit(n)
+	}
+	ci := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] > key })
+	sep, right := t.insert(n.children[ci], key, val)
+	if right != nil {
+		n.keys = append(n.keys, "")
+		copy(n.keys[ci+1:], n.keys[ci:])
+		n.keys[ci] = sep
+		n.children = append(n.children, nil)
+		copy(n.children[ci+2:], n.children[ci+1:])
+		n.children[ci+1] = right
+	}
+	return t.maybeSplit(n)
+}
+
+func (t *BTree) maybeSplit(n *bnode) (string, *bnode) {
+	if len(n.keys) <= maxKeys {
+		return "", nil
+	}
+	mid := len(n.keys) / 2
+	if n.leaf {
+		right := &bnode{leaf: true, next: n.next}
+		right.keys = append(right.keys, n.keys[mid:]...)
+		right.vals = append(right.vals, n.vals[mid:]...)
+		n.keys = n.keys[:mid:mid]
+		n.vals = n.vals[:mid:mid]
+		n.next = right
+		return right.keys[0], right
+	}
+	sep := n.keys[mid]
+	right := &bnode{}
+	right.keys = append(right.keys, n.keys[mid+1:]...)
+	right.children = append(right.children, n.children[mid+1:]...)
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return sep, right
+}
+
+// seekLeaf returns the leaf that may contain the first entry >= key and
+// the entry index within it.
+func (t *BTree) seekLeaf(key string) (*bnode, int) {
+	n := t.root
+	for !n.leaf {
+		// First child whose subtree can contain entries >= key. Because
+		// duplicates equal to a separator may remain in the left sibling,
+		// descend left of an equal separator and walk forward via the
+		// leaf chain.
+		ci := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+		n = n.children[ci]
+	}
+	i := sort.Search(len(n.keys), func(i int) bool { return n.keys[i] >= key })
+	return n, i
+}
+
+// AscendGE calls yield for every entry with key >= from, in key order
+// (duplicates in insertion order), until yield returns false.
+func (t *BTree) AscendGE(from string, yield func(key string, val []byte) bool) {
+	n, i := t.seekLeaf(from)
+	for n != nil {
+		for ; i < len(n.keys); i++ {
+			if !yield(n.keys[i], n.vals[i]) {
+				return
+			}
+		}
+		n, i = n.next, 0
+	}
+}
+
+// Ascend calls yield for every entry in key order.
+func (t *BTree) Ascend(yield func(key string, val []byte) bool) {
+	t.AscendGE("", yield)
+}
+
+// Lookup calls yield for every entry with exactly the given key.
+func (t *BTree) Lookup(key string, yield func(val []byte) bool) {
+	t.AscendGE(key, func(k string, v []byte) bool {
+		if k != key {
+			return false
+		}
+		return yield(v)
+	})
+}
+
+// Contains reports whether at least one entry has the given key.
+func (t *BTree) Contains(key string) bool {
+	found := false
+	t.Lookup(key, func([]byte) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// Delete removes the first entry matching key whose payload equals val
+// (nil matches any payload) and reports whether an entry was removed.
+// Leaves are not rebalanced: deletions are rare in evolution workloads and
+// an underfull leaf only costs space, not correctness.
+func (t *BTree) Delete(key string, val []byte) bool {
+	n, i := t.seekLeaf(key)
+	for n != nil {
+		for ; i < len(n.keys); i++ {
+			if n.keys[i] != key {
+				return false
+			}
+			if val == nil || string(n.vals[i]) == string(val) {
+				n.keys = append(n.keys[:i], n.keys[i+1:]...)
+				n.vals = append(n.vals[:i], n.vals[i+1:]...)
+				t.size--
+				return true
+			}
+		}
+		n, i = n.next, 0
+	}
+	return false
+}
+
+// EncodeRowID fixes a RowID into a sortable 6-byte payload.
+func EncodeRowID(id RowID) []byte {
+	var b [6]byte
+	binary.BigEndian.PutUint32(b[0:4], id.Page)
+	binary.BigEndian.PutUint16(b[4:6], id.Slot)
+	return b[:]
+}
+
+// DecodeRowID reverses EncodeRowID.
+func DecodeRowID(b []byte) RowID {
+	return RowID{Page: binary.BigEndian.Uint32(b[0:4]), Slot: binary.BigEndian.Uint16(b[4:6])}
+}
+
+// OrderedRowKey encodes a sequence number as a fixed-width sortable string
+// key, used by B-tree-clustered table storage.
+func OrderedRowKey(seq uint64) string {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], seq)
+	return string(b[:])
+}

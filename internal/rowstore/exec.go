@@ -1,0 +1,350 @@
+package rowstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Iterator is a pull-based (volcano-style) tuple iterator. Next returns
+// the next tuple or ok=false at end of stream.
+type Iterator interface {
+	Next() (tuple []string, ok bool, err error)
+}
+
+// seqScan streams a table's tuples with a page/slot (or leaf) cursor,
+// decoding one tuple per Next call.
+type seqScan struct {
+	heap *Heap
+	page int
+	slot int
+
+	leaf    *bnode
+	leafIdx int
+}
+
+// NewSeqScan returns a full-table scan over t.
+func NewSeqScan(t *Table) Iterator {
+	s := &seqScan{}
+	switch t.kind {
+	case HeapStorage:
+		s.heap = t.heap
+	case BTreeStorage:
+		s.leaf, s.leafIdx = t.tree.seekLeaf("")
+	}
+	return s
+}
+
+func (s *seqScan) Next() ([]string, bool, error) {
+	if s.heap != nil {
+		for s.page < len(s.heap.pages) {
+			p := s.heap.pages[s.page]
+			if s.slot >= p.numSlots() {
+				s.page++
+				s.slot = 0
+				continue
+			}
+			rec, err := p.record(s.slot)
+			if err != nil {
+				return nil, false, err
+			}
+			s.slot++
+			tuple, err := DecodeTuple(rec)
+			return tuple, err == nil, err
+		}
+		return nil, false, nil
+	}
+	for s.leaf != nil {
+		if s.leafIdx >= len(s.leaf.keys) {
+			s.leaf, s.leafIdx = s.leaf.next, 0
+			continue
+		}
+		rec := s.leaf.vals[s.leafIdx]
+		s.leafIdx++
+		tuple, err := DecodeTuple(rec)
+		return tuple, err == nil, err
+	}
+	return nil, false, nil
+}
+
+// project narrows tuples to a subset of fields.
+type project struct {
+	in   Iterator
+	idxs []int
+}
+
+// NewProject returns an iterator emitting only the fields at idxs, in that
+// order.
+func NewProject(in Iterator, idxs []int) Iterator { return &project{in: in, idxs: idxs} }
+
+func (p *project) Next() ([]string, bool, error) {
+	t, ok, err := p.in.Next()
+	if !ok || err != nil {
+		return nil, ok, err
+	}
+	out := make([]string, len(p.idxs))
+	for i, idx := range p.idxs {
+		out[i] = t[idx]
+	}
+	return out, true, nil
+}
+
+// filter drops tuples failing pred.
+type filter struct {
+	in   Iterator
+	pred func([]string) bool
+}
+
+// NewFilter returns an iterator keeping only tuples satisfying pred.
+func NewFilter(in Iterator, pred func([]string) bool) Iterator {
+	return &filter{in: in, pred: pred}
+}
+
+func (f *filter) Next() ([]string, bool, error) {
+	for {
+		t, ok, err := f.in.Next()
+		if !ok || err != nil {
+			return nil, ok, err
+		}
+		if f.pred(t) {
+			return t, true, nil
+		}
+	}
+}
+
+// hashDistinct deduplicates with a hash set — the commercial profile's
+// DISTINCT.
+type hashDistinct struct {
+	in   Iterator
+	seen map[string]bool
+}
+
+// NewHashDistinct returns a hash-based duplicate-eliminating iterator.
+func NewHashDistinct(in Iterator) Iterator {
+	return &hashDistinct{in: in, seen: make(map[string]bool)}
+}
+
+func (d *hashDistinct) Next() ([]string, bool, error) {
+	for {
+		t, ok, err := d.in.Next()
+		if !ok || err != nil {
+			return nil, ok, err
+		}
+		k := strings.Join(t, "\x00")
+		if d.seen[k] {
+			continue
+		}
+		d.seen[k] = true
+		return t, true, nil
+	}
+}
+
+// sortDistinct deduplicates by sorting the full input first — SQLite's
+// temp-B-tree DISTINCT, slower and fully blocking.
+type sortDistinct struct {
+	in     Iterator
+	sorted [][]string
+	pos    int
+	primed bool
+}
+
+// NewSortDistinct returns a sort-based duplicate-eliminating iterator.
+func NewSortDistinct(in Iterator) Iterator { return &sortDistinct{in: in} }
+
+func (d *sortDistinct) prime() error {
+	var all [][]string
+	for {
+		t, ok, err := d.in.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		all = append(all, t)
+	}
+	sort.Slice(all, func(a, b int) bool {
+		for i := range all[a] {
+			if all[a][i] != all[b][i] {
+				return all[a][i] < all[b][i]
+			}
+		}
+		return false
+	})
+	for i, t := range all {
+		if i == 0 || !equalTuple(t, all[i-1]) {
+			d.sorted = append(d.sorted, t)
+		}
+	}
+	d.primed = true
+	return nil
+}
+
+func equalTuple(a, b []string) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (d *sortDistinct) Next() ([]string, bool, error) {
+	if !d.primed {
+		if err := d.prime(); err != nil {
+			return nil, false, err
+		}
+	}
+	if d.pos >= len(d.sorted) {
+		return nil, false, nil
+	}
+	t := d.sorted[d.pos]
+	d.pos++
+	return t, true, nil
+}
+
+// hashJoin is a classic build/probe equi-join: build a hash table on the
+// right input, probe with the left, emit combined tuples.
+type hashJoin struct {
+	left           Iterator
+	leftKeys       []int
+	build          map[string][][]string
+	combine        func(l, r []string) []string
+	pendingL       []string
+	pendingMatches [][]string
+	pendingIdx     int
+}
+
+// NewHashJoin joins left and right on the given key field positions.
+// combine merges a matching pair into an output tuple.
+func NewHashJoin(left, right Iterator, leftKeys, rightKeys []int, combine func(l, r []string) []string) (Iterator, error) {
+	build := make(map[string][][]string)
+	for {
+		t, ok, err := right.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		k := joinKey(t, rightKeys)
+		build[k] = append(build[k], t)
+	}
+	return &hashJoin{left: left, leftKeys: leftKeys, build: build, combine: combine}, nil
+}
+
+func joinKey(t []string, keys []int) string {
+	if len(keys) == 1 {
+		return t[keys[0]]
+	}
+	var sb strings.Builder
+	for _, k := range keys {
+		sb.WriteString(t[k])
+		sb.WriteByte(0)
+	}
+	return sb.String()
+}
+
+func (j *hashJoin) Next() ([]string, bool, error) {
+	for {
+		if j.pendingIdx < len(j.pendingMatches) {
+			r := j.pendingMatches[j.pendingIdx]
+			j.pendingIdx++
+			return j.combine(j.pendingL, r), true, nil
+		}
+		l, ok, err := j.left.Next()
+		if !ok || err != nil {
+			return nil, ok, err
+		}
+		j.pendingL = l
+		j.pendingMatches = j.build[joinKey(l, j.leftKeys)]
+		j.pendingIdx = 0
+	}
+}
+
+// indexNestedLoopJoin probes a B+tree index on the inner table once per
+// outer tuple — the SQLite-like join strategy.
+type indexNestedLoopJoin struct {
+	outer          Iterator
+	outerKeys      []int
+	inner          *Table
+	innerCols      []string
+	combine        func(o, i []string) []string
+	pendingO       []string
+	pendingMatches [][]string
+	pendingIdx     int
+}
+
+// NewIndexNestedLoopJoin joins outer tuples against inner via an index on
+// innerCols, which is built on demand when absent (SQLite's automatic
+// index).
+func NewIndexNestedLoopJoin(outer Iterator, outerKeys []int, inner *Table, innerCols []string, combine func(o, i []string) []string) (Iterator, error) {
+	if !inner.HasIndex(innerCols...) {
+		if err := inner.BuildIndex(innerCols...); err != nil {
+			return nil, err
+		}
+	}
+	return &indexNestedLoopJoin{outer: outer, outerKeys: outerKeys, inner: inner, innerCols: innerCols, combine: combine}, nil
+}
+
+func (j *indexNestedLoopJoin) Next() ([]string, bool, error) {
+	for {
+		if j.pendingIdx < len(j.pendingMatches) {
+			r := j.pendingMatches[j.pendingIdx]
+			j.pendingIdx++
+			return j.combine(j.pendingO, r), true, nil
+		}
+		o, ok, err := j.outer.Next()
+		if !ok || err != nil {
+			return nil, ok, err
+		}
+		values := make([]string, len(j.outerKeys))
+		for i, k := range j.outerKeys {
+			values[i] = o[k]
+		}
+		j.pendingO = o
+		j.pendingMatches = j.pendingMatches[:0]
+		err = j.inner.IndexLookup(j.innerCols, values, func(t []string) bool {
+			j.pendingMatches = append(j.pendingMatches, t)
+			return true
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		j.pendingIdx = 0
+	}
+}
+
+// InsertInto drains it into table t, returning the number of tuples
+// inserted.
+func InsertInto(t *Table, it Iterator) (uint64, error) {
+	var n uint64
+	for {
+		tuple, ok, err := it.Next()
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			return n, nil
+		}
+		if err := t.Insert(tuple); err != nil {
+			return n, fmt.Errorf("rowstore: inserting into %q: %w", t.Name(), err)
+		}
+		n++
+	}
+}
+
+// Collect drains an iterator into a slice; a test and tooling helper.
+func Collect(it Iterator) ([][]string, error) {
+	var out [][]string
+	for {
+		t, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}

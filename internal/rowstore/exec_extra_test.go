@@ -1,0 +1,135 @@
+package rowstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestFilterIterator(t *testing.T) {
+	tab, _ := NewTable("T", []string{"K"}, HeapStorage)
+	for i := 0; i < 100; i++ {
+		tab.Insert([]string{fmt.Sprintf("%03d", i)})
+	}
+	it := NewFilter(NewSeqScan(tab), func(tu []string) bool { return tu[0] < "010" })
+	rows, err := Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+}
+
+func TestProjectReorders(t *testing.T) {
+	tab, _ := NewTable("T", []string{"A", "B", "C"}, HeapStorage)
+	tab.Insert([]string{"1", "2", "3"})
+	rows, err := Collect(NewProject(NewSeqScan(tab), []int{2, 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0] != "3" || rows[0][1] != "1" {
+		t.Fatalf("rows=%v", rows)
+	}
+}
+
+func TestSeqScanBTreeStorage(t *testing.T) {
+	tab, _ := NewTable("T", []string{"K"}, BTreeStorage)
+	const n = 3000 // enough to split leaves
+	for i := 0; i < n; i++ {
+		tab.Insert([]string{fmt.Sprintf("%05d", i)})
+	}
+	rows, err := Collect(NewSeqScan(tab))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != n {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	// Insertion order preserved (clustered by rowid).
+	for i, r := range rows {
+		if r[0] != fmt.Sprintf("%05d", i) {
+			t.Fatalf("row %d = %v", i, r)
+		}
+	}
+}
+
+func TestHashJoinEmptyBuild(t *testing.T) {
+	s, _ := NewTable("S", []string{"K"}, HeapStorage)
+	s.Insert([]string{"x"})
+	tt, _ := NewTable("T", []string{"K"}, HeapStorage)
+	join, err := NewHashJoin(NewSeqScan(s), NewSeqScan(tt), []int{0}, []int{0},
+		func(l, r []string) []string { return l })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("rows=%v", rows)
+	}
+}
+
+func TestIndexLookupWithoutIndexFails(t *testing.T) {
+	tab, _ := NewTable("T", []string{"K"}, HeapStorage)
+	tab.Insert([]string{"x"})
+	err := tab.IndexLookup([]string{"K"}, []string{"x"}, func([]string) bool { return true })
+	if err == nil {
+		t.Fatal("expected no-index error")
+	}
+}
+
+func TestBuildIndexUnknownColumn(t *testing.T) {
+	tab, _ := NewTable("T", []string{"K"}, HeapStorage)
+	if err := tab.BuildIndex("Nope"); err == nil {
+		t.Fatal("expected unknown column error")
+	}
+}
+
+func TestCompositeIndex(t *testing.T) {
+	tab, _ := NewTable("T", []string{"A", "B", "V"}, HeapStorage)
+	tab.Insert([]string{"x", "y", "1"})
+	tab.Insert([]string{"x", "z", "2"})
+	tab.Insert([]string{"x", "y", "3"})
+	if err := tab.BuildIndex("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	err := tab.IndexLookup([]string{"A", "B"}, []string{"x", "y"}, func(tu []string) bool {
+		got = append(got, tu[2])
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "1" || got[1] != "3" {
+		t.Fatalf("got=%v", got)
+	}
+}
+
+func TestInsertArityMismatch(t *testing.T) {
+	tab, _ := NewTable("T", []string{"A", "B"}, HeapStorage)
+	if err := tab.Insert([]string{"only-one"}); err == nil {
+		t.Fatal("expected arity error")
+	}
+}
+
+func TestTableAccessors(t *testing.T) {
+	tab, err := NewTable("T", []string{"A", "B"}, BTreeStorage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Name() != "T" || tab.StorageKind() != BTreeStorage {
+		t.Fatal("accessors wrong")
+	}
+	if _, err := tab.ColumnIndex("Nope"); err == nil {
+		t.Fatal("expected unknown column")
+	}
+	if _, err := NewTable("T", nil, HeapStorage); err == nil {
+		t.Fatal("empty schema should fail")
+	}
+	if _, err := NewTable("T", []string{"A", "A"}, HeapStorage); err == nil {
+		t.Fatal("duplicate column should fail")
+	}
+}

@@ -1,0 +1,177 @@
+// Package rowstore implements a row-oriented storage engine: slotted-page
+// heap files, B+tree indexes, and a volcano-style executor. It is the
+// behavioral stand-in for the paper's query-level baselines — the
+// commercial row-store RDBMS ("C", "C+I") and SQLite ("S") in Figure 3 —
+// so that query-level data evolution (materialize query results, reload,
+// rebuild indexes) is measured against a real storage path: every tuple is
+// encoded into pages on insert and decoded on scan.
+package rowstore
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the size of a slotted page in bytes.
+const PageSize = 8192
+
+const pageHeaderSize = 4 // u16 slot count, u16 free-space offset
+const slotSize = 4       // u16 record offset, u16 record length
+
+// page is a slotted page: records grow from the header towards the end,
+// the slot directory grows from the end backwards.
+//
+//	[ header | record 0 | record 1 | ... free ... | slot 1 | slot 0 ]
+type page struct {
+	buf []byte
+}
+
+func newPage() *page {
+	p := &page{buf: make([]byte, PageSize)}
+	p.setNumSlots(0)
+	p.setFreeStart(pageHeaderSize)
+	return p
+}
+
+func (p *page) numSlots() int      { return int(binary.LittleEndian.Uint16(p.buf[0:2])) }
+func (p *page) setNumSlots(n int)  { binary.LittleEndian.PutUint16(p.buf[0:2], uint16(n)) }
+func (p *page) freeStart() int     { return int(binary.LittleEndian.Uint16(p.buf[2:4])) }
+func (p *page) setFreeStart(n int) { binary.LittleEndian.PutUint16(p.buf[2:4], uint16(n)) }
+
+func (p *page) slotOffset(i int) int { return PageSize - (i+1)*slotSize }
+
+// freeSpace returns the bytes available for one more record plus its slot.
+func (p *page) freeSpace() int {
+	return p.slotOffset(p.numSlots()) - p.freeStart()
+}
+
+// insert stores a record and returns its slot number. Returns false when
+// the page cannot hold it.
+func (p *page) insert(rec []byte) (int, bool) {
+	if len(rec)+slotSize > p.freeSpace() {
+		return 0, false
+	}
+	off := p.freeStart()
+	copy(p.buf[off:], rec)
+	slot := p.numSlots()
+	so := p.slotOffset(slot)
+	binary.LittleEndian.PutUint16(p.buf[so:], uint16(off))
+	binary.LittleEndian.PutUint16(p.buf[so+2:], uint16(len(rec)))
+	p.setNumSlots(slot + 1)
+	p.setFreeStart(off + len(rec))
+	return slot, true
+}
+
+// record returns the bytes of the record in the given slot. The returned
+// slice aliases the page buffer.
+func (p *page) record(slot int) ([]byte, error) {
+	if slot < 0 || slot >= p.numSlots() {
+		return nil, fmt.Errorf("rowstore: slot %d out of range (%d slots)", slot, p.numSlots())
+	}
+	so := p.slotOffset(slot)
+	off := int(binary.LittleEndian.Uint16(p.buf[so:]))
+	length := int(binary.LittleEndian.Uint16(p.buf[so+2:]))
+	return p.buf[off : off+length], nil
+}
+
+// EncodeTuple serializes field values as length-prefixed byte strings.
+func EncodeTuple(fields []string) []byte {
+	size := 2
+	for _, f := range fields {
+		size += 2 + len(f)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(fields)))
+	for _, f := range fields {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(f)))
+		buf = append(buf, f...)
+	}
+	return buf
+}
+
+// DecodeTuple parses a record produced by EncodeTuple.
+func DecodeTuple(rec []byte) ([]string, error) {
+	if len(rec) < 2 {
+		return nil, fmt.Errorf("rowstore: record too short (%d bytes)", len(rec))
+	}
+	n := int(binary.LittleEndian.Uint16(rec[0:2]))
+	out := make([]string, 0, n)
+	pos := 2
+	for i := 0; i < n; i++ {
+		if pos+2 > len(rec) {
+			return nil, fmt.Errorf("rowstore: truncated field %d header", i)
+		}
+		l := int(binary.LittleEndian.Uint16(rec[pos:]))
+		pos += 2
+		if pos+l > len(rec) {
+			return nil, fmt.Errorf("rowstore: truncated field %d body", i)
+		}
+		out = append(out, string(rec[pos:pos+l]))
+		pos += l
+	}
+	return out, nil
+}
+
+// RowID addresses a record in a heap file.
+type RowID struct {
+	Page uint32
+	Slot uint16
+}
+
+// Heap is an append-only slotted-page heap file.
+type Heap struct {
+	pages []*page
+	count uint64
+}
+
+// NewHeap returns an empty heap file.
+func NewHeap() *Heap { return &Heap{} }
+
+// Count returns the number of stored records.
+func (h *Heap) Count() uint64 { return h.count }
+
+// NumPages returns the number of allocated pages.
+func (h *Heap) NumPages() int { return len(h.pages) }
+
+// Insert appends a record and returns its RowID.
+func (h *Heap) Insert(rec []byte) (RowID, error) {
+	if len(rec)+slotSize+pageHeaderSize > PageSize {
+		return RowID{}, fmt.Errorf("rowstore: record of %d bytes exceeds page size", len(rec))
+	}
+	if n := len(h.pages); n > 0 {
+		if slot, ok := h.pages[n-1].insert(rec); ok {
+			h.count++
+			return RowID{Page: uint32(n - 1), Slot: uint16(slot)}, nil
+		}
+	}
+	p := newPage()
+	slot, _ := p.insert(rec)
+	h.pages = append(h.pages, p)
+	h.count++
+	return RowID{Page: uint32(len(h.pages) - 1), Slot: uint16(slot)}, nil
+}
+
+// Get returns the record at the given RowID. The returned slice aliases
+// page memory; callers must not modify it.
+func (h *Heap) Get(id RowID) ([]byte, error) {
+	if int(id.Page) >= len(h.pages) {
+		return nil, fmt.Errorf("rowstore: page %d out of range (%d pages)", id.Page, len(h.pages))
+	}
+	return h.pages[id.Page].record(int(id.Slot))
+}
+
+// Scan calls yield for every record in storage order, stopping early when
+// yield returns false.
+func (h *Heap) Scan(yield func(id RowID, rec []byte) bool) {
+	for pi, p := range h.pages {
+		for s := 0; s < p.numSlots(); s++ {
+			rec, err := p.record(s)
+			if err != nil {
+				return
+			}
+			if !yield(RowID{Page: uint32(pi), Slot: uint16(s)}, rec) {
+				return
+			}
+		}
+	}
+}

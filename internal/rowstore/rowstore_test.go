@@ -1,0 +1,490 @@
+package rowstore
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTupleCodec(t *testing.T) {
+	cases := [][]string{
+		{},
+		{""},
+		{"a"},
+		{"hello", "world", ""},
+		{"with\x00nul", "ünïcødé", strings.Repeat("x", 300)},
+	}
+	for _, fields := range cases {
+		got, err := DecodeTuple(EncodeTuple(fields))
+		if err != nil {
+			t.Fatalf("%v: %v", fields, err)
+		}
+		if !reflect.DeepEqual(got, fields) {
+			t.Fatalf("round trip: got %v want %v", got, fields)
+		}
+	}
+}
+
+func TestDecodeTupleCorrupt(t *testing.T) {
+	for _, rec := range [][]byte{{}, {5}, {1, 0, 10, 0, 'x'}} {
+		if _, err := DecodeTuple(rec); err == nil {
+			t.Fatalf("corrupt record %v decoded without error", rec)
+		}
+	}
+}
+
+func TestHeapInsertGetScan(t *testing.T) {
+	h := NewHeap()
+	var ids []RowID
+	const n = 5000
+	for i := 0; i < n; i++ {
+		id, err := h.Insert(EncodeTuple([]string{fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i)}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if h.Count() != n {
+		t.Fatalf("count=%d", h.Count())
+	}
+	if h.NumPages() < 2 {
+		t.Fatalf("expected multiple pages, got %d", h.NumPages())
+	}
+	// Random access.
+	for _, i := range []int{0, 1, n / 2, n - 1} {
+		rec, err := h.Get(ids[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		tuple, err := DecodeTuple(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tuple[0] != fmt.Sprintf("k%d", i) {
+			t.Fatalf("Get(%d)=%v", i, tuple)
+		}
+	}
+	// Scan order matches insert order.
+	var seen int
+	h.Scan(func(id RowID, rec []byte) bool {
+		tuple, err := DecodeTuple(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tuple[0] != fmt.Sprintf("k%d", seen) {
+			t.Fatalf("scan out of order at %d: %v", seen, tuple)
+		}
+		seen++
+		return true
+	})
+	if seen != n {
+		t.Fatalf("scan visited %d", seen)
+	}
+}
+
+func TestHeapRejectsOversizedRecord(t *testing.T) {
+	h := NewHeap()
+	if _, err := h.Insert(make([]byte, PageSize)); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+}
+
+func TestBTreeSortedIteration(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tree := NewBTree()
+	n := 10000
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%06d", rng.Intn(100000))
+		tree.Insert(keys[i], []byte(keys[i]))
+	}
+	if tree.Len() != n {
+		t.Fatalf("len=%d", tree.Len())
+	}
+	if tree.Height() < 2 {
+		t.Fatalf("height=%d, tree did not split", tree.Height())
+	}
+	sort.Strings(keys)
+	var got []string
+	tree.Ascend(func(k string, v []byte) bool {
+		if k != string(v) {
+			t.Fatalf("payload mismatch at %q", k)
+		}
+		got = append(got, k)
+		return true
+	})
+	if !reflect.DeepEqual(got, keys) {
+		t.Fatal("iteration order is not sorted insert set")
+	}
+}
+
+func TestBTreeDuplicatesStableOrder(t *testing.T) {
+	tree := NewBTree()
+	for i := 0; i < 500; i++ {
+		tree.Insert("dup", []byte(fmt.Sprintf("%06d", i)))
+		tree.Insert(fmt.Sprintf("other-%d", i), []byte("x"))
+	}
+	var vals []string
+	tree.Lookup("dup", func(v []byte) bool {
+		vals = append(vals, string(v))
+		return true
+	})
+	if len(vals) != 500 {
+		t.Fatalf("found %d duplicates", len(vals))
+	}
+	for i, v := range vals {
+		if v != fmt.Sprintf("%06d", i) {
+			t.Fatalf("duplicate order broken at %d: %s", i, v)
+		}
+	}
+}
+
+func TestBTreeAscendGE(t *testing.T) {
+	tree := NewBTree()
+	for i := 0; i < 1000; i += 2 {
+		tree.Insert(fmt.Sprintf("%04d", i), nil)
+	}
+	var first string
+	tree.AscendGE("0501", func(k string, v []byte) bool {
+		first = k
+		return false
+	})
+	if first != "0502" {
+		t.Fatalf("AscendGE gave %q want 0502", first)
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	tree := NewBTree()
+	for i := 0; i < 300; i++ {
+		tree.Insert(fmt.Sprintf("k%03d", i), []byte{byte(i)})
+	}
+	if !tree.Delete("k100", nil) {
+		t.Fatal("delete failed")
+	}
+	if tree.Delete("k100", nil) {
+		t.Fatal("double delete succeeded")
+	}
+	if tree.Contains("k100") {
+		t.Fatal("deleted key still present")
+	}
+	if tree.Len() != 299 {
+		t.Fatalf("len=%d", tree.Len())
+	}
+	// Delete by payload among duplicates.
+	tree.Insert("dup", []byte("a"))
+	tree.Insert("dup", []byte("b"))
+	if !tree.Delete("dup", []byte("b")) {
+		t.Fatal("payload delete failed")
+	}
+	var vals []string
+	tree.Lookup("dup", func(v []byte) bool { vals = append(vals, string(v)); return true })
+	if len(vals) != 1 || vals[0] != "a" {
+		t.Fatalf("after payload delete: %v", vals)
+	}
+}
+
+func TestQuickBTreeMatchesSortedSlice(t *testing.T) {
+	f := func(raw []uint16) bool {
+		tree := NewBTree()
+		keys := make([]string, len(raw))
+		for i, r := range raw {
+			keys[i] = fmt.Sprintf("%05d", r%3000)
+			tree.Insert(keys[i], nil)
+		}
+		sort.Strings(keys)
+		got := make([]string, 0, len(keys))
+		tree.Ascend(func(k string, v []byte) bool { got = append(got, k); return true })
+		return reflect.DeepEqual(got, keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowIDCodec(t *testing.T) {
+	id := RowID{Page: 123456, Slot: 789}
+	if got := DecodeRowID(EncodeRowID(id)); got != id {
+		t.Fatalf("got %v want %v", got, id)
+	}
+}
+
+func TestOrderedRowKeySorts(t *testing.T) {
+	prev := OrderedRowKey(0)
+	for _, seq := range []uint64{1, 2, 255, 256, 65535, 1 << 32} {
+		k := OrderedRowKey(seq)
+		if !(prev < k) {
+			t.Fatalf("OrderedRowKey not monotone at %d", seq)
+		}
+		prev = k
+	}
+}
+
+func makeTable(t *testing.T, kind StorageKind, n int, distinct int) *Table {
+	t.Helper()
+	tab, err := NewTable("R", []string{"A", "B", "C"}, kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < n; i++ {
+		k := rng.Intn(distinct)
+		err := tab.Insert([]string{fmt.Sprintf("a%d", k), fmt.Sprintf("b%d", i), fmt.Sprintf("c%d", k)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func TestTableInsertScanBothStorages(t *testing.T) {
+	for _, kind := range []StorageKind{HeapStorage, BTreeStorage} {
+		tab := makeTable(t, kind, 2000, 50)
+		if tab.NumRows() != 2000 {
+			t.Fatalf("%v: rows=%d", kind, tab.NumRows())
+		}
+		var count int
+		first := true
+		err := tab.Scan(func(tuple []string) bool {
+			if first && tuple[1] != "b0" {
+				t.Fatalf("%v: scan order broken: %v", kind, tuple)
+			}
+			first = false
+			count++
+			return true
+		})
+		if err != nil || count != 2000 {
+			t.Fatalf("%v: scan count=%d err=%v", kind, count, err)
+		}
+	}
+}
+
+func TestTableIndexLookup(t *testing.T) {
+	for _, kind := range []StorageKind{HeapStorage, BTreeStorage} {
+		tab := makeTable(t, kind, 1000, 10)
+		if err := tab.BuildIndex("A"); err != nil {
+			t.Fatal(err)
+		}
+		if !tab.HasIndex("A") {
+			t.Fatal("index not registered")
+		}
+		var viaIndex int
+		err := tab.IndexLookup([]string{"A"}, []string{"a3"}, func(tuple []string) bool {
+			if tuple[0] != "a3" {
+				t.Fatalf("%v: index returned %v", kind, tuple)
+			}
+			viaIndex++
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var viaScan int
+		tab.Scan(func(tuple []string) bool {
+			if tuple[0] == "a3" {
+				viaScan++
+			}
+			return true
+		})
+		if viaIndex != viaScan {
+			t.Fatalf("%v: index found %d rows, scan found %d", kind, viaIndex, viaScan)
+		}
+	}
+}
+
+func TestIndexMaintainedOnInsert(t *testing.T) {
+	tab, _ := NewTable("T", []string{"K", "V"}, HeapStorage)
+	if err := tab.BuildIndex("K"); err != nil {
+		t.Fatal(err)
+	}
+	tab.Insert([]string{"x", "1"})
+	tab.Insert([]string{"x", "2"})
+	var got []string
+	tab.IndexLookup([]string{"K"}, []string{"x"}, func(tuple []string) bool {
+		got = append(got, tuple[1])
+		return true
+	})
+	if len(got) != 2 {
+		t.Fatalf("index missed inserts: %v", got)
+	}
+}
+
+func TestExecutorPipeline(t *testing.T) {
+	tab := makeTable(t, HeapStorage, 500, 5)
+	// SELECT DISTINCT A, C FROM R WHERE A != 'a0'
+	idxs, _ := tab.ColumnIndexes([]string{"A", "C"})
+	it := NewHashDistinct(NewProject(NewFilter(NewSeqScan(tab), func(tu []string) bool { return tu[0] != "a0" }), idxs))
+	rows, err := Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // a1..a4, each with its functionally dependent c
+		t.Fatalf("distinct rows=%d: %v", len(rows), rows)
+	}
+	// Sort-based distinct agrees.
+	it2 := NewSortDistinct(NewProject(NewFilter(NewSeqScan(tab), func(tu []string) bool { return tu[0] != "a0" }), idxs))
+	rows2, err := Collect(it2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows2) != len(rows) {
+		t.Fatalf("sort distinct %d vs hash distinct %d", len(rows2), len(rows))
+	}
+}
+
+func joinReference(s, t *Table, common []string) map[string]int {
+	sKeys, _ := s.ColumnIndexes(common)
+	tKeys, _ := t.ColumnIndexes(common)
+	isCommon := map[string]bool{}
+	for _, c := range common {
+		isCommon[c] = true
+	}
+	var tExtraIdx []int
+	for i, c := range t.Columns() {
+		if !isCommon[c] {
+			tExtraIdx = append(tExtraIdx, i)
+		}
+	}
+	out := map[string]int{}
+	s.Scan(func(st []string) bool {
+		t.Scan(func(tt []string) bool {
+			for i := range sKeys {
+				if st[sKeys[i]] != tt[tKeys[i]] {
+					return true
+				}
+			}
+			row := append([]string{}, st...)
+			for _, i := range tExtraIdx {
+				row = append(row, tt[i])
+			}
+			out[strings.Join(row, "\x00")]++
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+func collectMultiset(t *testing.T, it Iterator) map[string]int {
+	t.Helper()
+	rows, err := Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]int{}
+	for _, r := range rows {
+		out[strings.Join(r, "\x00")]++
+	}
+	return out
+}
+
+func TestJoinsAgreeWithReference(t *testing.T) {
+	s, _ := NewTable("S", []string{"K", "B"}, HeapStorage)
+	tt, _ := NewTable("T", []string{"K", "C"}, HeapStorage)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		s.Insert([]string{fmt.Sprintf("k%d", rng.Intn(20)), fmt.Sprintf("b%d", i)})
+	}
+	for i := 0; i < 40; i++ {
+		tt.Insert([]string{fmt.Sprintf("k%d", rng.Intn(25)), fmt.Sprintf("c%d", i)})
+	}
+	want := joinReference(s, tt, []string{"K"})
+	combine := func(l, r []string) []string { return append(append([]string{}, l...), r[1]) }
+
+	hj, err := NewHashJoin(NewSeqScan(s), NewSeqScan(tt), []int{0}, []int{0}, combine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collectMultiset(t, hj); !reflect.DeepEqual(got, want) {
+		t.Fatalf("hash join mismatch: %d vs %d tuples", len(got), len(want))
+	}
+
+	inlj, err := NewIndexNestedLoopJoin(NewSeqScan(s), []int{0}, tt, []string{"K"}, combine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collectMultiset(t, inlj); !reflect.DeepEqual(got, want) {
+		t.Fatalf("index join mismatch")
+	}
+}
+
+func TestDecomposeQueryLevelAllProfiles(t *testing.T) {
+	for _, profile := range []Profile{ProfileCommercial, ProfileCommercialIndexed, ProfileSQLiteLike} {
+		db := NewDB()
+		r, err := db.Create("R", []string{"A", "B", "C"}, profile.storage())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(11))
+		cOf := map[string]string{}
+		for i := 0; i < 800; i++ {
+			a := fmt.Sprintf("a%d", rng.Intn(40))
+			if _, ok := cOf[a]; !ok {
+				cOf[a] = fmt.Sprintf("c%d", rng.Intn(7))
+			}
+			r.Insert([]string{a, fmt.Sprintf("b%d", i), cOf[a]})
+		}
+		stats, err := DecomposeQueryLevel(db, "R", "S", []string{"A", "B"}, "T", []string{"A", "C"}, []string{"A"}, profile)
+		if err != nil {
+			t.Fatalf("%v: %v", profile, err)
+		}
+		s, _ := db.Get("S")
+		tt, _ := db.Get("T")
+		if s.NumRows() != 800 {
+			t.Fatalf("%v: S rows=%d", profile, s.NumRows())
+		}
+		if tt.NumRows() != uint64(len(cOf)) {
+			t.Fatalf("%v: T rows=%d want %d", profile, tt.NumRows(), len(cOf))
+		}
+		if stats.RowsRead != 1600 || stats.RowsWritten != 800+uint64(len(cOf)) {
+			t.Fatalf("%v: stats=%+v", profile, stats)
+		}
+		if profile == ProfileCommercialIndexed {
+			if !s.HasIndex("A") || !tt.HasIndex("A") {
+				t.Fatalf("%v: indexes not built", profile)
+			}
+			if stats.IndexBuilds != 2 {
+				t.Fatalf("%v: index builds=%d", profile, stats.IndexBuilds)
+			}
+		}
+
+		// Merge back and compare with the original tuple multiset.
+		if _, err := MergeQueryLevel(db, "S", "T", "R2", []string{"A"}, profile); err != nil {
+			t.Fatalf("%v: %v", profile, err)
+		}
+		r2, _ := db.Get("R2")
+		if r2.NumRows() != 800 {
+			t.Fatalf("%v: merged rows=%d", profile, r2.NumRows())
+		}
+		orig := map[string]int{}
+		r.Scan(func(tu []string) bool { orig[strings.Join(tu, "\x00")]++; return true })
+		back := map[string]int{}
+		r2.Scan(func(tu []string) bool { back[strings.Join(tu, "\x00")]++; return true })
+		if !reflect.DeepEqual(orig, back) {
+			t.Fatalf("%v: round trip lost tuples", profile)
+		}
+	}
+}
+
+func TestDBCatalog(t *testing.T) {
+	db := NewDB()
+	if _, err := db.Create("T", []string{"A"}, HeapStorage); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Create("T", []string{"A"}, HeapStorage); err == nil {
+		t.Fatal("duplicate create should fail")
+	}
+	if _, err := db.Get("missing"); err == nil {
+		t.Fatal("get of missing table should fail")
+	}
+	if err := db.Drop("T"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Drop("T"); err == nil {
+		t.Fatal("double drop should fail")
+	}
+}

@@ -1,0 +1,300 @@
+package rowstore
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StorageKind selects the physical layout of a table.
+type StorageKind int
+
+const (
+	// HeapStorage appends tuples to slotted pages — the layout of the
+	// commercial row-store profiles.
+	HeapStorage StorageKind = iota
+	// BTreeStorage keeps tuples in a B-tree clustered by insertion order,
+	// the way SQLite stores tables; every insert pays a tree descent.
+	BTreeStorage
+)
+
+// Table is a row-oriented table with optional secondary B+tree indexes.
+type Table struct {
+	name    string
+	columns []string
+	byName  map[string]int
+	kind    StorageKind
+	heap    *Heap
+	tree    *BTree
+	seq     uint64
+	indexes map[string]*BTree // indexed column set (joined names) -> index
+}
+
+// NewTable creates an empty table with the given physical layout.
+func NewTable(name string, columns []string, kind StorageKind) (*Table, error) {
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("rowstore: table %q needs at least one column", name)
+	}
+	t := &Table{
+		name:    name,
+		columns: append([]string(nil), columns...),
+		byName:  make(map[string]int, len(columns)),
+		kind:    kind,
+		indexes: make(map[string]*BTree),
+	}
+	for i, c := range columns {
+		if _, dup := t.byName[c]; dup {
+			return nil, fmt.Errorf("rowstore: table %q declares column %q twice", name, c)
+		}
+		t.byName[c] = i
+	}
+	switch kind {
+	case HeapStorage:
+		t.heap = NewHeap()
+	case BTreeStorage:
+		t.tree = NewBTree()
+	default:
+		return nil, fmt.Errorf("rowstore: unknown storage kind %d", kind)
+	}
+	return t, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Columns returns the column names in schema order.
+func (t *Table) Columns() []string { return append([]string(nil), t.columns...) }
+
+// NumRows returns the number of stored tuples.
+func (t *Table) NumRows() uint64 {
+	if t.kind == HeapStorage {
+		return t.heap.Count()
+	}
+	return uint64(t.tree.Len())
+}
+
+// StorageKind returns the physical layout.
+func (t *Table) StorageKind() StorageKind { return t.kind }
+
+// ColumnIndex returns the schema position of a column.
+func (t *Table) ColumnIndex(name string) (int, error) {
+	if i, ok := t.byName[name]; ok {
+		return i, nil
+	}
+	return 0, fmt.Errorf("rowstore: table %q has no column %q", t.name, name)
+}
+
+// ColumnIndexes resolves several column names at once.
+func (t *Table) ColumnIndexes(names []string) ([]int, error) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		idx, err := t.ColumnIndex(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = idx
+	}
+	return out, nil
+}
+
+// Insert stores one tuple, updating all existing indexes (the per-row
+// index maintenance cost of loading into an indexed table).
+func (t *Table) Insert(tuple []string) error {
+	if len(tuple) != len(t.columns) {
+		return fmt.Errorf("rowstore: tuple has %d fields, table %q has %d columns", len(tuple), t.name, len(t.columns))
+	}
+	rec := EncodeTuple(tuple)
+	var ref []byte
+	switch t.kind {
+	case HeapStorage:
+		id, err := t.heap.Insert(rec)
+		if err != nil {
+			return err
+		}
+		ref = EncodeRowID(id)
+	case BTreeStorage:
+		key := OrderedRowKey(t.seq)
+		t.seq++
+		t.tree.Insert(key, rec)
+		ref = []byte(key)
+	}
+	for cols, idx := range t.indexes {
+		idx.Insert(t.indexKey(strings.Split(cols, "\x1f"), tuple), ref)
+	}
+	return nil
+}
+
+func (t *Table) indexKey(cols []string, tuple []string) string {
+	if len(cols) == 1 {
+		return tuple[t.byName[cols[0]]]
+	}
+	var sb strings.Builder
+	for _, c := range cols {
+		sb.WriteString(tuple[t.byName[c]])
+		sb.WriteByte(0)
+	}
+	return sb.String()
+}
+
+// Scan calls yield with every tuple in storage order. The tuple slice is
+// freshly decoded per row; callers may keep it.
+func (t *Table) Scan(yield func(tuple []string) bool) error {
+	var decodeErr error
+	switch t.kind {
+	case HeapStorage:
+		t.heap.Scan(func(_ RowID, rec []byte) bool {
+			tuple, err := DecodeTuple(rec)
+			if err != nil {
+				decodeErr = err
+				return false
+			}
+			return yield(tuple)
+		})
+	case BTreeStorage:
+		t.tree.Ascend(func(_ string, rec []byte) bool {
+			tuple, err := DecodeTuple(rec)
+			if err != nil {
+				decodeErr = err
+				return false
+			}
+			return yield(tuple)
+		})
+	}
+	return decodeErr
+}
+
+// fetch returns the tuple referenced by an index payload.
+func (t *Table) fetch(ref []byte) ([]string, error) {
+	switch t.kind {
+	case HeapStorage:
+		rec, err := t.heap.Get(DecodeRowID(ref))
+		if err != nil {
+			return nil, err
+		}
+		return DecodeTuple(rec)
+	case BTreeStorage:
+		var tuple []string
+		var err error
+		found := false
+		t.tree.Lookup(string(ref), func(rec []byte) bool {
+			tuple, err = DecodeTuple(rec)
+			found = true
+			return false
+		})
+		if !found {
+			return nil, fmt.Errorf("rowstore: dangling row reference in table %q", t.name)
+		}
+		return tuple, err
+	}
+	return nil, fmt.Errorf("rowstore: unknown storage kind")
+}
+
+// BuildIndex creates a secondary B+tree index over the given columns by
+// scanning the whole table — the "rebuild indexes from scratch" cost the
+// paper charges to query-level evolution. Rebuilding an existing index
+// replaces it.
+func (t *Table) BuildIndex(columns ...string) error {
+	for _, c := range columns {
+		if _, ok := t.byName[c]; !ok {
+			return fmt.Errorf("rowstore: table %q has no column %q", t.name, c)
+		}
+	}
+	idx := NewBTree()
+	name := strings.Join(columns, "\x1f")
+	var err error
+	switch t.kind {
+	case HeapStorage:
+		t.heap.Scan(func(id RowID, rec []byte) bool {
+			var tuple []string
+			tuple, err = DecodeTuple(rec)
+			if err != nil {
+				return false
+			}
+			idx.Insert(t.indexKey(columns, tuple), EncodeRowID(id))
+			return true
+		})
+	case BTreeStorage:
+		t.tree.Ascend(func(key string, rec []byte) bool {
+			var tuple []string
+			tuple, err = DecodeTuple(rec)
+			if err != nil {
+				return false
+			}
+			idx.Insert(t.indexKey(columns, tuple), []byte(key))
+			return true
+		})
+	}
+	if err != nil {
+		return err
+	}
+	t.indexes[name] = idx
+	return nil
+}
+
+// HasIndex reports whether an index exists over exactly the given columns.
+func (t *Table) HasIndex(columns ...string) bool {
+	_, ok := t.indexes[strings.Join(columns, "\x1f")]
+	return ok
+}
+
+// IndexLookup calls yield with every tuple whose indexed columns equal the
+// given values. The index must exist.
+func (t *Table) IndexLookup(columns []string, values []string, yield func(tuple []string) bool) error {
+	idx, ok := t.indexes[strings.Join(columns, "\x1f")]
+	if !ok {
+		return fmt.Errorf("rowstore: table %q has no index on %v", t.name, columns)
+	}
+	key := strings.Join(values, "\x00")
+	if len(columns) > 1 {
+		key += "\x00"
+	} else {
+		key = values[0]
+	}
+	var err error
+	idx.Lookup(key, func(ref []byte) bool {
+		var tuple []string
+		tuple, err = t.fetch(ref)
+		if err != nil {
+			return false
+		}
+		return yield(tuple)
+	})
+	return err
+}
+
+// DB is a named collection of row-store tables.
+type DB struct {
+	tables map[string]*Table
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{tables: make(map[string]*Table)} }
+
+// Create adds a new empty table to the database.
+func (db *DB) Create(name string, columns []string, kind StorageKind) (*Table, error) {
+	if _, exists := db.tables[name]; exists {
+		return nil, fmt.Errorf("rowstore: table %q already exists", name)
+	}
+	t, err := NewTable(name, columns, kind)
+	if err != nil {
+		return nil, err
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// Get returns a table by name.
+func (db *DB) Get(name string) (*Table, error) {
+	if t, ok := db.tables[name]; ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("rowstore: no table %q", name)
+}
+
+// Drop removes a table.
+func (db *DB) Drop(name string) error {
+	if _, ok := db.tables[name]; !ok {
+		return fmt.Errorf("rowstore: no table %q", name)
+	}
+	delete(db.tables, name)
+	return nil
+}

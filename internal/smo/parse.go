@@ -1,0 +1,428 @@
+package smo
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses one operator in the text syntax rendered by each Op's
+// String method:
+//
+//	CREATE TABLE t (c1, c2, ...) [KEY (k1, ...)]
+//	DROP TABLE t
+//	RENAME TABLE old TO new
+//	COPY TABLE src TO dst
+//	UNION TABLES a, b INTO out
+//	PARTITION TABLE t WHERE <condition> INTO yes, no
+//	DECOMPOSE TABLE r INTO s (c1, ...), t (c1, ...)
+//	MERGE TABLES a, b INTO out
+//	ADD COLUMN c TO t DEFAULT 'v'
+//	ADD COLUMN c TO t FROM 'file'
+//	DROP COLUMN c FROM t
+//	RENAME COLUMN old TO new IN t
+//
+// Keywords are case-insensitive; identifiers are case-sensitive.
+func Parse(input string) (Op, error) {
+	p := &opParser{toks: lexOp(input), input: input}
+	op, err := p.parse()
+	if err != nil {
+		return nil, fmt.Errorf("smo: parsing %q: %w", input, err)
+	}
+	return op, nil
+}
+
+// ParseScript parses a sequence of operators, one per line or separated by
+// semicolons. Blank lines and lines starting with "--" or "#" are
+// comments.
+func ParseScript(input string) ([]Op, error) {
+	var ops []Op
+	for _, line := range strings.FieldsFunc(input, func(r rune) bool { return r == '\n' || r == ';' }) {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "--") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		op, err := Parse(line)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+type opParser struct {
+	toks  []string
+	pos   int
+	input string
+}
+
+// lexOp splits into identifiers, quoted strings (kept with quotes
+// stripped, marked by a \x01 prefix), and single punctuation tokens.
+func lexOp(s string) []string {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		r := rune(s[i])
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '(' || r == ')' || r == ',':
+			toks = append(toks, string(r))
+			i++
+		case r == '\'':
+			j := i + 1
+			var sb strings.Builder
+			sb.WriteByte(1)
+			for j < len(s) {
+				if s[j] == '\'' {
+					if j+1 < len(s) && s[j+1] == '\'' {
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(s[j])
+				j++
+			}
+			toks = append(toks, sb.String())
+			i = j + 1
+		default:
+			j := i
+			for j < len(s) && !unicode.IsSpace(rune(s[j])) && !strings.ContainsRune("(),'", rune(s[j])) {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		}
+	}
+	return toks
+}
+
+func (p *opParser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *opParser) next() string {
+	t := p.peek()
+	if t != "" {
+		p.pos++
+	}
+	return t
+}
+
+// keyword consumes the next token if it matches (case-insensitively).
+func (p *opParser) keyword(kw string) bool {
+	if strings.EqualFold(p.peek(), kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *opParser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return fmt.Errorf("expected %s, got %q", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *opParser) ident(what string) (string, error) {
+	t := p.next()
+	if t == "" || strings.ContainsAny(t, "(),") {
+		return "", fmt.Errorf("expected %s, got %q", what, t)
+	}
+	return strings.TrimPrefix(t, "\x01"), nil
+}
+
+// stringLit consumes a quoted string (or bare word).
+func (p *opParser) stringLit(what string) (string, error) {
+	t := p.next()
+	if t == "" {
+		return "", fmt.Errorf("expected %s", what)
+	}
+	return strings.TrimPrefix(t, "\x01"), nil
+}
+
+func (p *opParser) identList() ([]string, error) {
+	if err := p.expectKeyword("("); err != nil {
+		return nil, err
+	}
+	var out []string
+	for {
+		id, err := p.ident("column name")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+		switch p.next() {
+		case ",":
+			continue
+		case ")":
+			return out, nil
+		default:
+			return nil, fmt.Errorf("expected ',' or ')' in column list")
+		}
+	}
+}
+
+func (p *opParser) end(op Op) (Op, error) {
+	if p.pos < len(p.toks) {
+		return nil, fmt.Errorf("trailing input at %q", p.peek())
+	}
+	return op, nil
+}
+
+func (p *opParser) parse() (Op, error) {
+	switch {
+	case p.keyword("CREATE"):
+		if err := p.expectKeyword("TABLE"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident("table name")
+		if err != nil {
+			return nil, err
+		}
+		cols, err := p.identList()
+		if err != nil {
+			return nil, err
+		}
+		var key []string
+		if p.keyword("KEY") {
+			if key, err = p.identList(); err != nil {
+				return nil, err
+			}
+		}
+		return p.end(CreateTable{Table: name, Columns: cols, Key: key})
+
+	case p.keyword("DROP"):
+		if p.keyword("TABLE") {
+			name, err := p.ident("table name")
+			if err != nil {
+				return nil, err
+			}
+			return p.end(DropTable{Table: name})
+		}
+		if err := p.expectKeyword("COLUMN"); err != nil {
+			return nil, err
+		}
+		col, err := p.ident("column name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("FROM"); err != nil {
+			return nil, err
+		}
+		table, err := p.ident("table name")
+		if err != nil {
+			return nil, err
+		}
+		return p.end(DropColumn{Table: table, Column: col})
+
+	case p.keyword("RENAME"):
+		if p.keyword("TABLE") {
+			from, err := p.ident("table name")
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("TO"); err != nil {
+				return nil, err
+			}
+			to, err := p.ident("table name")
+			if err != nil {
+				return nil, err
+			}
+			return p.end(RenameTable{From: from, To: to})
+		}
+		if err := p.expectKeyword("COLUMN"); err != nil {
+			return nil, err
+		}
+		from, err := p.ident("column name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("TO"); err != nil {
+			return nil, err
+		}
+		to, err := p.ident("column name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("IN"); err != nil {
+			return nil, err
+		}
+		table, err := p.ident("table name")
+		if err != nil {
+			return nil, err
+		}
+		return p.end(RenameColumn{Table: table, From: from, To: to})
+
+	case p.keyword("COPY"):
+		if err := p.expectKeyword("TABLE"); err != nil {
+			return nil, err
+		}
+		from, err := p.ident("table name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("TO"); err != nil {
+			return nil, err
+		}
+		to, err := p.ident("table name")
+		if err != nil {
+			return nil, err
+		}
+		return p.end(CopyTable{From: from, To: to})
+
+	case p.keyword("UNION"):
+		if err := p.expectKeyword("TABLES"); err != nil {
+			return nil, err
+		}
+		a, err := p.ident("table name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword(","); err != nil {
+			return nil, err
+		}
+		b, err := p.ident("table name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("INTO"); err != nil {
+			return nil, err
+		}
+		out, err := p.ident("table name")
+		if err != nil {
+			return nil, err
+		}
+		return p.end(UnionTables{A: a, B: b, Out: out})
+
+	case p.keyword("PARTITION"):
+		if err := p.expectKeyword("TABLE"); err != nil {
+			return nil, err
+		}
+		table, err := p.ident("table name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("WHERE"); err != nil {
+			return nil, err
+		}
+		// The condition runs until INTO; re-quote string tokens for the
+		// expr parser.
+		var cond []string
+		for !strings.EqualFold(p.peek(), "INTO") {
+			t := p.next()
+			if t == "" {
+				return nil, fmt.Errorf("missing INTO after condition")
+			}
+			if strings.HasPrefix(t, "\x01") {
+				t = "'" + strings.ReplaceAll(t[1:], "'", "''") + "'"
+			}
+			cond = append(cond, t)
+		}
+		p.pos++ // INTO
+		yes, err := p.ident("table name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword(","); err != nil {
+			return nil, err
+		}
+		no, err := p.ident("table name")
+		if err != nil {
+			return nil, err
+		}
+		return p.end(PartitionTable{Table: table, Condition: strings.Join(cond, " "), OutYes: yes, OutNo: no})
+
+	case p.keyword("DECOMPOSE"):
+		if err := p.expectKeyword("TABLE"); err != nil {
+			return nil, err
+		}
+		table, err := p.ident("table name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("INTO"); err != nil {
+			return nil, err
+		}
+		outS, err := p.ident("table name")
+		if err != nil {
+			return nil, err
+		}
+		sCols, err := p.identList()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword(","); err != nil {
+			return nil, err
+		}
+		outT, err := p.ident("table name")
+		if err != nil {
+			return nil, err
+		}
+		tCols, err := p.identList()
+		if err != nil {
+			return nil, err
+		}
+		return p.end(DecomposeTable{Table: table, OutS: outS, SColumns: sCols, OutT: outT, TColumns: tCols})
+
+	case p.keyword("MERGE"):
+		if err := p.expectKeyword("TABLES"); err != nil {
+			return nil, err
+		}
+		a, err := p.ident("table name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword(","); err != nil {
+			return nil, err
+		}
+		b, err := p.ident("table name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("INTO"); err != nil {
+			return nil, err
+		}
+		out, err := p.ident("table name")
+		if err != nil {
+			return nil, err
+		}
+		return p.end(MergeTables{A: a, B: b, Out: out})
+
+	case p.keyword("ADD"):
+		if err := p.expectKeyword("COLUMN"); err != nil {
+			return nil, err
+		}
+		col, err := p.ident("column name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("TO"); err != nil {
+			return nil, err
+		}
+		table, err := p.ident("table name")
+		if err != nil {
+			return nil, err
+		}
+		op := AddColumn{Table: table, Column: col}
+		switch {
+		case p.keyword("DEFAULT"):
+			if op.Default, err = p.stringLit("default value"); err != nil {
+				return nil, err
+			}
+		case p.keyword("FROM"):
+			if op.ValuesFile, err = p.stringLit("file name"); err != nil {
+				return nil, err
+			}
+		}
+		return p.end(op)
+	}
+	return nil, fmt.Errorf("unknown operator %q", p.peek())
+}

@@ -1,0 +1,164 @@
+// Package smo defines the Schema Modification Operators of the paper's
+// Table 1 (after Curino et al.'s PRISM workbench) and a small text syntax
+// for specifying them, used by the CODS platform CLI.
+package smo
+
+import "fmt"
+
+// Op is a schema modification operator. Implementations are plain data;
+// execution lives in the engine (internal/core).
+type Op interface {
+	// Kind returns the operator's Table 1 name, e.g. "DECOMPOSE TABLE".
+	Kind() string
+	// String renders the operator in the parseable text syntax.
+	String() string
+}
+
+// CreateTable creates a new empty table.
+type CreateTable struct {
+	Table   string
+	Columns []string
+	Key     []string
+}
+
+// Kind implements Op.
+func (CreateTable) Kind() string { return "CREATE TABLE" }
+
+func (o CreateTable) String() string {
+	s := fmt.Sprintf("CREATE TABLE %s (%s)", o.Table, joinIdents(o.Columns))
+	if len(o.Key) > 0 {
+		s += fmt.Sprintf(" KEY (%s)", joinIdents(o.Key))
+	}
+	return s
+}
+
+// DropTable deletes a table and its data.
+type DropTable struct{ Table string }
+
+// Kind implements Op.
+func (DropTable) Kind() string { return "DROP TABLE" }
+
+func (o DropTable) String() string { return fmt.Sprintf("DROP TABLE %s", o.Table) }
+
+// RenameTable renames a table, keeping its data unchanged.
+type RenameTable struct{ From, To string }
+
+// Kind implements Op.
+func (RenameTable) Kind() string { return "RENAME TABLE" }
+
+func (o RenameTable) String() string { return fmt.Sprintf("RENAME TABLE %s TO %s", o.From, o.To) }
+
+// CopyTable creates a copy of an existing table.
+type CopyTable struct{ From, To string }
+
+// Kind implements Op.
+func (CopyTable) Kind() string { return "COPY TABLE" }
+
+func (o CopyTable) String() string { return fmt.Sprintf("COPY TABLE %s TO %s", o.From, o.To) }
+
+// UnionTables combines the tuples of two same-schema tables into one,
+// consuming the inputs.
+type UnionTables struct{ A, B, Out string }
+
+// Kind implements Op.
+func (UnionTables) Kind() string { return "UNION TABLES" }
+
+func (o UnionTables) String() string {
+	return fmt.Sprintf("UNION TABLES %s, %s INTO %s", o.A, o.B, o.Out)
+}
+
+// PartitionTable splits a table's tuples into two same-schema tables by a
+// condition, consuming the input.
+type PartitionTable struct {
+	Table     string
+	Condition string
+	OutYes    string
+	OutNo     string
+}
+
+// Kind implements Op.
+func (PartitionTable) Kind() string { return "PARTITION TABLE" }
+
+func (o PartitionTable) String() string {
+	return fmt.Sprintf("PARTITION TABLE %s WHERE %s INTO %s, %s", o.Table, o.Condition, o.OutYes, o.OutNo)
+}
+
+// DecomposeTable splits a table into two tables whose attributes union to
+// the input's, consuming the input.
+type DecomposeTable struct {
+	Table    string
+	OutS     string
+	SColumns []string
+	OutT     string
+	TColumns []string
+}
+
+// Kind implements Op.
+func (DecomposeTable) Kind() string { return "DECOMPOSE TABLE" }
+
+func (o DecomposeTable) String() string {
+	return fmt.Sprintf("DECOMPOSE TABLE %s INTO %s (%s), %s (%s)",
+		o.Table, o.OutS, joinIdents(o.SColumns), o.OutT, joinIdents(o.TColumns))
+}
+
+// MergeTables joins two tables on their common attributes into a new
+// table, consuming the inputs.
+type MergeTables struct{ A, B, Out string }
+
+// Kind implements Op.
+func (MergeTables) Kind() string { return "MERGE TABLES" }
+
+func (o MergeTables) String() string {
+	return fmt.Sprintf("MERGE TABLES %s, %s INTO %s", o.A, o.B, o.Out)
+}
+
+// AddColumn creates a new column. Exactly one of Default or ValuesFile
+// should be set; with neither, the empty string is the default value.
+type AddColumn struct {
+	Table   string
+	Column  string
+	Default string
+	// ValuesFile names a file with one value per row to load the column
+	// from ("load the data from user input", Table 1). Resolved by the
+	// CLI layer.
+	ValuesFile string
+}
+
+// Kind implements Op.
+func (AddColumn) Kind() string { return "ADD COLUMN" }
+
+func (o AddColumn) String() string {
+	if o.ValuesFile != "" {
+		return fmt.Sprintf("ADD COLUMN %s TO %s FROM '%s'", o.Column, o.Table, o.ValuesFile)
+	}
+	return fmt.Sprintf("ADD COLUMN %s TO %s DEFAULT '%s'", o.Column, o.Table, o.Default)
+}
+
+// DropColumn deletes a column and its data.
+type DropColumn struct{ Table, Column string }
+
+// Kind implements Op.
+func (DropColumn) Kind() string { return "DROP COLUMN" }
+
+func (o DropColumn) String() string { return fmt.Sprintf("DROP COLUMN %s FROM %s", o.Column, o.Table) }
+
+// RenameColumn changes a column's name without changing data.
+type RenameColumn struct{ Table, From, To string }
+
+// Kind implements Op.
+func (RenameColumn) Kind() string { return "RENAME COLUMN" }
+
+func (o RenameColumn) String() string {
+	return fmt.Sprintf("RENAME COLUMN %s TO %s IN %s", o.From, o.To, o.Table)
+}
+
+func joinIdents(ids []string) string {
+	out := ""
+	for i, id := range ids {
+		if i > 0 {
+			out += ", "
+		}
+		out += id
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package smo
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseAllOperators(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Op
+	}{
+		{"CREATE TABLE R (A, B, C)", CreateTable{Table: "R", Columns: []string{"A", "B", "C"}}},
+		{"create table R (A) key (A)", CreateTable{Table: "R", Columns: []string{"A"}, Key: []string{"A"}}},
+		{"DROP TABLE R", DropTable{Table: "R"}},
+		{"RENAME TABLE R TO R2", RenameTable{From: "R", To: "R2"}},
+		{"COPY TABLE R TO R2", CopyTable{From: "R", To: "R2"}},
+		{"UNION TABLES A, B INTO C", UnionTables{A: "A", B: "B", Out: "C"}},
+		{"PARTITION TABLE R WHERE age > 30 INTO old, young", PartitionTable{Table: "R", Condition: "age > 30", OutYes: "old", OutNo: "young"}},
+		{
+			"PARTITION TABLE R WHERE city = 'new york' INTO ny, rest",
+			PartitionTable{Table: "R", Condition: "city = 'new york'", OutYes: "ny", OutNo: "rest"},
+		},
+		{
+			"DECOMPOSE TABLE R INTO S (Employee, Skill), T (Employee, Address)",
+			DecomposeTable{Table: "R", OutS: "S", SColumns: []string{"Employee", "Skill"}, OutT: "T", TColumns: []string{"Employee", "Address"}},
+		},
+		{"MERGE TABLES S, T INTO R", MergeTables{A: "S", B: "T", Out: "R"}},
+		{"ADD COLUMN G TO R DEFAULT 'x'", AddColumn{Table: "R", Column: "G", Default: "x"}},
+		{"ADD COLUMN G TO R FROM 'vals.txt'", AddColumn{Table: "R", Column: "G", ValuesFile: "vals.txt"}},
+		{"ADD COLUMN G TO R", AddColumn{Table: "R", Column: "G"}},
+		{"DROP COLUMN B FROM R", DropColumn{Table: "R", Column: "B"}},
+		{"RENAME COLUMN A TO A2 IN R", RenameColumn{Table: "R", From: "A", To: "A2"}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Parse(%q) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	ops := []Op{
+		CreateTable{Table: "R", Columns: []string{"A", "B"}, Key: []string{"A"}},
+		DropTable{Table: "R"},
+		RenameTable{From: "R", To: "S"},
+		CopyTable{From: "R", To: "S"},
+		UnionTables{A: "A", B: "B", Out: "C"},
+		PartitionTable{Table: "R", Condition: "x = 'a b'", OutYes: "y", OutNo: "n"},
+		DecomposeTable{Table: "R", OutS: "S", SColumns: []string{"A", "B"}, OutT: "T", TColumns: []string{"A", "C"}},
+		MergeTables{A: "S", B: "T", Out: "R"},
+		AddColumn{Table: "R", Column: "G", Default: "v"},
+		AddColumn{Table: "R", Column: "G", ValuesFile: "f.txt"},
+		DropColumn{Table: "R", Column: "G"},
+		RenameColumn{Table: "R", From: "A", To: "B"},
+	}
+	for _, op := range ops {
+		back, err := Parse(op.String())
+		if err != nil {
+			t.Errorf("re-parsing %q: %v", op.String(), err)
+			continue
+		}
+		if !reflect.DeepEqual(back, op) {
+			t.Errorf("round trip %q: got %#v want %#v", op.String(), back, op)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"FROBNICATE TABLE X",
+		"CREATE TABLE",
+		"CREATE TABLE R",
+		"CREATE TABLE R (",
+		"CREATE TABLE R (A,)",
+		"DROP",
+		"RENAME TABLE R",
+		"UNION TABLES A B INTO C",
+		"PARTITION TABLE R WHERE x = 1",
+		"DECOMPOSE TABLE R INTO S (A)",
+		"MERGE TABLES S INTO R",
+		"DROP TABLE R extra",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseScript(t *testing.T) {
+	script := `
+-- decompose then rename
+DECOMPOSE TABLE R INTO S (A, B), T (A, C)
+# a comment
+RENAME TABLE T TO Dim; DROP COLUMN B FROM S
+`
+	ops, err := ParseScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 3 {
+		t.Fatalf("parsed %d ops, want 3", len(ops))
+	}
+	if ops[1].Kind() != "RENAME TABLE" || ops[2].Kind() != "DROP COLUMN" {
+		t.Fatalf("ops: %v", ops)
+	}
+}
+
+func TestParseScriptError(t *testing.T) {
+	if _, err := ParseScript("DROP TABLE R\nBOGUS"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestKinds(t *testing.T) {
+	kinds := map[string]Op{
+		"CREATE TABLE":    CreateTable{},
+		"DROP TABLE":      DropTable{},
+		"RENAME TABLE":    RenameTable{},
+		"COPY TABLE":      CopyTable{},
+		"UNION TABLES":    UnionTables{},
+		"PARTITION TABLE": PartitionTable{},
+		"DECOMPOSE TABLE": DecomposeTable{},
+		"MERGE TABLES":    MergeTables{},
+		"ADD COLUMN":      AddColumn{},
+		"DROP COLUMN":     DropColumn{},
+		"RENAME COLUMN":   RenameColumn{},
+	}
+	if len(kinds) != 11 {
+		t.Fatal("Table 1 lists 11 operators")
+	}
+	for want, op := range kinds {
+		if op.Kind() != want {
+			t.Errorf("Kind()=%q want %q", op.Kind(), want)
+		}
+	}
+}

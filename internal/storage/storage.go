@@ -1,0 +1,140 @@
+// Package storage persists a CODS catalog to a directory: a JSON catalog
+// file describing the tables plus one binary file per column holding the
+// dictionary and compressed bitmaps. Columns are written and read in their
+// compressed form; saving and loading never decompresses data.
+//
+// Layout:
+//
+//	<dir>/catalog.json
+//	<dir>/<table>/<n>.col      one file per column, in schema order
+package storage
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"cods/internal/colstore"
+)
+
+// FormatVersion identifies the on-disk layout.
+const FormatVersion = 1
+
+type catalogFile struct {
+	Format int            `json:"format"`
+	Tables []catalogTable `json:"tables"`
+}
+
+type catalogTable struct {
+	Name    string   `json:"name"`
+	Columns []string `json:"columns"`
+	Key     []string `json:"key,omitempty"`
+	Rows    uint64   `json:"rows"`
+}
+
+// Save writes the given tables to dir, creating it if needed. Existing
+// contents of dir are replaced.
+func Save(dir string, tables []*colstore.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	cat := catalogFile{Format: FormatVersion}
+	for _, t := range tables {
+		cat.Tables = append(cat.Tables, catalogTable{
+			Name:    t.Name(),
+			Columns: t.ColumnNames(),
+			Key:     t.Key(),
+			Rows:    t.NumRows(),
+		})
+		tdir := filepath.Join(dir, t.Name())
+		if err := os.RemoveAll(tdir); err != nil {
+			return fmt.Errorf("storage: %w", err)
+		}
+		if err := os.MkdirAll(tdir, 0o755); err != nil {
+			return fmt.Errorf("storage: %w", err)
+		}
+		for i := 0; i < t.NumColumns(); i++ {
+			if err := writeColumnFile(filepath.Join(tdir, fmt.Sprintf("%d.col", i)), t.ColumnAt(i)); err != nil {
+				return err
+			}
+		}
+	}
+	data, err := json.MarshalIndent(cat, "", "  ")
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "catalog.json"), data, 0o644); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	return nil
+}
+
+func writeColumnFile(path string, c *colstore.Column) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	if _, err := c.WriteTo(w); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: writing %s: %w", path, err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: flushing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// Load reads all tables from a directory written by Save.
+func Load(dir string) ([]*colstore.Table, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "catalog.json"))
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	var cat catalogFile
+	if err := json.Unmarshal(data, &cat); err != nil {
+		return nil, fmt.Errorf("storage: parsing catalog: %w", err)
+	}
+	if cat.Format != FormatVersion {
+		return nil, fmt.Errorf("storage: unsupported format %d (supported: %d)", cat.Format, FormatVersion)
+	}
+	var tables []*colstore.Table
+	for _, ct := range cat.Tables {
+		cols := make([]*colstore.Column, len(ct.Columns))
+		for i := range ct.Columns {
+			c, err := readColumnFile(filepath.Join(dir, ct.Name, fmt.Sprintf("%d.col", i)))
+			if err != nil {
+				return nil, err
+			}
+			if c.Name() != ct.Columns[i] {
+				return nil, fmt.Errorf("storage: table %q column %d is %q on disk, catalog says %q", ct.Name, i, c.Name(), ct.Columns[i])
+			}
+			cols[i] = c
+		}
+		t, err := colstore.NewTable(ct.Name, cols, ct.Key)
+		if err != nil {
+			return nil, fmt.Errorf("storage: %w", err)
+		}
+		if t.NumRows() != ct.Rows {
+			return nil, fmt.Errorf("storage: table %q has %d rows on disk, catalog says %d", ct.Name, t.NumRows(), ct.Rows)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+func readColumnFile(path string) (*colstore.Column, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	defer f.Close()
+	c, err := colstore.ReadColumn(bufio.NewReader(f))
+	if err != nil {
+		return nil, fmt.Errorf("storage: reading %s: %w", path, err)
+	}
+	return c, nil
+}

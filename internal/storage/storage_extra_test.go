@@ -1,0 +1,102 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cods/internal/colstore"
+	"cods/internal/workload"
+)
+
+func TestLoadRejectsTruncatedColumn(t *testing.T) {
+	dir := t.TempDir()
+	emp, err := workload.EmployeeTable("E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(dir, []*colstore.Table{emp}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "E", "1.col")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("expected truncation error")
+	}
+}
+
+func TestLoadRejectsMissingColumnFile(t *testing.T) {
+	dir := t.TempDir()
+	emp, _ := workload.EmployeeTable("E")
+	if err := Save(dir, []*colstore.Table{emp}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "E", "2.col")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("expected missing-file error")
+	}
+}
+
+func TestLoadRejectsRowCountMismatch(t *testing.T) {
+	dir := t.TempDir()
+	emp, _ := workload.EmployeeTable("E")
+	if err := Save(dir, []*colstore.Table{emp}); err != nil {
+		t.Fatal(err)
+	}
+	// Swap in a column file with a different row count under the same
+	// column name.
+	other := colstore.NewColumnFromValues("Employee", []string{"only-one"})
+	f, err := os.Create(filepath.Join(dir, "E", "0.col"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Load(dir); err == nil {
+		t.Fatal("expected row-count mismatch error")
+	}
+}
+
+func TestLoadRejectsColumnNameMismatch(t *testing.T) {
+	dir := t.TempDir()
+	emp, _ := workload.EmployeeTable("E")
+	if err := Save(dir, []*colstore.Table{emp}); err != nil {
+		t.Fatal(err)
+	}
+	renamed := colstore.NewColumnFromValues("Wrong", make([]string, 7))
+	f, err := os.Create(filepath.Join(dir, "E", "0.col"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := renamed.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Load(dir); err == nil {
+		t.Fatal("expected column-name mismatch error")
+	}
+}
+
+func TestSaveEmptyCatalog(t *testing.T) {
+	dir := t.TempDir()
+	if err := Save(dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	tables, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 0 {
+		t.Fatalf("tables=%d", len(tables))
+	}
+}

@@ -1,0 +1,64 @@
+package wah
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary layout of an encoded bitmap:
+//
+//	u64  nbits
+//	u32  nactive
+//	u32  active
+//	u32  word count
+//	u32* words
+//
+// All fields little-endian. The format is stable and versioned by the
+// enclosing storage container, not here.
+
+// EncodedSize returns the number of bytes WriteTo will produce.
+func (b *Bitmap) EncodedSize() int { return 8 + 4 + 4 + 4 + 4*len(b.words) }
+
+// WriteTo writes the bitmap in its binary format.
+func (b *Bitmap) WriteTo(w io.Writer) (int64, error) {
+	buf := make([]byte, 0, b.EncodedSize())
+	buf = binary.LittleEndian.AppendUint64(buf, b.nbits)
+	buf = binary.LittleEndian.AppendUint32(buf, b.nactive)
+	buf = binary.LittleEndian.AppendUint32(buf, b.active)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b.words)))
+	for _, word := range b.words {
+		buf = binary.LittleEndian.AppendUint32(buf, word)
+	}
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+// ReadFrom reads a bitmap previously written with WriteTo, replacing the
+// receiver's contents.
+func (b *Bitmap) ReadFrom(r io.Reader) (int64, error) {
+	var hdr [20]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, fmt.Errorf("wah: reading header: %w", err)
+	}
+	nbits := binary.LittleEndian.Uint64(hdr[0:8])
+	nactive := binary.LittleEndian.Uint32(hdr[8:12])
+	active := binary.LittleEndian.Uint32(hdr[12:16])
+	nwords := binary.LittleEndian.Uint32(hdr[16:20])
+	if nactive >= GroupBits {
+		return 20, fmt.Errorf("wah: corrupt bitmap: nactive=%d", nactive)
+	}
+	body := make([]byte, 4*int(nwords))
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 20, fmt.Errorf("wah: reading %d words: %w", nwords, err)
+	}
+	words := make([]uint32, nwords)
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint32(body[4*i:])
+	}
+	b.words, b.active, b.nactive, b.nbits = words, active, nactive, nbits
+	if err := b.Validate(); err != nil {
+		return 20 + int64(len(body)), err
+	}
+	return 20 + int64(len(body)), nil
+}

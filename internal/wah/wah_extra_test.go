@@ -1,0 +1,168 @@
+package wah
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestGetBeyondLength(t *testing.T) {
+	b := New()
+	b.AppendRun(1, 10)
+	if b.Get(10) || b.Get(1000) {
+		t.Fatal("bits beyond the end must read as zero")
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New()
+	b.AppendRun(1, 1000)
+	b.Reset()
+	if b.Len() != 0 || b.Count() != 0 {
+		t.Fatalf("reset left %d bits", b.Len())
+	}
+	b.AppendBit(1)
+	if b.Len() != 1 || b.Count() != 1 {
+		t.Fatal("bitmap unusable after reset")
+	}
+}
+
+func TestStringAndSize(t *testing.T) {
+	b := New()
+	b.AppendRun(1, 100)
+	s := b.String()
+	if !strings.Contains(s, "bits=100") || !strings.Contains(s, "ones=100") {
+		t.Fatalf("String()=%q", s)
+	}
+	if b.SizeBytes() == 0 || b.EncodedSize() <= 16 {
+		t.Fatalf("sizes: mem=%d enc=%d", b.SizeBytes(), b.EncodedSize())
+	}
+}
+
+func TestAppendRunZeroCount(t *testing.T) {
+	b := New()
+	b.AppendRun(1, 0)
+	b.AppendRun(0, 0)
+	if b.Len() != 0 {
+		t.Fatalf("len=%d", b.Len())
+	}
+}
+
+func TestFillCoalescing(t *testing.T) {
+	// Many adjacent same-value runs must coalesce into one fill word.
+	b := New()
+	for i := 0; i < 100; i++ {
+		b.AppendRun(0, 31)
+	}
+	if b.Words() != 1 {
+		t.Fatalf("words=%d want 1 coalesced fill", b.Words())
+	}
+	if b.Len() != 3100 {
+		t.Fatalf("len=%d", b.Len())
+	}
+}
+
+func TestAlternatingWorstCase(t *testing.T) {
+	// Alternating bits cannot compress; the representation must still be
+	// correct and bounded by ~one word per group.
+	b := New()
+	for i := 0; i < 31*20; i++ {
+		b.AppendBit(uint32(i % 2))
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Words() != 20 {
+		t.Fatalf("words=%d want 20 literals", b.Words())
+	}
+	if b.Count() != 31*20/2 {
+		t.Fatalf("count=%d", b.Count())
+	}
+}
+
+func TestOpsAssociativityAndIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	n := 500
+	a := runnyBits(rng, n).bitmap()
+	b := randBits(rng, n, 0.3).bitmap()
+	c := runnyBits(rng, n).bitmap()
+	if !Equal(Or(Or(a, b), c), Or(a, Or(b, c))) {
+		t.Fatal("OR not associative")
+	}
+	if !Equal(And(And(a, b), c), And(a, And(b, c))) {
+		t.Fatal("AND not associative")
+	}
+	zero := New()
+	zero.Extend(uint64(n))
+	if !Equal(Or(a, zero), a) {
+		t.Fatal("OR identity broken")
+	}
+	if And(a, zero).Count() != 0 {
+		t.Fatal("AND annihilator broken")
+	}
+	if !Equal(Xor(a, a), zero) {
+		t.Fatal("XOR self-inverse broken")
+	}
+	if !Equal(AndNot(a, zero), a) {
+		t.Fatal("ANDNOT identity broken")
+	}
+}
+
+func TestDistributivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	n := 700
+	a := runnyBits(rng, n).bitmap()
+	b := randBits(rng, n, 0.4).bitmap()
+	c := runnyBits(rng, n).bitmap()
+	// a AND (b OR c) == (a AND b) OR (a AND c)
+	if !Equal(And(a, Or(b, c)), Or(And(a, b), And(a, c))) {
+		t.Fatal("distributivity broken")
+	}
+}
+
+func TestUnequalLengthZeroPadding(t *testing.T) {
+	short := New()
+	short.AppendRun(1, 10)
+	long := New()
+	long.AppendRun(0, 100)
+	long.AppendRun(1, 100)
+	or := Or(short, long)
+	if or.Len() != 200 {
+		t.Fatalf("len=%d", or.Len())
+	}
+	if or.Count() != 110 {
+		t.Fatalf("count=%d", or.Count())
+	}
+	and := And(short, long)
+	if and.Len() != 200 || and.Count() != 0 {
+		t.Fatalf("and len=%d count=%d", and.Len(), and.Count())
+	}
+}
+
+func TestFirstOneAfterLongZeroFill(t *testing.T) {
+	b := New()
+	b.AppendRun(0, 50_000_000)
+	b.AppendBit(1)
+	p, ok := b.FirstOne()
+	if !ok || p != 50_000_000 {
+		t.Fatalf("FirstOne=%d,%v", p, ok)
+	}
+	// The scan must not have needed to expand the fill: it is 3 words.
+	if b.Words() > 3 {
+		t.Fatalf("words=%d", b.Words())
+	}
+}
+
+func TestFilterPositionsDenseRuns(t *testing.T) {
+	// A bitmap that is one giant one-run filtered by every 7th position.
+	b := New()
+	b.AppendRun(1, 10_000)
+	var positions []uint64
+	for p := uint64(0); p < 10_000; p += 7 {
+		positions = append(positions, p)
+	}
+	got := FilterPositions(b, positions)
+	if got.Len() != uint64(len(positions)) || got.Count() != uint64(len(positions)) {
+		t.Fatalf("len=%d count=%d want %d", got.Len(), got.Count(), len(positions))
+	}
+}
