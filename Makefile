@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build vet fmt-check test race bench ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails when any file needs gofmt.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrency-sensitive packages: the parallel
+# execution layer, the evolution algorithms that fan out over it, and the
+# public facade (concurrent Query vs Exec).
+race:
+	$(GO) test -race cods cods/internal/par cods/internal/evolve \
+		cods/internal/wah cods/internal/colstore cods/internal/colquery
+
+# Smoke-run every benchmark once so bench code cannot rot; use
+# `go test -bench=. -benchtime=10x` (or cmd/codsbench) for real numbers.
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+ci: build vet fmt-check test race bench

@@ -8,6 +8,7 @@ package cods_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"cods/internal/bench"
@@ -341,6 +342,61 @@ func BenchmarkAblationParallelism(b *testing.B) {
 					OutT: "T", TColumns: []string{"A", "C"},
 				}, evolve.Options{Parallelism: workers})
 				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Parallel scaling: the Parallelism knob on multi-million-row tables ---
+
+// BenchmarkParallelScaling measures DECOMPOSE and MERGE throughput on a
+// ≥1M-row, high-cardinality table at Parallelism=1 versus GOMAXPROCS. The
+// per-distinct-value bitmap work is embarrassingly parallel, so on
+// multi-core hardware the GOMAXPROCS runs should scale with core count;
+// on a single core both configurations converge (the pool runs inline).
+// Skipped in -short mode: building the million-row inputs dominates there.
+func BenchmarkParallelScaling(b *testing.B) {
+	if testing.Short() {
+		b.Skip("1M-row inputs are too expensive for -short")
+	}
+	procs := runtime.GOMAXPROCS(0)
+	configs := []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{fmt.Sprintf("gomaxprocs=%d", procs), procs},
+	}
+
+	spec := workload.Spec{Rows: 1_200_000, DistinctKeys: 150_000, Seed: 8}
+	r, err := workload.BuildColstore(spec, "R")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range configs {
+		b.Run("decompose/"+c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := evolve.Decompose(r, evolve.DecomposeSpec{
+					OutS: "S", SColumns: []string{"A", "B"},
+					OutT: "T", TColumns: []string{"A", "C"},
+				}, evolve.Options{Parallelism: c.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	s, t, err := workload.BuildColstoreST(spec, "S", "T")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range configs {
+		b.Run("merge/"+c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := evolve.MergeKeyFK(s, t, "R", evolve.Options{Parallelism: c.workers}); err != nil {
 					b.Fatal(err)
 				}
 			}

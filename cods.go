@@ -2,6 +2,7 @@ package cods
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"cods/internal/advisor"
@@ -28,10 +29,20 @@ type Config struct {
 }
 
 // DB is a CODS database: a catalog of bitmap-indexed column-store tables
-// evolved in place by Schema Modification Operators. Safe for concurrent
-// use.
+// evolved in place by Schema Modification Operators.
+//
+// DB is safe for concurrent use. Catalog-changing calls (Exec, ExecScript,
+// Rollback, CreateTableFromRows, LoadCSV) take an exclusive lock; every
+// read — Query, Count, RunQuery, Rows, Describe, Save and friends — takes a
+// shared lock, so any number of readers run concurrently and an evolution
+// waits for in-flight reads, then blocks new ones until it commits. Readers
+// therefore always observe a whole schema version, never a half-applied
+// SMO. Tables are immutable, so results materialized before an evolution
+// commits remain valid afterwards.
 type DB struct {
+	mu     sync.RWMutex
 	engine *core.Engine
+	cfg    Config
 }
 
 // Open creates an empty in-memory database.
@@ -40,7 +51,7 @@ func Open(cfg Config) *DB {
 		Parallelism: cfg.Parallelism,
 		ValidateFD:  cfg.ValidateFD,
 		Status:      cfg.Status,
-	})}
+	}), cfg: cfg}
 }
 
 // OpenDir opens a database previously persisted with Save.
@@ -60,6 +71,8 @@ func OpenDir(dir string, cfg Config) (*DB, error) {
 
 // Save persists every table to a directory in compressed binary form.
 func (db *DB) Save(dir string) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var tables []*colstore.Table
 	for _, name := range db.engine.Tables() {
 		t, err := db.engine.Table(name)
@@ -120,6 +133,8 @@ func toResult(r *core.Result) *Result {
 // Conditions are comparisons (= != < <= > >=) over column values combined
 // with AND/OR/NOT; comparisons are numeric when both sides are integers.
 func (db *DB) Exec(op string) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	parsed, err := smo.Parse(op)
 	if err != nil {
 		return nil, err
@@ -134,6 +149,8 @@ func (db *DB) Exec(op string) (*Result, error) {
 // ExecScript executes a sequence of operators separated by newlines or
 // semicolons ("--" and "#" start comments), stopping at the first failure.
 func (db *DB) ExecScript(script string) ([]*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	ops, err := smo.ParseScript(script)
 	if err != nil {
 		return nil, err
@@ -148,10 +165,13 @@ func (db *DB) ExecScript(script string) ([]*Result, error) {
 
 // CreateTableFromRows builds a table from in-memory rows and registers it.
 func (db *DB) CreateTableFromRows(name string, columns []string, key []string, rows [][]string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	tb, err := colstore.NewTableBuilder(name, columns, key)
 	if err != nil {
 		return err
 	}
+	tb.Parallelism = db.cfg.Parallelism
 	for _, r := range rows {
 		if err := tb.AppendRow(r); err != nil {
 			return err
@@ -166,7 +186,9 @@ func (db *DB) CreateTableFromRows(name string, columns []string, key []string, r
 
 // LoadCSV loads a CSV file (header row first) as a new table.
 func (db *DB) LoadCSV(path, table string, key ...string) error {
-	t, err := csvio.Load(path, table, key)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := csvio.LoadP(path, table, key, db.cfg.Parallelism)
 	if err != nil {
 		return err
 	}
@@ -175,6 +197,8 @@ func (db *DB) LoadCSV(path, table string, key ...string) error {
 
 // SaveCSV writes a table to a CSV file.
 func (db *DB) SaveCSV(path, table string) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, err := db.engine.Table(table)
 	if err != nil {
 		return err
@@ -183,10 +207,16 @@ func (db *DB) SaveCSV(path, table string) error {
 }
 
 // Tables lists the catalog's table names, sorted.
-func (db *DB) Tables() []string { return db.engine.Tables() }
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.engine.Tables()
+}
 
 // HasTable reports whether a table exists.
 func (db *DB) HasTable(name string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	_, err := db.engine.Table(name)
 	return err == nil
 }
@@ -209,6 +239,8 @@ type TableInfo struct {
 
 // Describe returns schema and storage statistics for a table.
 func (db *DB) Describe(table string) (*TableInfo, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, err := db.engine.Table(table)
 	if err != nil {
 		return nil, err
@@ -228,6 +260,8 @@ func (db *DB) Describe(table string) (*TableInfo, error) {
 
 // Columns returns a table's column names in schema order.
 func (db *DB) Columns(table string) ([]string, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, err := db.engine.Table(table)
 	if err != nil {
 		return nil, err
@@ -237,6 +271,8 @@ func (db *DB) Columns(table string) ([]string, error) {
 
 // NumRows returns a table's row count.
 func (db *DB) NumRows(table string) (uint64, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, err := db.engine.Table(table)
 	if err != nil {
 		return 0, err
@@ -247,6 +283,8 @@ func (db *DB) NumRows(table string) (uint64, error) {
 // Rows materializes up to limit rows of a table starting at offset (limit
 // 0 means all).
 func (db *DB) Rows(table string, offset, limit uint64) ([][]string, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, err := db.engine.Table(table)
 	if err != nil {
 		return nil, err
@@ -256,8 +294,11 @@ func (db *DB) Rows(table string, offset, limit uint64) ([][]string, error) {
 
 // Query returns the rows of a table satisfying a condition (same syntax
 // as PARTITION TABLE's WHERE). The condition is evaluated on the bitmap
-// index — once per distinct value, not once per row.
+// index — once per distinct value, not once per row, fanned out over the
+// configured Parallelism.
 func (db *DB) Query(table, condition string) ([][]string, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, err := db.engine.Table(table)
 	if err != nil {
 		return nil, err
@@ -266,11 +307,11 @@ func (db *DB) Query(table, condition string) ([][]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	mask, err := pred.Eval(t)
+	mask, err := pred.EvalP(t, db.cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
-	filtered, err := t.FilterRows(t.Name(), mask)
+	filtered, err := t.FilterRowsP(t.Name(), mask, db.cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -280,6 +321,8 @@ func (db *DB) Query(table, condition string) ([][]string, error) {
 // Count returns the number of rows satisfying a condition without
 // materializing them (a compressed popcount).
 func (db *DB) Count(table, condition string) (uint64, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, err := db.engine.Table(table)
 	if err != nil {
 		return 0, err
@@ -288,7 +331,7 @@ func (db *DB) Count(table, condition string) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	mask, err := pred.Eval(t)
+	mask, err := pred.EvalP(t, db.cfg.Parallelism)
 	if err != nil {
 		return 0, err
 	}
@@ -296,12 +339,20 @@ func (db *DB) Count(table, condition string) (uint64, error) {
 }
 
 // Version returns the schema version (incremented per applied operator).
-func (db *DB) Version() int { return db.engine.Version() }
+func (db *DB) Version() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.engine.Version()
+}
 
 // Rollback restores the catalog to an earlier schema version. Versioned
 // catalogs share immutable column data, so keeping and restoring versions
 // is nearly free. The rollback is itself recorded as a new version.
-func (db *DB) Rollback(version int) error { return db.engine.Rollback(version) }
+func (db *DB) Rollback(version int) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.engine.Rollback(version)
+}
 
 // AggFunc is an aggregate function for RunQuery.
 type AggFunc int
@@ -358,17 +409,20 @@ type ResultSet struct {
 // aggregates are evaluated on compressed bitmaps — once per distinct
 // value, never per row.
 func (db *DB) RunQuery(table string, q TableQuery) (*ResultSet, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, err := db.engine.Table(table)
 	if err != nil {
 		return nil, err
 	}
 	iq := colquery.Query{
-		Select:  q.Select,
-		Where:   q.Where,
-		GroupBy: q.GroupBy,
-		OrderBy: q.OrderBy,
-		Desc:    q.Desc,
-		Limit:   q.Limit,
+		Select:      q.Select,
+		Where:       q.Where,
+		GroupBy:     q.GroupBy,
+		OrderBy:     q.OrderBy,
+		Desc:        q.Desc,
+		Limit:       q.Limit,
+		Parallelism: db.cfg.Parallelism,
 	}
 	for _, a := range q.Aggregates {
 		f, ok := aggFuncs[a.Func]
@@ -395,6 +449,8 @@ type HistoryEntry struct {
 
 // History returns the executed-operator log in order.
 func (db *DB) History() []HistoryEntry {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var out []HistoryEntry
 	for _, h := range db.engine.History() {
 		out = append(out, HistoryEntry{Version: h.Version, Op: h.Op, Kind: h.Kind, Elapsed: h.Elapsed, Steps: h.Steps})
@@ -420,6 +476,8 @@ type FDSuggestion struct {
 // "new information about the data" evolution scenario (§1): the advisor
 // produces the knowledge, Exec applies it.
 func (db *DB) Advise(table string) ([]FDSuggestion, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, err := db.engine.Table(table)
 	if err != nil {
 		return nil, err
@@ -442,6 +500,8 @@ func (db *DB) Advise(table string) ([]FDSuggestion, error) {
 // Validate checks the structural invariants of every table (per-value
 // bitmaps disjoint and complete, declared keys unique).
 func (db *DB) Validate() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	for _, name := range db.engine.Tables() {
 		t, err := db.engine.Table(name)
 		if err != nil {

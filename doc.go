@@ -31,4 +31,24 @@
 // baselines used by the benchmark harness) live under internal/ and are
 // exercised through this facade, the example programs, and the cmd/
 // tools.
+//
+// # Parallelism
+//
+// Config.Parallelism bounds the worker pool used for per-distinct-value
+// bitmap work — the dominant cost of every evolution operator and of
+// bitmap-index query evaluation. Zero means GOMAXPROCS; one forces serial
+// execution. The setting changes only wall-clock time: evolution outputs,
+// query results and aggregate values are bit-identical at any parallelism
+// (fan-in is index-ordered throughout; see internal/par).
+//
+// # Concurrency
+//
+// A DB is safe for concurrent use by multiple goroutines. Reads (Query,
+// Count, RunQuery, Rows, Describe, Save, ...) take a shared lock and run
+// concurrently with each other; catalog-changing calls (Exec, ExecScript,
+// Rollback, CreateTableFromRows, LoadCSV) take an exclusive lock. A reader
+// therefore always observes a complete schema version, never a partially
+// applied operator, and an SMO waits for in-flight reads before evolving
+// the catalog. Tables are immutable, so results already materialized stay
+// valid across subsequent evolutions.
 package cods

@@ -1,0 +1,3 @@
+module cods
+
+go 1.23

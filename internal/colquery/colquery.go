@@ -16,6 +16,7 @@ import (
 
 	"cods/internal/colstore"
 	"cods/internal/expr"
+	"cods/internal/par"
 	"cods/internal/wah"
 )
 
@@ -75,6 +76,11 @@ type Query struct {
 	Desc bool
 	// Limit caps the number of output rows; 0 means no limit.
 	Limit int
+	// Parallelism bounds the worker pool for per-distinct-value work
+	// (predicate evaluation, group masks, aggregate popcounts); 0 means
+	// GOMAXPROCS, 1 forces serial execution. Results are deterministic at
+	// any setting.
+	Parallelism int
 }
 
 // ResultSet is a materialized query result.
@@ -85,7 +91,7 @@ type ResultSet struct {
 
 // Run executes a query against a table.
 func Run(t *colstore.Table, q Query) (*ResultSet, error) {
-	mask, err := whereMask(t, q.Where)
+	mask, err := whereMask(t, q.Where, q.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -114,7 +120,7 @@ func Run(t *colstore.Table, q Query) (*ResultSet, error) {
 	return rs, nil
 }
 
-func whereMask(t *colstore.Table, where string) (*wah.Bitmap, error) {
+func whereMask(t *colstore.Table, where string, parallelism int) (*wah.Bitmap, error) {
 	if where == "" {
 		all := wah.New()
 		all.AppendRun(1, t.NumRows())
@@ -124,7 +130,7 @@ func whereMask(t *colstore.Table, where string) (*wah.Bitmap, error) {
 	if err != nil {
 		return nil, err
 	}
-	return pred.Eval(t)
+	return pred.EvalP(t, parallelism)
 }
 
 func runSelect(t *colstore.Table, q Query, mask *wah.Bitmap) (*ResultSet, error) {
@@ -132,7 +138,7 @@ func runSelect(t *colstore.Table, q Query, mask *wah.Bitmap) (*ResultSet, error)
 	if len(columns) == 0 {
 		columns = t.ColumnNames()
 	}
-	filtered, err := t.FilterRows(t.Name(), mask)
+	filtered, err := t.FilterRowsP(t.Name(), mask, q.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -147,14 +153,36 @@ func runSelect(t *colstore.Table, q Query, mask *wah.Bitmap) (*ResultSet, error)
 	return &ResultSet{Columns: columns, Rows: rows}, nil
 }
 
+// resolveAggColumns bitmap-encodes each aggregated column once up front, so
+// per-group aggregation never repeats the (potentially O(rows), for RLE
+// columns) conversion inside a fan-out.
+func resolveAggColumns(t *colstore.Table, aggs []Agg) (map[string]*colstore.Column, error) {
+	cols := make(map[string]*colstore.Column)
+	for _, a := range aggs {
+		if a.Func == Count || cols[a.Column] != nil {
+			continue
+		}
+		col, err := t.Column(a.Column)
+		if err != nil {
+			return nil, err
+		}
+		cols[a.Column] = col.ToBitmapEncoding()
+	}
+	return cols, nil
+}
+
 // runAggregates computes aggregates over the single group selected by the
 // mask.
 func runAggregates(t *colstore.Table, q Query, mask *wah.Bitmap) (*ResultSet, error) {
+	cols, err := resolveAggColumns(t, q.Aggregates)
+	if err != nil {
+		return nil, err
+	}
 	rs := &ResultSet{}
 	var row []string
 	for _, a := range q.Aggregates {
 		rs.Columns = append(rs.Columns, a.name())
-		v, err := aggregate(t, a, mask)
+		v, err := aggregate(cols[a.Column], a, mask, q.Parallelism)
 		if err != nil {
 			return nil, err
 		}
@@ -166,28 +194,45 @@ func runAggregates(t *colstore.Table, q Query, mask *wah.Bitmap) (*ResultSet, er
 
 // runGrouped computes one output row per distinct group-column value with
 // at least one selected row. The group mask is And(value bitmap, where
-// mask) — one compressed AND per distinct value.
+// mask) — one compressed AND per distinct value, each an independent task.
+// Groups compute in parallel and assemble in dictionary id order, so output
+// order does not depend on scheduling.
 func runGrouped(t *colstore.Table, q Query, mask *wah.Bitmap) (*ResultSet, error) {
 	gcol, err := t.Column(q.GroupBy)
 	if err != nil {
 		return nil, err
 	}
 	gb := gcol.ToBitmapEncoding()
+	cols, err := resolveAggColumns(t, q.Aggregates)
+	if err != nil {
+		return nil, err
+	}
 	rs := &ResultSet{Columns: append([]string{q.GroupBy}, aggColumns(q.Aggregates)...)}
-	for id := 0; id < gb.DistinctCount(); id++ {
+	rows := make([][]string, gb.DistinctCount())
+	if err := par.ForEachErr(gb.DistinctCount(), q.Parallelism, func(id int) error {
 		gm := wah.And(gb.BitmapForID(uint32(id)), mask)
 		if !gm.Any() {
-			continue
+			return nil
 		}
 		row := []string{gb.Dict().Value(uint32(id))}
 		for _, a := range q.Aggregates {
-			v, err := aggregate(t, a, gm)
+			// Serial per-value aggregation: the group fan-out above already
+			// occupies the worker budget.
+			v, err := aggregate(cols[a.Column], a, gm, 1)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			row = append(row, v)
 		}
-		rs.Rows = append(rs.Rows, row)
+		rows[id] = row
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		if row != nil {
+			rs.Rows = append(rs.Rows, row)
+		}
 	}
 	return rs, nil
 }
@@ -200,32 +245,34 @@ func aggColumns(aggs []Agg) []string {
 	return out
 }
 
-// aggregate evaluates one aggregate over the rows selected by mask.
-// Count is a popcount; the others visit each distinct value of the
-// aggregated column once, intersecting its bitmap with the mask.
-func aggregate(t *colstore.Table, a Agg, mask *wah.Bitmap) (string, error) {
+// aggregate evaluates one aggregate over the rows selected by mask. bc is
+// the aggregated column, already bitmap-encoded by resolveAggColumns (nil
+// for Count). Count is a popcount; the others visit each distinct value of
+// the column once, intersecting its bitmap with the mask. The per-value
+// compressed ANDs — the dominant cost — fan out over a worker pool; the
+// cheap fold over per-value results stays serial in id order, so results
+// are deterministic at any parallelism.
+func aggregate(bc *colstore.Column, a Agg, mask *wah.Bitmap, parallelism int) (string, error) {
 	if a.Func == Count {
 		return strconv.FormatUint(mask.Count(), 10), nil
 	}
-	col, err := t.Column(a.Column)
-	if err != nil {
-		return "", err
-	}
-	bc := col.ToBitmapEncoding()
 	switch a.Func {
 	case CountDistinct:
-		var n uint64
-		for id := 0; id < bc.DistinctCount(); id++ {
+		n := par.MapReduce(bc.DistinctCount(), parallelism, func(id int) uint64 {
 			if wah.And(bc.BitmapForID(uint32(id)), mask).Any() {
-				n++
+				return 1
 			}
-		}
+			return 0
+		}, func(a, b uint64) uint64 { return a + b })
 		return strconv.FormatUint(n, 10), nil
 	case Min, Max:
+		hit := par.Map(bc.DistinctCount(), parallelism, func(id int) bool {
+			return wah.And(bc.BitmapForID(uint32(id)), mask).Any()
+		})
 		best := ""
 		found := false
-		for id := 0; id < bc.DistinctCount(); id++ {
-			if !wah.And(bc.BitmapForID(uint32(id)), mask).Any() {
+		for id, h := range hit {
+			if !h {
 				continue
 			}
 			v := bc.Dict().Value(uint32(id))
@@ -242,10 +289,12 @@ func aggregate(t *colstore.Table, a Agg, mask *wah.Bitmap) (string, error) {
 		}
 		return best, nil
 	case Sum, Avg:
+		counts := par.Map(bc.DistinctCount(), parallelism, func(id int) uint64 {
+			return wah.And(bc.BitmapForID(uint32(id)), mask).Count()
+		})
 		var sum int64
 		var rows uint64
-		for id := 0; id < bc.DistinctCount(); id++ {
-			n := wah.And(bc.BitmapForID(uint32(id)), mask).Count()
+		for id, n := range counts {
 			if n == 0 {
 				continue
 			}

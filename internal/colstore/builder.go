@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cods/internal/dict"
+	"cods/internal/par"
 	"cods/internal/rle"
 	"cods/internal/wah"
 )
@@ -162,6 +163,9 @@ type TableBuilder struct {
 	key      []string
 	builders []*ColumnBuilder
 	nrows    uint64
+	// Parallelism bounds the worker pool Finish uses to seal columns
+	// concurrently; 0 means GOMAXPROCS, 1 forces serial finishing.
+	Parallelism int
 }
 
 // NewTableBuilder returns a builder for a table with the given column
@@ -207,11 +211,13 @@ func (tb *TableBuilder) AppendRow(values []string) error {
 // NumRows returns the number of rows appended so far.
 func (tb *TableBuilder) NumRows() uint64 { return tb.nrows }
 
-// Finish seals the builder into a Table.
+// Finish seals the builder into a Table. Column sealing (dropping empty
+// values, padding bitmaps, rebuilding dictionaries) is independent per
+// column, so it fans out over a worker pool bounded by tb.Parallelism.
 func (tb *TableBuilder) Finish() (*Table, error) {
 	cols := make([]*Column, len(tb.builders))
-	for i, b := range tb.builders {
-		cols[i] = b.Finish()
-	}
+	par.ForEachIndexed(len(tb.builders), tb.Parallelism, func(i int) {
+		cols[i] = tb.builders[i].Finish()
+	})
 	return NewTable(tb.name, cols, tb.key)
 }

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"cods/internal/dict"
+	"cods/internal/par"
 	"cods/internal/rle"
 	"cods/internal/wah"
 )
@@ -172,22 +173,36 @@ func (c *Column) EqScan(value string) *wah.Bitmap {
 // predicate is evaluated once per distinct value, not per row — the
 // bitmap-index advantage.
 func (c *Column) ScanWhere(pred func(value string) bool) *wah.Bitmap {
+	return c.ScanWhereP(pred, 1)
+}
+
+// ScanWhereP is ScanWhere with bounded parallelism across distinct values:
+// the per-value predicate calls fan out over a worker pool and the selected
+// bitmaps are OR-accumulated with a parallel tree merge. pred must be safe
+// for concurrent calls; parallelism <= 0 means GOMAXPROCS.
+func (c *Column) ScanWhereP(pred func(value string) bool, parallelism int) *wah.Bitmap {
 	switch c.enc {
 	case EncodingBitmap:
+		match := make([]bool, len(c.bitmaps))
+		par.ForEachIndexed(len(c.bitmaps), parallelism, func(id int) {
+			match[id] = pred(c.dict.Value(uint32(id)))
+		})
 		var selected []*wah.Bitmap
-		for id, bm := range c.bitmaps {
-			if pred(c.dict.Value(uint32(id))) {
-				selected = append(selected, bm)
+		for id, m := range match {
+			if m {
+				selected = append(selected, c.bitmaps[id])
 			}
 		}
-		out := wah.OrAll(selected)
+		out := wah.OrAllP(selected, parallelism)
 		out.Extend(c.nrows)
 		return out
 	case EncodingRLE:
-		match := make(map[uint32]bool, c.dict.Len())
-		for id := 0; id < c.dict.Len(); id++ {
-			match[uint32(id)] = pred(c.dict.Value(uint32(id)))
-		}
+		// The per-value predicate map fans out; the run scan that follows
+		// is inherently sequential (appends must be in row order).
+		match := make([]bool, c.dict.Len())
+		par.ForEachIndexed(c.dict.Len(), parallelism, func(id int) {
+			match[id] = pred(c.dict.Value(uint32(id)))
+		})
 		out := wah.New()
 		for _, r := range c.runs.Runs() {
 			if match[r.ID] {

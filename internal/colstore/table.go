@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"cods/internal/par"
 	"cods/internal/wah"
 )
 
@@ -168,6 +169,13 @@ func (t *Table) Project(name string, columns []string, key []string) (*Table, er
 // mask, applying the paper's bitmap filtering to every column. mask must
 // have the table's row count.
 func (t *Table) FilterRows(name string, mask *wah.Bitmap) (*Table, error) {
+	return t.FilterRowsP(name, mask, 1)
+}
+
+// FilterRowsP is FilterRows with bounded parallelism: the per-distinct-value
+// bitmap filtering — the dominant cost — fans out over a worker pool, one
+// task per value of each column. parallelism <= 0 means GOMAXPROCS.
+func (t *Table) FilterRowsP(name string, mask *wah.Bitmap, parallelism int) (*Table, error) {
 	if mask.Len() != t.nrows {
 		return nil, fmt.Errorf("colstore: mask has %d bits, table %q has %d rows", mask.Len(), t.name, t.nrows)
 	}
@@ -178,10 +186,10 @@ func (t *Table) FilterRows(name string, mask *wah.Bitmap) (*Table, error) {
 		bc := c.ToBitmapEncoding()
 		values := make([]string, bc.DistinctCount())
 		bitmaps := make([]*wah.Bitmap, bc.DistinctCount())
-		for id := 0; id < bc.DistinctCount(); id++ {
+		par.ForEachIndexed(bc.DistinctCount(), parallelism, func(id int) {
 			values[id] = bc.dict.Value(uint32(id))
 			bitmaps[id] = wah.FilterPositions(bc.bitmaps[id], positions)
-		}
+		})
 		nc, err := NewColumnFromBitmaps(c.Name(), values, bitmaps, nrows)
 		if err != nil {
 			return nil, err

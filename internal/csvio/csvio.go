@@ -13,18 +13,31 @@ import (
 )
 
 // Load reads a CSV file with a header row into a new table. key names the
-// primary-key columns (may be nil).
+// primary-key columns (may be nil). Equivalent to LoadP with parallelism 0
+// (GOMAXPROCS).
 func Load(path, tableName string, key []string) (*colstore.Table, error) {
+	return LoadP(path, tableName, key, 0)
+}
+
+// LoadP is Load with an explicit bound on the worker pool used to seal the
+// table's columns; parallelism <= 0 means GOMAXPROCS, 1 forces serial.
+func LoadP(path, tableName string, key []string, parallelism int) (*colstore.Table, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("csvio: %w", err)
 	}
 	defer f.Close()
-	return Read(f, tableName, key)
+	return ReadP(f, tableName, key, parallelism)
 }
 
-// Read parses CSV from r (header row first) into a new table.
+// Read parses CSV from r (header row first) into a new table. Equivalent to
+// ReadP with parallelism 0 (GOMAXPROCS).
 func Read(r io.Reader, tableName string, key []string) (*colstore.Table, error) {
+	return ReadP(r, tableName, key, 0)
+}
+
+// ReadP is Read with an explicit column-sealing parallelism bound.
+func ReadP(r io.Reader, tableName string, key []string, parallelism int) (*colstore.Table, error) {
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
 	header, err := cr.Read()
@@ -35,6 +48,7 @@ func Read(r io.Reader, tableName string, key []string) (*colstore.Table, error) 
 	if err != nil {
 		return nil, err
 	}
+	tb.Parallelism = parallelism
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {

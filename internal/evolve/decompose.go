@@ -79,7 +79,7 @@ func Decompose(r *colstore.Table, spec DecomposeSpec, opt Options) (*DecomposeRe
 	// Step 1 — distinction (paper §2.4 step 1): one tuple position in r
 	// per distinct value of the common attributes.
 	opt.trace(fmt.Sprintf("distinction: locating one representative row per distinct %v", common))
-	positions, keyIDsByRank, err := distinction(r, common)
+	positions, keyIDsByRank, err := distinction(r, common, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -138,10 +138,11 @@ func validateDecomposeSpec(r *colstore.Table, spec DecomposeSpec) error {
 // single-attribute key it also returns the key's value id at each
 // position, which lets the output key column be assembled directly (one
 // bit per value, no filtering, shared dictionary).
-func distinction(r *colstore.Table, columns []string) (positions []uint64, keyIDsByRank []uint32, err error) {
+func distinction(r *colstore.Table, columns []string, opt Options) (positions []uint64, keyIDsByRank []uint32, err error) {
 	if len(columns) == 1 {
 		// Fast path: the first position of each value's bitmap, found by
-		// skipping leading zero fills on the compressed form.
+		// skipping leading zero fills on the compressed form — one
+		// independent task per distinct value.
 		col, err := r.Column(columns[0])
 		if err != nil {
 			return nil, nil, err
@@ -153,12 +154,15 @@ func distinction(r *colstore.Table, columns []string) (positions []uint64, keyID
 			id  uint32
 		}
 		reps := make([]rep, n)
-		for id := 0; id < n; id++ {
+		if err := opt.forEachErr(n, func(id int) error {
 			p, ok := bc.BitmapForID(uint32(id)).FirstOne()
 			if !ok {
-				return nil, nil, fmt.Errorf("evolve: column %q value id %d has an empty bitmap", columns[0], id)
+				return fmt.Errorf("evolve: column %q value id %d has an empty bitmap", columns[0], id)
 			}
 			reps[id] = rep{pos: p, id: uint32(id)}
+			return nil
+		}); err != nil {
+			return nil, nil, err
 		}
 		sort.Slice(reps, func(a, b int) bool { return reps[a].pos < reps[b].pos })
 		positions = make([]uint64, n)

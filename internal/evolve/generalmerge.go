@@ -32,7 +32,7 @@ func MergeGeneral(s, t *colstore.Table, outName string, opt Options) (*colstore.
 		return nil, err
 	}
 	opt.trace(fmt.Sprintf("general mergence pass 1: counting join values of %v", common))
-	groups, err := buildJoinGroups(s, t, common)
+	groups, err := buildJoinGroups(s, t, common, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -43,70 +43,88 @@ func MergeGeneral(s, t *colstore.Table, outName string, opt Options) (*colstore.
 	}
 
 	opt.trace(fmt.Sprintf("general mergence pass 2: laying out %d output rows clustered by join value", outRows))
-	var outCols []*colstore.Column
+
+	// Pass 2 builds each output column from the shared (read-only) group
+	// layout with its own builder, so the columns are independent tasks.
+	var tasks []func() (*colstore.Column, error)
 
 	// Join attribute columns: per group a single fill run.
 	for _, cn := range common {
-		sc, err := s.Column(cn)
-		if err != nil {
-			return nil, err
-		}
-		ids := sc.RowIDs()
-		b := colstore.NewColumnBuilderWithDict(cn, sc.Dict())
-		for _, g := range groups {
-			v := ids[g.sPositions[0]]
-			b.AppendRunID(v, uint64(len(g.sPositions))*uint64(len(g.tPositions)))
-		}
-		outCols = append(outCols, b.Finish())
+		tasks = append(tasks, func() (*colstore.Column, error) {
+			sc, err := s.Column(cn)
+			if err != nil {
+				return nil, err
+			}
+			ids := sc.RowIDs()
+			b := colstore.NewColumnBuilderWithDict(cn, sc.Dict())
+			for _, g := range groups {
+				v := ids[g.sPositions[0]]
+				b.AppendRunID(v, uint64(len(g.sPositions))*uint64(len(g.tPositions)))
+			}
+			return b.Finish(), nil
+		})
 	}
 
 	// Non-join attributes of s: consecutive runs of length n2.
 	for _, cn := range minus(s.ColumnNames(), common) {
-		sc, err := s.Column(cn)
-		if err != nil {
-			return nil, err
-		}
-		ids := sc.RowIDs()
-		b := colstore.NewColumnBuilderWithDict(cn, sc.Dict())
-		for _, g := range groups {
-			n2 := uint64(len(g.tPositions))
-			for _, p := range g.sPositions {
-				b.AppendRunID(ids[p], n2)
+		tasks = append(tasks, func() (*colstore.Column, error) {
+			sc, err := s.Column(cn)
+			if err != nil {
+				return nil, err
 			}
-		}
-		outCols = append(outCols, b.Finish())
+			ids := sc.RowIDs()
+			b := colstore.NewColumnBuilderWithDict(cn, sc.Dict())
+			for _, g := range groups {
+				n2 := uint64(len(g.tPositions))
+				for _, p := range g.sPositions {
+					b.AppendRunID(ids[p], n2)
+				}
+			}
+			return b.Finish(), nil
+		})
 	}
 
 	// Non-join attributes of t: the per-block value sequence (one value
 	// per t row in the group) repeats n1 times; emit its runs per
 	// repetition so appends stay monotone.
 	for _, cn := range minus(t.ColumnNames(), common) {
-		tc, err := t.Column(cn)
-		if err != nil {
-			return nil, err
-		}
-		ids := tc.RowIDs()
-		b := colstore.NewColumnBuilderWithDict(cn, tc.Dict())
-		var runIDs []uint32
-		var runLens []uint64
-		for _, g := range groups {
-			runIDs, runLens = runIDs[:0], runLens[:0]
-			for _, p := range g.tPositions {
-				id := ids[p]
-				if n := len(runIDs); n > 0 && runIDs[n-1] == id {
-					runLens[n-1]++
-				} else {
-					runIDs = append(runIDs, id)
-					runLens = append(runLens, 1)
+		tasks = append(tasks, func() (*colstore.Column, error) {
+			tc, err := t.Column(cn)
+			if err != nil {
+				return nil, err
+			}
+			ids := tc.RowIDs()
+			b := colstore.NewColumnBuilderWithDict(cn, tc.Dict())
+			var runIDs []uint32
+			var runLens []uint64
+			for _, g := range groups {
+				runIDs, runLens = runIDs[:0], runLens[:0]
+				for _, p := range g.tPositions {
+					id := ids[p]
+					if n := len(runIDs); n > 0 && runIDs[n-1] == id {
+						runLens[n-1]++
+					} else {
+						runIDs = append(runIDs, id)
+						runLens = append(runLens, 1)
+					}
+				}
+				for j := 0; j < len(g.sPositions); j++ {
+					for k := range runIDs {
+						b.AppendRunID(runIDs[k], runLens[k])
+					}
 				}
 			}
-			for j := 0; j < len(g.sPositions); j++ {
-				for k := range runIDs {
-					b.AppendRunID(runIDs[k], runLens[k])
-				}
-			}
-		}
-		outCols = append(outCols, b.Finish())
+			return b.Finish(), nil
+		})
+	}
+
+	outCols := make([]*colstore.Column, len(tasks))
+	if err := opt.forEachErr(len(tasks), func(i int) error {
+		c, err := tasks[i]()
+		outCols[i] = c
+		return err
+	}); err != nil {
+		return nil, err
 	}
 
 	return colstore.NewTable(outName, outCols, nil)
@@ -118,7 +136,7 @@ func MergeGeneral(s, t *colstore.Table, outName string, opt Options) (*colstore.
 // Group order follows s's dictionary id order for single-attribute joins
 // and first appearance in s for composite joins, making output layout
 // deterministic.
-func buildJoinGroups(s, t *colstore.Table, common []string) ([]joinGroup, error) {
+func buildJoinGroups(s, t *colstore.Table, common []string, opt Options) ([]joinGroup, error) {
 	if len(common) == 1 {
 		sc, err := s.Column(common[0])
 		if err != nil {
@@ -129,17 +147,25 @@ func buildJoinGroups(s, t *colstore.Table, common []string) ([]joinGroup, error)
 			return nil, err
 		}
 		sb, tb := sc.ToBitmapEncoding(), tc.ToBitmapEncoding()
-		var groups []joinGroup
-		for id := 0; id < sb.DistinctCount(); id++ {
+		// Decompress each value's position lists in parallel, then compact
+		// in dictionary id order to keep the output layout deterministic.
+		found := make([]*joinGroup, sb.DistinctCount())
+		opt.forEach(sb.DistinctCount(), func(id int) {
 			value := sb.Dict().Value(uint32(id))
 			tid := tb.Dict().Lookup(value)
 			if tid == dict.NoID {
-				continue
+				return
 			}
-			groups = append(groups, joinGroup{
+			found[id] = &joinGroup{
 				sPositions: sb.BitmapForID(uint32(id)).AppendPositionsTo(nil),
 				tPositions: tb.BitmapForID(tid).AppendPositionsTo(nil),
-			})
+			}
+		})
+		var groups []joinGroup
+		for _, g := range found {
+			if g != nil {
+				groups = append(groups, *g)
+			}
 		}
 		return groups, nil
 	}

@@ -64,7 +64,7 @@ func MergeKeyFK(s, t *colstore.Table, outName string, opt Options) (*MergeResult
 
 	// Map each fact row group (one per fact key value or composite) to
 	// the dimension row it joins with.
-	groups, err := factGroups(fact, dim, common)
+	groups, err := factGroups(fact, dim, common, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -116,11 +116,12 @@ type factGroup struct {
 	dimRow     uint64
 }
 
-func factGroups(fact, dim *colstore.Table, common []string) ([]factGroup, error) {
+func factGroups(fact, dim *colstore.Table, common []string, opt Options) ([]factGroup, error) {
 	if len(common) == 1 {
 		// Single-attribute key: fact groups are exactly the fact key
 		// column's per-value bitmaps; the dimension row is the single set
-		// bit of the dimension key's bitmap.
+		// bit of the dimension key's bitmap. Each value's lookup and
+		// leading-fill skip is independent work.
 		factKey, err := fact.Column(common[0])
 		if err != nil {
 			return nil, err
@@ -130,18 +131,21 @@ func factGroups(fact, dim *colstore.Table, common []string) ([]factGroup, error)
 			return nil, err
 		}
 		fk, dk := factKey.ToBitmapEncoding(), dimKey.ToBitmapEncoding()
-		groups := make([]factGroup, 0, fk.DistinctCount())
-		for id := 0; id < fk.DistinctCount(); id++ {
+		groups := make([]factGroup, fk.DistinctCount())
+		if err := opt.forEachErr(fk.DistinctCount(), func(id int) error {
 			value := fk.Dict().Value(uint32(id))
 			dimID := dk.Dict().Lookup(value)
 			if dimID == dict.NoID {
-				return nil, fmt.Errorf("evolve: foreign-key violation: %s value %q of %s has no match in %s", common[0], value, fact.Name(), dim.Name())
+				return fmt.Errorf("evolve: foreign-key violation: %s value %q of %s has no match in %s", common[0], value, fact.Name(), dim.Name())
 			}
 			dimRow, ok := dk.BitmapForID(dimID).FirstOne()
 			if !ok {
-				return nil, fmt.Errorf("evolve: dimension %s has an empty bitmap for %q", dim.Name(), value)
+				return fmt.Errorf("evolve: dimension %s has an empty bitmap for %q", dim.Name(), value)
 			}
-			groups = append(groups, factGroup{factBitmap: fk.BitmapForID(uint32(id)), dimRow: dimRow})
+			groups[id] = factGroup{factBitmap: fk.BitmapForID(uint32(id)), dimRow: dimRow}
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 		return groups, nil
 	}

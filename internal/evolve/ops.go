@@ -53,7 +53,8 @@ func Union(a, b *colstore.Table, outName string, opt Options) (*colstore.Table, 
 			}
 		}
 		bitmaps := make([]*wah.Bitmap, len(values))
-		for vi, v := range values {
+		opt.forEach(len(values), func(vi int) {
+			v := values[vi]
 			var bm *wah.Bitmap
 			if id := ba.Dict().Lookup(v); id != noID {
 				bm = ba.BitmapForID(id).Clone()
@@ -65,7 +66,7 @@ func Union(a, b *colstore.Table, outName string, opt Options) (*colstore.Table, 
 				bm.Concat(bb.BitmapForID(id))
 			}
 			bitmaps[vi] = bm
-		}
+		})
 		nc, err := colstore.NewColumnFromBitmaps(cn, values, bitmaps, outRows)
 		if err != nil {
 			return nil, err
@@ -88,16 +89,16 @@ func Partition(t *colstore.Table, condition string, outYes, outNo string, opt Op
 		return nil, nil, err
 	}
 	opt.trace(fmt.Sprintf("partition: evaluating %s over bitmap index", pred))
-	mask, err := pred.Eval(t)
+	mask, err := pred.EvalP(t, opt.Parallelism)
 	if err != nil {
 		return nil, nil, err
 	}
 	opt.trace(fmt.Sprintf("partition: filtering %d rows into %s, %d into %s", mask.Count(), outYes, mask.Len()-mask.Count(), outNo))
-	yes, err = t.FilterRows(outYes, mask)
+	yes, err = t.FilterRowsP(outYes, mask, opt.Parallelism)
 	if err != nil {
 		return nil, nil, err
 	}
-	no, err = t.FilterRows(outNo, mask.Not())
+	no, err = t.FilterRowsP(outNo, mask.Not(), opt.Parallelism)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -12,9 +12,7 @@
 package evolve
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
+	"cods/internal/par"
 )
 
 // Options control tracing and parallelism of the evolution algorithms.
@@ -38,37 +36,14 @@ func (o Options) trace(step string) {
 	}
 }
 
-func (o Options) workers() int {
-	if o.Parallelism > 0 {
-		return o.Parallelism
-	}
-	return runtime.GOMAXPROCS(0)
-}
-
 // forEach runs fn(i) for i in [0, n) on a bounded worker pool. fn must be
 // safe for concurrent invocation on distinct indexes.
 func (o Options) forEach(n int, fn func(i int)) {
-	workers := min(o.workers(), n)
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1) - 1)
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
+	par.ForEachIndexed(n, o.Parallelism, fn)
+}
+
+// forEachErr is forEach for fallible per-index work; it returns the error of
+// the lowest failing index.
+func (o Options) forEachErr(n int, fn func(i int) error) error {
+	return par.ForEachErr(n, o.Parallelism, fn)
 }

@@ -28,8 +28,14 @@ import (
 
 // Node is a parsed predicate.
 type Node interface {
-	// Eval returns the bitmap of rows satisfying the predicate.
+	// Eval returns the bitmap of rows satisfying the predicate. Equivalent
+	// to EvalP with parallelism 1.
 	Eval(t *colstore.Table) (*wah.Bitmap, error)
+	// EvalP is Eval with bounded parallelism across each referenced
+	// column's distinct values (comparison leaves fan their per-value
+	// predicate calls and OR accumulation out over a worker pool).
+	// parallelism <= 0 means GOMAXPROCS.
+	EvalP(t *colstore.Table, parallelism int) (*wah.Bitmap, error)
 	// Columns appends the referenced column names to dst.
 	Columns(dst []string) []string
 	String() string
@@ -98,11 +104,16 @@ type Comparison struct {
 
 // Eval implements Node.
 func (c *Comparison) Eval(t *colstore.Table) (*wah.Bitmap, error) {
+	return c.EvalP(t, 1)
+}
+
+// EvalP implements Node.
+func (c *Comparison) EvalP(t *colstore.Table, parallelism int) (*wah.Bitmap, error) {
 	col, err := t.Column(c.Column)
 	if err != nil {
 		return nil, err
 	}
-	return col.ScanWhere(func(v string) bool { return c.Op.Compare(v, c.Literal) }), nil
+	return col.ScanWhereP(func(v string) bool { return c.Op.Compare(v, c.Literal) }, parallelism), nil
 }
 
 // Columns implements Node.
@@ -120,11 +131,18 @@ type Logical struct {
 
 // Eval implements Node.
 func (l *Logical) Eval(t *colstore.Table) (*wah.Bitmap, error) {
-	lb, err := l.L.Eval(t)
+	return l.EvalP(t, 1)
+}
+
+// EvalP implements Node. The worker-pool budget is shared down both
+// subtrees rather than multiplied: each leaf fans out over its own distinct
+// values, which is where the per-value work lives.
+func (l *Logical) EvalP(t *colstore.Table, parallelism int) (*wah.Bitmap, error) {
+	lb, err := l.L.EvalP(t, parallelism)
 	if err != nil {
 		return nil, err
 	}
-	rb, err := l.R.Eval(t)
+	rb, err := l.R.EvalP(t, parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -150,7 +168,12 @@ type Not struct{ X Node }
 
 // Eval implements Node.
 func (n *Not) Eval(t *colstore.Table) (*wah.Bitmap, error) {
-	b, err := n.X.Eval(t)
+	return n.EvalP(t, 1)
+}
+
+// EvalP implements Node.
+func (n *Not) EvalP(t *colstore.Table, parallelism int) (*wah.Bitmap, error) {
+	b, err := n.X.EvalP(t, parallelism)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,8 @@ package wah
 import (
 	"math/bits"
 	"sort"
+
+	"cods/internal/par"
 )
 
 // decoder walks a compressed bitmap as a stream of 31-bit groups. Once the
@@ -81,6 +83,18 @@ func (d *decoder) skip(n uint64) {
 	}
 }
 
+// absorbing reports whether an operand group value v forces the operator's
+// result regardless of the other operand: f(v, 0) and f(v, allOnes) agree and
+// are a pure fill value. Zero fills absorb under AND, one fills under OR.
+func absorbing(r0, r1 uint32) (bit uint32, ok bool) {
+	r0 &= allOnes
+	r1 &= allOnes
+	if r0 == r1 && (r0 == 0 || r0 == allOnes) {
+		return r0 & 1, true
+	}
+	return 0, false
+}
+
 func binop(x, y *Bitmap, f func(a, b uint32) uint32) *Bitmap {
 	n := max(x.nbits, y.nbits)
 	out := New()
@@ -89,6 +103,31 @@ func binop(x, y *Bitmap, f func(a, b uint32) uint32) *Bitmap {
 	for remaining > 0 {
 		vx, nx := dx.peek()
 		vy, ny := dy.peek()
+		// Run-vs-run fast path: when one operand sits in a fill whose value
+		// determines the result on its own (zero fill under AND, ones fill
+		// under OR), emit a single output fill spanning the whole run and
+		// skip the other operand across its run boundaries, instead of
+		// combining word at a time.
+		if dx.isFill {
+			if bit, ok := absorbing(f(vx, 0), f(vx, allOnes)); ok {
+				take := min(nx, remaining)
+				out.appendFillGroups(bit, take)
+				dx.consume(take)
+				dy.skip(take)
+				remaining -= take
+				continue
+			}
+		}
+		if dy.isFill {
+			if bit, ok := absorbing(f(0, vy), f(allOnes, vy)); ok {
+				take := min(ny, remaining)
+				out.appendFillGroups(bit, take)
+				dy.consume(take)
+				dx.skip(take)
+				remaining -= take
+				continue
+			}
+		}
 		take := min(nx, ny, remaining)
 		v := f(vx, vy) & allOnes
 		if dx.isFill && dy.isFill {
@@ -187,6 +226,23 @@ func OrAll(ms []*Bitmap) *Bitmap {
 		work = next
 	}
 	return work[0]
+}
+
+// OrAllP is OrAll with tree-structured parallelism: the vector list is split
+// into contiguous chunks, each chunk is OR-combined by one worker with
+// balanced pairwise merging, and the at-most-`parallelism` chunk partials are
+// merged in chunk order. OR is associative, so the result is bit-identical to
+// OrAll at any parallelism. parallelism <= 0 means GOMAXPROCS.
+func OrAllP(ms []*Bitmap, parallelism int) *Bitmap {
+	// Below two vectors per worker the spawn overhead cannot pay off.
+	workers := min(par.Workers(parallelism), len(ms)/2)
+	if workers <= 1 {
+		return OrAll(ms)
+	}
+	partials := par.Map(workers, workers, func(w int) *Bitmap {
+		return OrAll(ms[w*len(ms)/workers : (w+1)*len(ms)/workers])
+	})
+	return OrAll(partials)
 }
 
 // Filter implements the paper's "bitmap filtering" primitive (§2.4 step

@@ -1,0 +1,117 @@
+package wah
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// binopRef computes the reference result of a binary op with zero-padding.
+func binopRef(x, y refBits, f func(a, b bool) bool) refBits {
+	n := max(len(x), len(y))
+	out := make(refBits, n)
+	at := func(r refBits, i int) bool { return i < len(r) && r[i] }
+	for i := range out {
+		out[i] = f(at(x, i), at(y, i))
+	}
+	return out
+}
+
+// TestBinopFillFastPaths drives the absorbing-fill shortcut in binop: one
+// operand holding long fills (zero fills for AND, one fills for OR) while the
+// other is literal-heavy, across unequal lengths and tail sizes.
+func TestBinopFillFastPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	fillHeavy := func(n int) refBits {
+		r := make(refBits, 0, n)
+		for len(r) < n {
+			bit := rng.Intn(2) == 1
+			runLen := 31 * (1 + rng.Intn(40)) // whole groups → encoded as fills
+			if rng.Intn(4) == 0 {
+				runLen = 1 + rng.Intn(10)
+			}
+			for i := 0; i < runLen && len(r) < n; i++ {
+				r = append(r, bit)
+			}
+		}
+		return r
+	}
+	ops := []struct {
+		name string
+		op   func(a, b *Bitmap) *Bitmap
+		ref  func(a, b bool) bool
+	}{
+		{"And", And, func(a, b bool) bool { return a && b }},
+		{"Or", Or, func(a, b bool) bool { return a || b }},
+		{"Xor", Xor, func(a, b bool) bool { return a != b }},
+		{"AndNot", AndNot, func(a, b bool) bool { return a && !b }},
+	}
+	for trial := 0; trial < 60; trial++ {
+		nx := rng.Intn(31 * 200)
+		ny := rng.Intn(31 * 200)
+		rx, ry := fillHeavy(nx), randBits(rng, ny, 0.4)
+		bx, by := rx.bitmap(), ry.bitmap()
+		for _, o := range ops {
+			checkSame(t, binopRef(rx, ry, o.ref), o.op(bx, by), o.name+"/fill-vs-literal")
+			checkSame(t, binopRef(ry, rx, func(a, b bool) bool { return o.ref(a, b) }), o.op(by, bx), o.name+"/literal-vs-fill")
+		}
+		// Fill-vs-fill with misaligned run boundaries.
+		rx2, ry2 := fillHeavy(nx), fillHeavy(ny)
+		bx2, by2 := rx2.bitmap(), ry2.bitmap()
+		for _, o := range ops {
+			checkSame(t, binopRef(rx2, ry2, o.ref), o.op(bx2, by2), o.name+"/fill-vs-fill")
+		}
+	}
+}
+
+// TestBinopAbsorbingExtremes checks the degenerate all-fill inputs the fast
+// path handles in O(1) per run.
+func TestBinopAbsorbingExtremes(t *testing.T) {
+	const n = 31 * 100000
+	zeros, ones := New(), New()
+	zeros.AppendRun(0, n)
+	ones.AppendRun(1, n)
+	sparse := New()
+	sparse.Add(5)
+	sparse.Add(31 * 50000)
+	sparse.Extend(n)
+
+	if got := And(zeros, sparse); got.Any() || got.Len() != n {
+		t.Fatalf("And(zeros, x) = %v", got)
+	}
+	if got := And(sparse, zeros); got.Any() || got.Len() != n {
+		t.Fatalf("And(x, zeros) = %v", got)
+	}
+	if got := Or(ones, sparse); got.Count() != n || got.Len() != n {
+		t.Fatalf("Or(ones, x) = %v", got)
+	}
+	if got := AndNot(sparse, ones); got.Any() {
+		t.Fatalf("AndNot(x, ones) = %v", got)
+	}
+	if got := And(ones, sparse); !Equal(got, sparse) {
+		t.Fatalf("And(ones, x) != x: %v", got)
+	}
+	// The absorbing results must stay maximally compressed.
+	if got := And(zeros, sparse); got.Words() > 2 {
+		t.Fatalf("And(zeros, x) not re-compressed: %d words", got.Words())
+	}
+}
+
+func TestOrAllPMatchesOrAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, count := range []int{0, 1, 2, 3, 8, 57} {
+		var ms []*Bitmap
+		for i := 0; i < count; i++ {
+			ms = append(ms, runnyBits(rng, 31*(10+rng.Intn(90))).bitmap())
+		}
+		want := OrAll(ms)
+		for _, parallelism := range []int{0, 1, 2, 5, 16} {
+			got := OrAllP(ms, parallelism)
+			if !Equal(want, got) {
+				t.Fatalf("count=%d parallelism=%d: OrAllP differs from OrAll", count, parallelism)
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
