@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench ci
+.PHONY: all build vet fmt-check test race bench docs-lint serve-smoke ci
 
 all: build test
 
@@ -19,15 +19,24 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the concurrency-sensitive packages: the parallel
-# execution layer, the evolution algorithms that fan out over it, and the
-# public facade (concurrent Query vs Exec).
+# execution layer, the evolution algorithms that fan out over it, the
+# public facade (concurrent Query vs Exec), and the HTTP serving layer.
 race:
 	$(GO) test -race cods cods/internal/par cods/internal/evolve \
-		cods/internal/wah cods/internal/colstore cods/internal/colquery
+		cods/internal/wah cods/internal/colstore cods/internal/colquery \
+		cods/internal/server
+
+# Every package must carry a package doc comment.
+docs-lint:
+	sh scripts/docslint.sh
+
+# Real-binary E2E smoke of `cods serve` (health, exec, query, shutdown).
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # Smoke-run every benchmark once so bench code cannot rot; use
 # `go test -bench=. -benchtime=10x` (or cmd/codsbench) for real numbers.
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
-ci: build vet fmt-check test race bench
+ci: build vet fmt-check test docs-lint serve-smoke race bench

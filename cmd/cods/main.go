@@ -6,24 +6,47 @@
 // Usage:
 //
 //	cods [-dir dbdir] [-validate] [-quiet] [script.smo ...]
+//	cods serve [-addr :8344] [-dir dbdir] [-max-inflight N] [-quiet]
 //
 // With script arguments, each file is executed and the process exits;
 // otherwise an interactive prompt starts. Type \help at the prompt for the
 // meta commands (display, load, save, advise, rollback, ...); any other
 // line is parsed as a Schema Modification Operator.
+//
+// The serve subcommand runs the HTTP/JSON serving layer (see
+// internal/server and README.md for the API). With -dir the catalog is
+// durable: every executed statement is write-ahead-logged, and a restart
+// — even after a hard kill — recovers the last committed schema version
+// from snapshot plus log. Without -dir the catalog is in-memory only.
+// SIGINT/SIGTERM shut the server down gracefully, draining in-flight
+// requests.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log"
+	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"cods"
 	"cods/internal/repl"
+	"cods/internal/server"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := runServe(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "cods serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	dir := flag.String("dir", "", "open a persisted database directory")
 	validate := flag.Bool("validate", true, "verify losslessness of decompositions")
 	quiet := flag.Bool("quiet", false, "suppress data-evolution status output")
@@ -69,4 +92,66 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println()
+}
+
+// runServe starts the HTTP serving layer and blocks until a signal or a
+// listener error.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("cods serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8344", "listen address")
+	dir := fs.String("dir", "", "durable database directory (in-memory when empty)")
+	maxInFlight := fs.Int("max-inflight", 0, "max concurrently served requests (0 = 4×GOMAXPROCS)")
+	parallelism := fs.Int("parallelism", 0, "per-request bitmap-work parallelism (0 = GOMAXPROCS)")
+	quiet := fs.Bool("quiet", false, "suppress the per-request log")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger := log.New(os.Stderr, "cods-serve ", log.LstdFlags)
+	cfg := cods.Config{Parallelism: *parallelism}
+	var db *cods.DB
+	var err error
+	if *dir != "" {
+		db, err = cods.OpenDurable(*dir, cfg)
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		logger.Printf("durable catalog %s: version %d, tables [%s]", *dir, db.Version(), strings.Join(db.Tables(), " "))
+	} else {
+		db = cods.Open(cfg)
+		logger.Printf("in-memory catalog (no -dir): schema changes will not survive restart")
+	}
+
+	scfg := server.Config{MaxInFlight: *maxInFlight}
+	if !*quiet {
+		scfg.Log = logger
+	}
+	srv := server.New(db, scfg)
+
+	// Listen before forking the serve goroutine so the bound address is
+	// known (and printable — ":0" picks a free port) when we report ready.
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	logger.Printf("listening on %s", l.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		logger.Printf("%v: shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		logger.Printf("drained; bye")
+		return nil
+	}
 }

@@ -1,0 +1,275 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The E2E tests drive the real binary: build it once, start `cods serve`,
+// talk HTTP to it, and kill it the way production would die.
+
+var (
+	buildOnce sync.Once
+	binPath   string
+	buildErr  error
+)
+
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "cods-e2e-*")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "cods")
+		cmd := exec.Command("go", "build", "-o", binPath, ".")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			buildErr = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return binPath
+}
+
+// serveProc is one running `cods serve` child process.
+type serveProc struct {
+	cmd  *exec.Cmd
+	base string // http://host:port
+}
+
+// startServe launches the binary on a free port and waits for readiness.
+func startServe(t *testing.T, args ...string) *serveProc {
+	t.Helper()
+	bin := buildBinary(t)
+	cmd := exec.Command(bin, append([]string{"serve", "-addr", "127.0.0.1:0", "-quiet"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+
+	// The server logs "listening on 127.0.0.1:PORT" once bound.
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				addrc <- strings.TrimSpace(line[i+len("listening on "):])
+			}
+		}
+	}()
+	select {
+	case addr := <-addrc:
+		p := &serveProc{cmd: cmd, base: "http://" + addr}
+		waitHealthy(t, p.base)
+		return p
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never reported its listen address")
+		return nil
+	}
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server at %s never became healthy: %v", base, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func post(t *testing.T, url string, body map[string]any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func execOp(t *testing.T, base, op string) {
+	t.Helper()
+	resp, raw := post(t, base+"/exec", map[string]any{"op": op})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exec %q: %d %s", op, resp.StatusCode, raw)
+	}
+}
+
+func getSchema(t *testing.T, base string) (version int, tables map[string][]string) {
+	t.Helper()
+	resp, err := http.Get(base + "/schema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr struct {
+		Version int `json:"version"`
+		Tables  []struct {
+			Name    string `json:"name"`
+			Columns []struct {
+				Name string `json:"name"`
+			} `json:"columns"`
+		} `json:"tables"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	tables = make(map[string][]string)
+	for _, tb := range sr.Tables {
+		var cols []string
+		for _, c := range tb.Columns {
+			cols = append(cols, c.Name)
+		}
+		tables[tb.Name] = cols
+	}
+	return sr.Version, tables
+}
+
+// TestServeSIGKILLRecovery is the acceptance test: a durable server
+// killed with SIGKILL after N /exec evolutions must recover all N on
+// restart via snapshot + WAL replay.
+func TestServeSIGKILLRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	dbdir := filepath.Join(t.TempDir(), "db")
+
+	p := startServe(t, "-dir", dbdir)
+	ops := []string{
+		"CREATE TABLE emp (Employee, Skill, Address)",
+		"ADD COLUMN Grade TO emp DEFAULT 'junior'",
+		"COPY TABLE emp TO emp2",
+		"RENAME COLUMN Grade TO Level IN emp2",
+		"DECOMPOSE TABLE emp2 INTO skills (Employee, Skill), rest (Employee, Address, Level)",
+	}
+	for _, op := range ops {
+		execOp(t, p.base, op)
+	}
+	v, _ := getSchema(t, p.base)
+	if v != len(ops) {
+		t.Fatalf("pre-kill version = %d, want %d", v, len(ops))
+	}
+
+	// Die hard: no Shutdown, no Close, no checkpoint ever ran.
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	p.cmd.Wait()
+
+	re := startServe(t, "-dir", dbdir)
+	v, tables := getSchema(t, re.base)
+	if v != len(ops) {
+		t.Fatalf("recovered version = %d, want %d (all evolutions replayed)", v, len(ops))
+	}
+	for name, wantCols := range map[string][]string{
+		"emp":    {"Employee", "Skill", "Address", "Grade"},
+		"skills": {"Employee", "Skill"},
+		"rest":   {"Employee", "Address", "Level"},
+	} {
+		cols, ok := tables[name]
+		if !ok {
+			t.Fatalf("recovered catalog lacks %q (have %v)", name, tables)
+		}
+		if strings.Join(cols, ",") != strings.Join(wantCols, ",") {
+			t.Errorf("recovered %s columns = %v, want %v", name, cols, wantCols)
+		}
+	}
+	if _, ok := tables["emp2"]; ok {
+		t.Error("emp2 survived recovery but was decomposed before the kill")
+	}
+
+	// Recovery must also work across a checkpoint boundary: checkpoint,
+	// evolve once more, kill, restart.
+	resp, raw := post(t, re.base+"/checkpoint", map[string]any{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint: %d %s", resp.StatusCode, raw)
+	}
+	execOp(t, re.base, "DROP TABLE emp")
+	re.cmd.Process.Kill()
+	re.cmd.Wait()
+
+	re2 := startServe(t, "-dir", dbdir)
+	_, tables = getSchema(t, re2.base)
+	if _, ok := tables["emp"]; ok {
+		t.Error("emp survived recovery but was dropped after the checkpoint")
+	}
+	if _, ok := tables["skills"]; !ok {
+		t.Error("skills lost across checkpoint recovery")
+	}
+}
+
+// TestServeGracefulShutdown: SIGTERM must drain and exit 0.
+func TestServeGracefulShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	p := startServe(t)
+	execOp(t, p.base, "CREATE TABLE r (a)")
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not exit after SIGTERM")
+	}
+}
+
+// TestServeInMemory: without -dir the server works but warns; a restart
+// loses state (sanity-check the non-durable path).
+func TestServeInMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	p := startServe(t)
+	execOp(t, p.base, "CREATE TABLE r (a, b)")
+	v, tables := getSchema(t, p.base)
+	if v != 1 || len(tables) != 1 {
+		t.Fatalf("version = %d, tables = %v", v, tables)
+	}
+}

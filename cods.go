@@ -1,6 +1,7 @@
 package cods
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -13,6 +14,19 @@ import (
 	"cods/internal/expr"
 	"cods/internal/smo"
 	"cods/internal/storage"
+)
+
+// ErrClosed is returned by catalog-changing calls on a durable database
+// after Close.
+var ErrClosed = errors.New("cods: database closed")
+
+// ErrUnknownStatement matches (via errors.Is) errors from Exec and
+// ExecScript whose input is not a known SMO statement, and ErrParse
+// matches any malformed statement. Servers use these to distinguish a
+// client error (bad request) from an execution failure.
+var (
+	ErrUnknownStatement = smo.ErrUnknownStatement
+	ErrParse            = smo.ErrParse
 )
 
 // Config parameterizes a DB.
@@ -39,10 +53,25 @@ type Config struct {
 // therefore always observe a whole schema version, never a half-applied
 // SMO. Tables are immutable, so results materialized before an evolution
 // commits remain valid afterwards.
+//
+// A DB from Open or OpenDir lives in memory (persist explicitly with
+// Save); a DB from OpenDurable additionally write-ahead-logs every
+// catalog change, surviving crashes — see OpenDurable, Checkpoint, Close.
 type DB struct {
 	mu     sync.RWMutex
 	engine *core.Engine
 	cfg    Config
+	// dir and wal are set by OpenDurable: every committed catalog change
+	// is made durable before the call returns, either by appending the
+	// statement to the write-ahead log or (for changes that cannot be
+	// replayed from text: bulk loads, rollbacks, file-fed columns) by
+	// checkpointing a fresh snapshot. walBroken is set when a WAL write
+	// fails with the catalog already changed in memory: the log is then
+	// missing a committed statement, so further catalog changes are
+	// refused until a Checkpoint re-establishes log/state agreement.
+	dir       string
+	wal       *storage.WAL
+	walBroken bool
 }
 
 // Open creates an empty in-memory database.
@@ -54,7 +83,9 @@ func Open(cfg Config) *DB {
 	}), cfg: cfg}
 }
 
-// OpenDir opens a database previously persisted with Save.
+// OpenDir opens a database previously persisted with Save. The result is
+// not durable: later changes are kept only in memory until the next Save.
+// Use OpenDurable for crash-safe operation.
 func OpenDir(dir string, cfg Config) (*DB, error) {
 	db := Open(cfg)
 	tables, err := storage.Load(dir)
@@ -69,10 +100,66 @@ func OpenDir(dir string, cfg Config) (*DB, error) {
 	return db, nil
 }
 
+// OpenDurable opens a crash-safe database rooted at dir, creating it if
+// needed. Recovery loads the latest snapshot (if any) and replays the
+// write-ahead log on top of it; afterwards every committed catalog change
+// is durable before the call that made it returns. Call Close when done
+// and Checkpoint periodically to keep the log short.
+func OpenDurable(dir string, cfg Config) (*DB, error) {
+	db := Open(cfg)
+	var snapEpoch uint64
+	if storage.HasSnapshot(dir) {
+		tables, epoch, err := storage.LoadSnapshot(dir)
+		if err != nil {
+			return nil, err
+		}
+		snapEpoch = epoch
+		for _, t := range tables {
+			if err := db.engine.Register(t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	wal, err := storage.OpenWAL(dir, snapEpoch)
+	if err != nil {
+		return nil, err
+	}
+	if wal.Epoch() == snapEpoch {
+		for _, s := range wal.Statements() {
+			op, err := smo.Parse(s)
+			if err != nil {
+				wal.Close()
+				return nil, fmt.Errorf("cods: replaying WAL statement %q: %w", s, err)
+			}
+			if _, err := db.engine.Apply(op); err != nil {
+				wal.Close()
+				return nil, fmt.Errorf("cods: replaying WAL statement %q: %w", s, err)
+			}
+		}
+	} else {
+		// The log predates the published snapshot: a crash hit between a
+		// checkpoint's snapshot publish and its WAL reset. Every logged
+		// statement is already in the snapshot; replaying would apply it
+		// twice. Finish the interrupted checkpoint's log reset instead.
+		if err := wal.Reset(snapEpoch); err != nil {
+			wal.Close()
+			return nil, err
+		}
+	}
+	db.dir, db.wal = dir, wal
+	return db, nil
+}
+
 // Save persists every table to a directory in compressed binary form.
 func (db *DB) Save(dir string) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	return db.saveLocked(dir)
+}
+
+// saveLocked snapshots the catalog under an already-held lock (shared or
+// exclusive).
+func (db *DB) saveLocked(dir string) error {
 	var tables []*colstore.Table
 	for _, name := range db.engine.Tables() {
 		t, err := db.engine.Table(name)
@@ -82,6 +169,101 @@ func (db *DB) Save(dir string) error {
 		tables = append(tables, t)
 	}
 	return storage.Save(dir, tables)
+}
+
+// Checkpoint writes a fresh snapshot of a durable database and truncates
+// the write-ahead log, bounding recovery time. It takes the exclusive
+// lock, so it runs between — never during — catalog changes.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.dir == "" {
+		return errors.New("cods: Checkpoint requires a database opened with OpenDurable")
+	}
+	return db.checkpointLocked()
+}
+
+func (db *DB) checkpointLocked() error {
+	if db.wal == nil {
+		return ErrClosed
+	}
+	var tables []*colstore.Table
+	for _, name := range db.engine.Tables() {
+		t, err := db.engine.Table(name)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	}
+	// Publish a fresh snapshot generation, then retire the log it
+	// subsumes. A crash between the two leaves a stale-epoch log that
+	// recovery discards (OpenDurable); a reset failure leaves the log
+	// broken until the next successful checkpoint.
+	next := db.wal.Epoch() + 1
+	if err := storage.SaveSnapshot(db.dir, tables, next); err != nil {
+		return err
+	}
+	if err := db.wal.Reset(next); err != nil {
+		db.walBroken = true
+		return fmt.Errorf("cods: snapshot published but WAL not reset (catalog changes disabled until a Checkpoint succeeds): %w", err)
+	}
+	db.walBroken = false
+	return nil
+}
+
+// Close releases a durable database's write-ahead log. Further
+// catalog-changing calls fail with ErrClosed; reads keep working on the
+// in-memory catalog. Close on an in-memory database is a no-op.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal == nil {
+		return nil
+	}
+	err := db.wal.Close()
+	db.wal = nil
+	return err
+}
+
+// replayable reports whether an operator can be re-executed from its text
+// form alone. ADD COLUMN ... FROM 'file' depends on an external file that
+// may change or vanish, so it is checkpointed instead of logged.
+func replayable(op smo.Op) bool {
+	a, ok := op.(smo.AddColumn)
+	return !ok || a.ValuesFile == ""
+}
+
+// journalLocked makes one just-applied operator durable. Must hold the
+// exclusive lock; call only when db.wal != nil.
+func (db *DB) journalLocked(op smo.Op) error {
+	if replayable(op) {
+		if err := db.wal.Append(op.String()); err != nil {
+			// The statement is live in memory but missing from the log;
+			// until a snapshot captures it, further changes would log on
+			// top of a hole, so poison the write path.
+			db.walBroken = true
+			return fmt.Errorf("cods: statement applied but not durably logged (catalog changes disabled until a Checkpoint succeeds): %w", err)
+		}
+		return nil
+	}
+	return db.checkpointLocked()
+}
+
+// failIfClosedLocked guards catalog-changing calls on a durable database:
+// after Close, or after a failed WAL write left the log missing a
+// committed statement, changes are refused rather than silently
+// diverging from disk. A successful Checkpoint clears the broken state.
+func (db *DB) failIfClosedLocked() error {
+	if db.dir == "" {
+		return nil
+	}
+	if db.wal == nil {
+		return ErrClosed
+	}
+	if db.walBroken {
+		return errors.New("cods: write-ahead log is missing a committed statement after a write failure; run Checkpoint to restore durability")
+	}
+	return nil
 }
 
 // Result reports one executed operator.
@@ -135,6 +317,9 @@ func toResult(r *core.Result) *Result {
 func (db *DB) Exec(op string) (*Result, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.failIfClosedLocked(); err != nil {
+		return nil, err
+	}
 	parsed, err := smo.Parse(op)
 	if err != nil {
 		return nil, err
@@ -142,6 +327,11 @@ func (db *DB) Exec(op string) (*Result, error) {
 	res, err := db.engine.Apply(parsed)
 	if err != nil {
 		return nil, err
+	}
+	if db.wal != nil {
+		if err := db.journalLocked(parsed); err != nil {
+			return nil, err
+		}
 	}
 	return toResult(res), nil
 }
@@ -151,22 +341,49 @@ func (db *DB) Exec(op string) (*Result, error) {
 func (db *DB) ExecScript(script string) ([]*Result, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.failIfClosedLocked(); err != nil {
+		return nil, err
+	}
 	ops, err := smo.ParseScript(script)
 	if err != nil {
 		return nil, err
 	}
-	results, err := db.engine.ApplyScript(ops)
+	results, execErr := db.engine.ApplyScript(ops)
+	// Operators applied before a mid-script failure are committed, so they
+	// are journaled even when execErr is non-nil. A script containing a
+	// non-replayable operator checkpoints once instead of logging.
+	if db.wal != nil && len(results) > 0 {
+		journal := true
+		for _, r := range results {
+			if !replayable(r.Op) {
+				journal = false
+				break
+			}
+		}
+		if journal {
+			for _, r := range results {
+				if err := db.journalLocked(r.Op); err != nil {
+					return nil, errors.Join(execErr, err)
+				}
+			}
+		} else if err := db.checkpointLocked(); err != nil {
+			return nil, errors.Join(execErr, err)
+		}
+	}
 	out := make([]*Result, len(results))
 	for i, r := range results {
 		out[i] = toResult(r)
 	}
-	return out, err
+	return out, execErr
 }
 
 // CreateTableFromRows builds a table from in-memory rows and registers it.
 func (db *DB) CreateTableFromRows(name string, columns []string, key []string, rows [][]string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.failIfClosedLocked(); err != nil {
+		return err
+	}
 	tb, err := colstore.NewTableBuilder(name, columns, key)
 	if err != nil {
 		return err
@@ -181,18 +398,35 @@ func (db *DB) CreateTableFromRows(name string, columns []string, key []string, r
 	if err != nil {
 		return err
 	}
-	return db.engine.Register(t)
+	if err := db.engine.Register(t); err != nil {
+		return err
+	}
+	// Bulk-loaded rows exist nowhere in statement form; checkpoint so the
+	// snapshot carries them.
+	if db.wal != nil {
+		return db.checkpointLocked()
+	}
+	return nil
 }
 
 // LoadCSV loads a CSV file (header row first) as a new table.
 func (db *DB) LoadCSV(path, table string, key ...string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.failIfClosedLocked(); err != nil {
+		return err
+	}
 	t, err := csvio.LoadP(path, table, key, db.cfg.Parallelism)
 	if err != nil {
 		return err
 	}
-	return db.engine.Register(t)
+	if err := db.engine.Register(t); err != nil {
+		return err
+	}
+	if db.wal != nil {
+		return db.checkpointLocked()
+	}
+	return nil
 }
 
 // SaveCSV writes a table to a CSV file.
@@ -351,7 +585,19 @@ func (db *DB) Version() int {
 func (db *DB) Rollback(version int) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	return db.engine.Rollback(version)
+	if err := db.failIfClosedLocked(); err != nil {
+		return err
+	}
+	if err := db.engine.Rollback(version); err != nil {
+		return err
+	}
+	// Version numbers restart from the recovery point on reopen, so a
+	// logged "rollback to N" would be ambiguous; snapshot the rolled-back
+	// state instead.
+	if db.wal != nil {
+		return db.checkpointLocked()
+	}
+	return nil
 }
 
 // AggFunc is an aggregate function for RunQuery.

@@ -51,4 +51,15 @@
 // applied operator, and an SMO waits for in-flight reads before evolving
 // the catalog. Tables are immutable, so results already materialized stay
 // valid across subsequent evolutions.
+//
+// # Durability and serving
+//
+// OpenDurable opens a crash-safe catalog: every committed change is
+// either appended to a checksummed, fsync'd write-ahead log or captured
+// by a snapshot before the call returns, and recovery (snapshot load +
+// log replay) restores the last committed schema version after any
+// crash. Checkpoint truncates the log; Close releases it. The cods serve
+// command (internal/server) exposes a DB over HTTP/JSON — POST /query,
+// POST /exec, GET /schema, GET /healthz, GET /stats — with bounded
+// request concurrency and graceful shutdown; see README.md for the API.
 package cods

@@ -1,0 +1,244 @@
+package cods
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func openDurable(t *testing.T, dir string) *DB {
+	t.Helper()
+	db, err := OpenDurable(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func mustExec(t *testing.T, db *DB, op string) {
+	t.Helper()
+	if _, err := db.Exec(op); err != nil {
+		t.Fatalf("Exec(%q): %v", op, err)
+	}
+}
+
+// TestDurableRecoveryFromWALOnly crashes (by simply abandoning the DB
+// without Close or Checkpoint) after N statements; reopening must recover
+// every one from the WAL alone — no snapshot was ever written.
+func TestDurableRecoveryFromWALOnly(t *testing.T) {
+	dir := t.TempDir()
+	db := openDurable(t, dir)
+	stmts := []string{
+		"CREATE TABLE r (a, b, c)",
+		"ADD COLUMN d TO r DEFAULT 'x'",
+		"RENAME COLUMN d TO e IN r",
+		"COPY TABLE r TO s",
+		"RENAME TABLE s TO t2",
+	}
+	for _, s := range stmts {
+		mustExec(t, db, s)
+	}
+	// No Close: simulate a crash by dropping the handle.
+
+	re := openDurable(t, dir)
+	if v := re.Version(); v != len(stmts) {
+		t.Fatalf("recovered version = %d, want %d", v, len(stmts))
+	}
+	if got, want := re.Tables(), []string{"r", "t2"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered tables = %v, want %v", got, want)
+	}
+	cols, err := re.Columns("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"a", "b", "c", "e"}; !reflect.DeepEqual(cols, want) {
+		t.Fatalf("recovered columns = %v, want %v", cols, want)
+	}
+}
+
+// TestDurableRecoverySnapshotPlusWAL checkpoints mid-stream: recovery
+// must load the snapshot and replay only the statements after it.
+func TestDurableRecoverySnapshotPlusWAL(t *testing.T) {
+	dir := t.TempDir()
+	db := openDurable(t, dir)
+	if err := db.CreateTableFromRows("r", []string{"a", "b"}, nil,
+		[][]string{{"1", "x"}, {"2", "y"}, {"3", "x"}}); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "COPY TABLE r TO s")
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "ADD COLUMN c TO s DEFAULT 'd'")
+	mustExec(t, db, "DROP TABLE r")
+
+	re := openDurable(t, dir)
+	if got, want := re.Tables(), []string{"s"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered tables = %v, want %v", got, want)
+	}
+	n, err := re.NumRows("s")
+	if err != nil || n != 3 {
+		t.Fatalf("recovered s has %d rows (%v), want 3", n, err)
+	}
+	rows, err := re.Query("s", "b = 'x'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("query on recovered data returned %d rows, want 2", len(rows))
+	}
+}
+
+// TestDurableTornWALRecord truncates the log mid-record, as a crash
+// during an append would: recovery keeps every whole statement and drops
+// the torn one.
+func TestDurableTornWALRecord(t *testing.T) {
+	dir := t.TempDir()
+	db := openDurable(t, dir)
+	mustExec(t, db, "CREATE TABLE r (a, b)")
+	mustExec(t, db, "ADD COLUMN c TO r DEFAULT 'v'")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	walFile := filepath.Join(dir, "wal.log")
+	fi, err := os.Stat(walFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(walFile, fi.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openDurable(t, dir)
+	if v := re.Version(); v != 1 {
+		t.Fatalf("recovered version = %d, want 1 (torn statement dropped)", v)
+	}
+	cols, err := re.Columns("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"a", "b"}; !reflect.DeepEqual(cols, want) {
+		t.Fatalf("recovered columns = %v, want %v", cols, want)
+	}
+	// The truncated tail must not poison later appends.
+	mustExec(t, re, "ADD COLUMN c2 TO r DEFAULT 'w'")
+	re2 := openDurable(t, dir)
+	if cols, _ := re2.Columns("r"); !reflect.DeepEqual(cols, []string{"a", "b", "c2"}) {
+		t.Fatalf("columns after re-append = %v", cols)
+	}
+}
+
+// Quoted defaults must survive the WAL's text round trip.
+func TestDurableQuotedDefault(t *testing.T) {
+	dir := t.TempDir()
+	db := openDurable(t, dir)
+	mustExec(t, db, "CREATE TABLE r (a)")
+	mustExec(t, db, "ADD COLUMN c TO r DEFAULT 'it''s'")
+
+	re := openDurable(t, dir)
+	if cols, _ := re.Columns("r"); !reflect.DeepEqual(cols, []string{"a", "c"}) {
+		t.Fatalf("recovered columns = %v", cols)
+	}
+}
+
+// A crash between a checkpoint's snapshot publish and its WAL reset must
+// not double-apply the logged statements: simulate it by checkpointing,
+// then restoring the pre-checkpoint (stale-epoch) WAL bytes.
+func TestDurableCrashBetweenSnapshotAndWALReset(t *testing.T) {
+	dir := t.TempDir()
+	db := openDurable(t, dir)
+	mustExec(t, db, "CREATE TABLE r (a)")
+	mustExec(t, db, "COPY TABLE r TO s")
+	preWAL, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot is published; put back the old epoch-0 log as if the
+	// process died before Reset ran.
+	if err := os.WriteFile(filepath.Join(dir, "wal.log"), preWAL, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openDurable(t, dir)
+	if got, want := re.Tables(), []string{"r", "s"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered tables = %v, want %v (stale WAL must be discarded, not replayed)", got, want)
+	}
+	// The stale log must have been retired: new statements recover fine.
+	mustExec(t, re, "DROP TABLE s")
+	re2 := openDurable(t, dir)
+	if got, want := re2.Tables(), []string{"r"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("tables after post-recovery exec = %v, want %v", got, want)
+	}
+}
+
+// Rollback cannot be replayed from text (version numbers restart on
+// reopen), so it checkpoints: recovery must land on the rolled-back state.
+func TestDurableRollbackCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	db := openDurable(t, dir)
+	mustExec(t, db, "CREATE TABLE r (a)")
+	mustExec(t, db, "RENAME TABLE r TO s")
+	if err := db.Rollback(1); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openDurable(t, dir)
+	if got, want := re.Tables(), []string{"r"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered tables = %v, want %v", got, want)
+	}
+}
+
+// ExecScript journals the statements applied before a mid-script failure.
+func TestDurableScriptPartialFailure(t *testing.T) {
+	dir := t.TempDir()
+	db := openDurable(t, dir)
+	_, err := db.ExecScript("CREATE TABLE r (a)\nCREATE TABLE s (b)\nDROP TABLE nosuch")
+	if err == nil {
+		t.Fatal("script with bad tail succeeded")
+	}
+
+	re := openDurable(t, dir)
+	if got, want := re.Tables(), []string{"r", "s"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered tables = %v, want %v", got, want)
+	}
+}
+
+func TestDurableClosedRejectsWrites(t *testing.T) {
+	dir := t.TempDir()
+	db := openDurable(t, dir)
+	mustExec(t, db, "CREATE TABLE r (a)")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("DROP TABLE r"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Exec after Close: err = %v, want ErrClosed", err)
+	}
+	if err := db.CreateTableFromRows("x", []string{"a"}, nil, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("CreateTableFromRows after Close: err = %v, want ErrClosed", err)
+	}
+	// Reads still serve from memory.
+	if !db.HasTable("r") {
+		t.Fatal("read after Close failed")
+	}
+}
+
+func TestExecUnknownStatementTypedError(t *testing.T) {
+	db := Open(Config{})
+	_, err := db.Exec("TRANSMOGRIFY TABLE r")
+	if !errors.Is(err, ErrUnknownStatement) {
+		t.Fatalf("err = %v, want errors.Is ErrUnknownStatement", err)
+	}
+	if !errors.Is(err, ErrParse) {
+		t.Fatalf("err = %v, want errors.Is ErrParse", err)
+	}
+}

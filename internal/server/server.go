@@ -1,0 +1,514 @@
+// Package server exposes a cods.DB over HTTP/JSON: online queries and
+// schema evolution (SMO execution) against one shared catalog, the
+// network face of the platform. Reads fan out concurrently under the
+// facade's shared lock while an evolution briefly takes the exclusive
+// lock, so clients always observe whole schema versions — the same
+// guarantee the embedded API gives, now under network load.
+//
+// Endpoints (all JSON; errors are {"error": "..."} with a 4xx/5xx status):
+//
+//	POST /query      run a query (filter/group/aggregate/order/limit)
+//	POST /exec       execute SMO statements (one op or a script)
+//	POST /checkpoint snapshot a durable catalog and truncate its WAL
+//	GET  /schema     catalog: schema version + every table's shape
+//	GET  /healthz    liveness probe
+//	GET  /stats      request/error/latency counters per endpoint
+//
+// The server bounds concurrently served requests (Config.MaxInFlight);
+// excess requests queue until a slot frees or the client gives up, so a
+// traffic burst degrades to queueing instead of unbounded goroutines.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cods"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// MaxInFlight caps concurrently served requests; further requests
+	// queue. 0 means 4×GOMAXPROCS.
+	MaxInFlight int
+	// Log, when non-nil, receives one line per served request.
+	Log *log.Logger
+}
+
+// Server serves a cods.DB over HTTP. Create with New, mount via Handler
+// (or run with Serve/ListenAndServe), stop with Shutdown.
+type Server struct {
+	db    *cods.DB
+	cfg   Config
+	sem   chan struct{}
+	start time.Time
+
+	inFlight atomic.Int64
+	stats    map[string]*endpointStats
+
+	mu       sync.Mutex
+	hs       *http.Server
+	mux      *http.ServeMux
+	done     chan struct{}
+	doneOnce sync.Once
+}
+
+// endpointStats counts one endpoint's traffic. All fields are atomic;
+// latency is tracked as a running total plus a max.
+type endpointStats struct {
+	requests  atomic.Int64
+	errors    atomic.Int64
+	totalNS   atomic.Int64
+	maxNS     atomic.Int64
+	lastIsErr atomic.Bool
+}
+
+func (s *endpointStats) record(d time.Duration, isErr bool) {
+	s.requests.Add(1)
+	if isErr {
+		s.errors.Add(1)
+	}
+	s.lastIsErr.Store(isErr)
+	ns := d.Nanoseconds()
+	s.totalNS.Add(ns)
+	for {
+		cur := s.maxNS.Load()
+		if ns <= cur || s.maxNS.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// New returns a server over db. The db is shared: the caller may keep
+// using it directly (and closing it after Shutdown is the caller's job).
+func New(db *cods.DB, cfg Config) *Server {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	s := &Server{
+		db:    db,
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.MaxInFlight),
+		start: time.Now(),
+		stats: make(map[string]*endpointStats),
+		mux:   http.NewServeMux(),
+		done:  make(chan struct{}),
+	}
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /schema", s.handleSchema)
+	s.route("GET /stats", s.handleStats)
+	s.route("POST /query", s.handleQuery)
+	s.route("POST /exec", s.handleExec)
+	s.route("POST /checkpoint", s.handleCheckpoint)
+	return s
+}
+
+// route registers one "METHOD /path" pattern with the limiting and
+// accounting middleware applied.
+func (s *Server) route(pattern string, h func(w http.ResponseWriter, r *http.Request) *httpError) {
+	path := pattern[strings.Index(pattern, " ")+1:]
+	st := &endpointStats{}
+	s.stats[path] = st
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		// Admission: take a slot or queue until one frees; a client that
+		// disconnects while queued costs nothing further.
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-r.Context().Done():
+			return
+		}
+		s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
+
+		begin := time.Now()
+		herr := h(w, r)
+		elapsed := time.Since(begin)
+		if herr != nil {
+			body := map[string]any{"error": herr.msg}
+			for k, v := range herr.extra {
+				body[k] = v
+			}
+			writeJSON(w, herr.status, body)
+		}
+		st.record(elapsed, herr != nil)
+		if s.cfg.Log != nil {
+			status := http.StatusOK
+			if herr != nil {
+				status = herr.status
+			}
+			s.cfg.Log.Printf("%s %s %d %s", r.Method, path, status, elapsed.Round(time.Microsecond))
+		}
+	})
+}
+
+// Handler returns the server's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Shutdown. It blocks, returning
+// nil after a clean shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.hs = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	hs := s.hs
+	s.mu.Unlock()
+	err := hs.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		// Shutdown was called; wait for it to finish draining.
+		<-s.done
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown stops accepting connections and waits (bounded by ctx) for
+// in-flight requests to finish.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	hs := s.hs
+	s.mu.Unlock()
+	var err error
+	if hs != nil {
+		err = hs.Shutdown(ctx)
+	}
+	s.doneOnce.Do(func() { close(s.done) })
+	return err
+}
+
+// httpError is a handler failure mapped to a status code and a JSON body
+// of {"error": msg} plus any extra fields (e.g. the results committed
+// before a mid-script failure).
+type httpError struct {
+	status int
+	msg    string
+	extra  map[string]any
+}
+
+func errf(status int, format string, args ...any) *httpError {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// classifyExecErr maps an Exec failure to a status: statements the
+// client got wrong are 400, statements the catalog cannot apply are 422.
+func classifyExecErr(err error) *httpError {
+	if errors.Is(err, cods.ErrUnknownStatement) || errors.Is(err, cods.ErrParse) {
+		return errf(http.StatusBadRequest, "%v", err)
+	}
+	return errf(http.StatusUnprocessableEntity, "%v", err)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// readJSON decodes a request body, rejecting trailing garbage.
+func readJSON(r *http.Request, v any) *httpError {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return errf(http.StatusBadRequest, "invalid request body: %v", err)
+	}
+	if dec.More() {
+		return errf(http.StatusBadRequest, "invalid request body: trailing data")
+	}
+	return nil
+}
+
+// --- /healthz ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) *httpError {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"schema_version": s.db.Version(),
+	})
+	return nil
+}
+
+// --- /schema ---
+
+// SchemaResponse is GET /schema's body.
+type SchemaResponse struct {
+	Version int           `json:"version"`
+	Tables  []SchemaTable `json:"tables"`
+}
+
+// SchemaTable describes one table.
+type SchemaTable struct {
+	Name    string         `json:"name"`
+	Rows    uint64         `json:"rows"`
+	Key     []string       `json:"key,omitempty"`
+	Columns []SchemaColumn `json:"columns"`
+}
+
+// SchemaColumn describes one column.
+type SchemaColumn struct {
+	Name            string `json:"name"`
+	Encoding        string `json:"encoding"`
+	DistinctValues  int    `json:"distinct_values"`
+	CompressedBytes uint64 `json:"compressed_bytes"`
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) *httpError {
+	resp := SchemaResponse{Version: s.db.Version(), Tables: []SchemaTable{}}
+	for _, name := range s.db.Tables() {
+		info, err := s.db.Describe(name)
+		if err != nil {
+			// The table vanished between listing and describing (an
+			// evolution committed in between); the next poll sees the
+			// new catalog.
+			continue
+		}
+		st := SchemaTable{Name: info.Name, Rows: info.Rows, Key: info.Key}
+		for _, c := range info.Columns {
+			st.Columns = append(st.Columns, SchemaColumn{
+				Name:            c.Name,
+				Encoding:        c.Encoding,
+				DistinctValues:  c.DistinctValues,
+				CompressedBytes: c.CompressedBytes,
+			})
+		}
+		resp.Tables = append(resp.Tables, st)
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// --- /query ---
+
+// AggSpec is one aggregate in a QueryRequest. Func is one of count,
+// count_distinct, min, max, sum, avg.
+type AggSpec struct {
+	Func   string `json:"func"`
+	Column string `json:"column,omitempty"`
+	As     string `json:"as,omitempty"`
+}
+
+// QueryRequest is POST /query's body; Table is required, the rest mirror
+// cods.TableQuery.
+type QueryRequest struct {
+	Table      string    `json:"table"`
+	Select     []string  `json:"select,omitempty"`
+	Where      string    `json:"where,omitempty"`
+	GroupBy    string    `json:"group_by,omitempty"`
+	Aggregates []AggSpec `json:"aggregates,omitempty"`
+	OrderBy    string    `json:"order_by,omitempty"`
+	Desc       bool      `json:"desc,omitempty"`
+	Limit      int       `json:"limit,omitempty"`
+}
+
+// QueryResponse is POST /query's body on success.
+type QueryResponse struct {
+	Columns   []string   `json:"columns"`
+	Rows      [][]string `json:"rows"`
+	RowCount  int        `json:"row_count"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+}
+
+var aggFuncs = map[string]cods.AggFunc{
+	"count":          cods.Count,
+	"count_distinct": cods.CountDistinct,
+	"min":            cods.Min,
+	"max":            cods.Max,
+	"sum":            cods.Sum,
+	"avg":            cods.Avg,
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) *httpError {
+	var req QueryRequest
+	if herr := readJSON(r, &req); herr != nil {
+		return herr
+	}
+	if req.Table == "" {
+		return errf(http.StatusBadRequest, "missing table")
+	}
+	if !s.db.HasTable(req.Table) {
+		return errf(http.StatusNotFound, "no table %q", req.Table)
+	}
+	q := cods.TableQuery{
+		Select:  req.Select,
+		Where:   req.Where,
+		GroupBy: req.GroupBy,
+		OrderBy: req.OrderBy,
+		Desc:    req.Desc,
+		Limit:   req.Limit,
+	}
+	for _, a := range req.Aggregates {
+		f, ok := aggFuncs[strings.ToLower(a.Func)]
+		if !ok {
+			return errf(http.StatusBadRequest, "unknown aggregate function %q", a.Func)
+		}
+		q.Aggregates = append(q.Aggregates, cods.Agg{Func: f, Column: a.Column, As: a.As})
+	}
+	begin := time.Now()
+	rs, err := s.db.RunQuery(req.Table, q)
+	if err != nil {
+		// The table existed a moment ago, so a failure here is a bad
+		// predicate, column, or query shape — the client's to fix.
+		return errf(http.StatusBadRequest, "%v", err)
+	}
+	rows := rs.Rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Columns:   rs.Columns,
+		Rows:      rows,
+		RowCount:  len(rows),
+		ElapsedMS: float64(time.Since(begin).Microseconds()) / 1000,
+	})
+	return nil
+}
+
+// --- /exec ---
+
+// ExecRequest is POST /exec's body: exactly one of Op (a single SMO
+// statement) or Script (newline/semicolon-separated statements).
+type ExecRequest struct {
+	Op     string `json:"op,omitempty"`
+	Script string `json:"script,omitempty"`
+}
+
+// ExecResult reports one executed operator.
+type ExecResult struct {
+	Op        string   `json:"op"`
+	Kind      string   `json:"kind"`
+	Version   int      `json:"version"`
+	ElapsedMS float64  `json:"elapsed_ms"`
+	Steps     []string `json:"steps,omitempty"`
+	Created   []string `json:"created,omitempty"`
+	Dropped   []string `json:"dropped,omitempty"`
+}
+
+// ExecResponse is POST /exec's body on success.
+type ExecResponse struct {
+	Results []ExecResult `json:"results"`
+}
+
+func toExecResult(r *cods.Result) ExecResult {
+	return ExecResult{
+		Op:        r.Op,
+		Kind:      r.Kind,
+		Version:   r.Version,
+		ElapsedMS: float64(r.Elapsed.Microseconds()) / 1000,
+		Steps:     r.Steps,
+		Created:   r.Created,
+		Dropped:   r.Dropped,
+	}
+}
+
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) *httpError {
+	var req ExecRequest
+	if herr := readJSON(r, &req); herr != nil {
+		return herr
+	}
+	switch {
+	case req.Op != "" && req.Script != "":
+		return errf(http.StatusBadRequest, "set op or script, not both")
+	case req.Op != "":
+		res, err := s.db.Exec(req.Op)
+		if err != nil {
+			return classifyExecErr(err)
+		}
+		writeJSON(w, http.StatusOK, ExecResponse{Results: []ExecResult{toExecResult(res)}})
+		return nil
+	case req.Script != "":
+		results, err := s.db.ExecScript(req.Script)
+		execResults := []ExecResult{}
+		for _, r := range results {
+			execResults = append(execResults, toExecResult(r))
+		}
+		if err != nil {
+			// Statements before the failure committed (and are durable);
+			// the client must see them or a whole-script retry will fail
+			// in new ways.
+			herr := classifyExecErr(err)
+			herr.extra = map[string]any{"results": execResults}
+			return herr
+		}
+		writeJSON(w, http.StatusOK, ExecResponse{Results: execResults})
+		return nil
+	default:
+		return errf(http.StatusBadRequest, "missing op or script")
+	}
+}
+
+// --- /checkpoint ---
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) *httpError {
+	if err := s.db.Checkpoint(); err != nil {
+		return errf(http.StatusUnprocessableEntity, "%v", err)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "schema_version": s.db.Version()})
+	return nil
+}
+
+// --- /stats ---
+
+// EndpointStats is one endpoint's counters in GET /stats.
+type EndpointStats struct {
+	Requests  int64   `json:"requests"`
+	Errors    int64   `json:"errors"`
+	TotalMS   float64 `json:"total_ms"`
+	MeanMS    float64 `json:"mean_ms"`
+	MaxMS     float64 `json:"max_ms"`
+	LastError bool    `json:"last_error"`
+}
+
+// StatsResponse is GET /stats's body.
+type StatsResponse struct {
+	UptimeMS      float64                  `json:"uptime_ms"`
+	SchemaVersion int                      `json:"schema_version"`
+	InFlight      int64                    `json:"in_flight"`
+	MaxInFlight   int                      `json:"max_in_flight"`
+	Endpoints     map[string]EndpointStats `json:"endpoints"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) *httpError {
+	resp := StatsResponse{
+		UptimeMS:      float64(time.Since(s.start).Microseconds()) / 1000,
+		SchemaVersion: s.db.Version(),
+		InFlight:      s.inFlight.Load(),
+		MaxInFlight:   s.cfg.MaxInFlight,
+		Endpoints:     make(map[string]EndpointStats, len(s.stats)),
+	}
+	for path, st := range s.stats {
+		n := st.requests.Load()
+		es := EndpointStats{
+			Requests:  n,
+			Errors:    st.errors.Load(),
+			TotalMS:   float64(st.totalNS.Load()) / 1e6,
+			MaxMS:     float64(st.maxNS.Load()) / 1e6,
+			LastError: st.lastIsErr.Load(),
+		}
+		if n > 0 {
+			es.MeanMS = es.TotalMS / float64(n)
+		}
+		resp.Endpoints[path] = es
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}

@@ -1,0 +1,424 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"cods"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server, *cods.DB) {
+	t.Helper()
+	db := cods.Open(cods.Config{})
+	if err := db.CreateTableFromRows("emp",
+		[]string{"Employee", "Skill", "Address"}, nil,
+		[][]string{
+			{"alice", "go", "1 Main St"},
+			{"bob", "sql", "2 Oak Ave"},
+			{"carol", "go", "3 Pine Rd"},
+		}); err != nil {
+		t.Fatal(err)
+	}
+	s := New(db, Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, db
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	var body map[string]any
+	resp := getJSON(t, ts.URL+"/healthz", &body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if body["status"] != "ok" {
+		t.Fatalf("body = %v", body)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+
+	resp, raw := postJSON(t, ts.URL+"/query", QueryRequest{Table: "emp", Where: "Skill = 'go'"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, raw)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(raw, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.RowCount != 2 || len(qr.Rows) != 2 {
+		t.Fatalf("row_count = %d, rows = %v", qr.RowCount, qr.Rows)
+	}
+
+	// Aggregate with grouping.
+	resp, raw = postJSON(t, ts.URL+"/query", QueryRequest{
+		Table:      "emp",
+		GroupBy:    "Skill",
+		Aggregates: []AggSpec{{Func: "count", As: "n"}},
+		OrderBy:    "n",
+		Desc:       true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("aggregate status = %d: %s", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Rows) != 2 || qr.Rows[0][0] != "go" || qr.Rows[0][1] != "2" {
+		t.Fatalf("aggregate rows = %v", qr.Rows)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	cases := []struct {
+		name string
+		req  any
+		want int
+	}{
+		{"missing table", QueryRequest{}, http.StatusBadRequest},
+		{"unknown table", QueryRequest{Table: "nope"}, http.StatusNotFound},
+		{"bad where", QueryRequest{Table: "emp", Where: "Skill ="}, http.StatusBadRequest},
+		{"bad aggregate", QueryRequest{Table: "emp", Aggregates: []AggSpec{{Func: "median"}}}, http.StatusBadRequest},
+		{"unknown field", map[string]any{"table": "emp", "nonsense": 1}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, raw := postJSON(t, ts.URL+"/query", c.req)
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status = %d, want %d (%s)", c.name, resp.StatusCode, c.want, raw)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(raw, &e); err != nil || e["error"] == "" {
+			t.Errorf("%s: error body = %s", c.name, raw)
+		}
+	}
+}
+
+func TestExecEndpoint(t *testing.T) {
+	_, ts, db := newTestServer(t)
+
+	resp, raw := postJSON(t, ts.URL+"/exec", ExecRequest{
+		Op: "DECOMPOSE TABLE emp INTO skills (Employee, Skill), addrs (Employee, Address)",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, raw)
+	}
+	var er ExecResponse
+	if err := json.Unmarshal(raw, &er); err != nil {
+		t.Fatal(err)
+	}
+	if len(er.Results) != 1 || er.Results[0].Kind != "DECOMPOSE TABLE" || er.Results[0].Version != 1 {
+		t.Fatalf("results = %+v", er.Results)
+	}
+	if !db.HasTable("skills") || db.HasTable("emp") {
+		t.Fatalf("catalog after exec = %v", db.Tables())
+	}
+
+	// A script runs multiple statements.
+	resp, raw = postJSON(t, ts.URL+"/exec", ExecRequest{
+		Script: "COPY TABLE skills TO s2; DROP TABLE s2",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("script status = %d: %s", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, &er); err != nil {
+		t.Fatal(err)
+	}
+	if len(er.Results) != 2 {
+		t.Fatalf("script results = %+v", er.Results)
+	}
+}
+
+func TestExecErrorMapping(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	cases := []struct {
+		name string
+		req  ExecRequest
+		want int
+	}{
+		{"unknown statement", ExecRequest{Op: "TRANSMOGRIFY emp"}, http.StatusBadRequest},
+		{"parse error", ExecRequest{Op: "CREATE TABLE"}, http.StatusBadRequest},
+		{"execution failure", ExecRequest{Op: "DROP TABLE nosuch"}, http.StatusUnprocessableEntity},
+		{"neither op nor script", ExecRequest{}, http.StatusBadRequest},
+		{"both op and script", ExecRequest{Op: "DROP TABLE a", Script: "DROP TABLE b"}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, raw := postJSON(t, ts.URL+"/exec", c.req)
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status = %d, want %d (%s)", c.name, resp.StatusCode, c.want, raw)
+		}
+	}
+}
+
+// A mid-script failure commits (and journals) the leading statements;
+// the error response must carry them so the client knows what happened.
+func TestExecScriptPartialFailureReportsResults(t *testing.T) {
+	_, ts, db := newTestServer(t)
+	resp, raw := postJSON(t, ts.URL+"/exec", ExecRequest{
+		Script: "COPY TABLE emp TO e2; DROP TABLE nosuch",
+	})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422 (%s)", resp.StatusCode, raw)
+	}
+	var body struct {
+		Error   string       `json:"error"`
+		Results []ExecResult `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Error == "" {
+		t.Fatalf("no error in body: %s", raw)
+	}
+	if len(body.Results) != 1 || body.Results[0].Kind != "COPY TABLE" {
+		t.Fatalf("partial results = %+v, want the committed COPY TABLE", body.Results)
+	}
+	if !db.HasTable("e2") {
+		t.Fatal("committed statement missing from catalog")
+	}
+}
+
+func TestSchemaEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	var sr SchemaResponse
+	resp := getJSON(t, ts.URL+"/schema", &sr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(sr.Tables) != 1 || sr.Tables[0].Name != "emp" || sr.Tables[0].Rows != 3 {
+		t.Fatalf("schema = %+v", sr)
+	}
+	if len(sr.Tables[0].Columns) != 3 {
+		t.Fatalf("columns = %+v", sr.Tables[0].Columns)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	postJSON(t, ts.URL+"/query", QueryRequest{Table: "emp"})
+	postJSON(t, ts.URL+"/query", QueryRequest{Table: "nope"})
+
+	var st StatsResponse
+	resp := getJSON(t, ts.URL+"/stats", &st)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	q := st.Endpoints["/query"]
+	if q.Requests != 2 || q.Errors != 1 {
+		t.Fatalf("/query stats = %+v", q)
+	}
+	if st.MaxInFlight <= 0 {
+		t.Fatalf("max_in_flight = %d", st.MaxInFlight)
+	}
+}
+
+func TestCheckpointEndpointOnDurableDB(t *testing.T) {
+	dir := t.TempDir()
+	db, err := cods.OpenDurable(dir, cods.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s := New(db, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	postJSON(t, ts.URL+"/exec", ExecRequest{Op: "CREATE TABLE r (a)"})
+	resp, raw := postJSON(t, ts.URL+"/checkpoint", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint status = %d: %s", resp.StatusCode, raw)
+	}
+
+	// In-memory databases cannot checkpoint.
+	_, ts2, _ := newTestServer(t)
+	resp, _ = postJSON(t, ts2.URL+"/checkpoint", struct{}{})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("in-memory checkpoint status = %d", resp.StatusCode)
+	}
+}
+
+// TestConcurrentQueriesVsExec hammers /query from many goroutines while
+// /exec evolves the schema underneath them. Every query must see a whole
+// schema version: either the old table or the new ones, never an error
+// other than 404 (the old name disappearing is expected).
+func TestConcurrentQueriesVsExec(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+
+	const readers = 8
+	const queriesPerReader = 30
+	var wg sync.WaitGroup
+	errs := make(chan string, readers*queriesPerReader)
+
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < queriesPerReader; j++ {
+				// Either name may 404 while the evolution loop has the
+				// other schema live; a successful response must always
+				// show that name's complete schema — never a half-applied
+				// decomposition.
+				for table, wantCols := range map[string]int{"emp": 3, "skills": 2} {
+					resp, raw := postJSON(t, ts.URL+"/query", QueryRequest{Table: table})
+					switch resp.StatusCode {
+					case http.StatusNotFound:
+					case http.StatusOK:
+						var qr QueryResponse
+						if err := json.Unmarshal(raw, &qr); err != nil {
+							errs <- fmt.Sprintf("%s: bad body %s", table, raw)
+							continue
+						}
+						if len(qr.Columns) != wantCols || qr.RowCount != 3 {
+							errs <- fmt.Sprintf("%s: saw %d columns, %d rows (want %d, 3): torn schema", table, len(qr.Columns), qr.RowCount, wantCols)
+						}
+					default:
+						errs <- fmt.Sprintf("%s query status %d: %s", table, resp.StatusCode, raw)
+					}
+				}
+			}
+		}()
+	}
+
+	// Evolve mid-flight: decompose, then merge back, repeatedly.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < 5; k++ {
+			resp, raw := postJSON(t, ts.URL+"/exec", ExecRequest{
+				Op: "DECOMPOSE TABLE emp INTO skills (Employee, Skill), addrs (Employee, Address)",
+			})
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Sprintf("decompose: %d %s", resp.StatusCode, raw)
+				return
+			}
+			resp, raw = postJSON(t, ts.URL+"/exec", ExecRequest{
+				Op: "MERGE TABLES skills, addrs INTO emp",
+			})
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Sprintf("merge: %d %s", resp.StatusCode, raw)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestMaxInFlightQueuesRequests runs many concurrent queries through a
+// single request slot: all must succeed (queued, not rejected), and the
+// stats gauge must never exceed the cap.
+func TestMaxInFlightQueuesRequests(t *testing.T) {
+	db := cods.Open(cods.Config{})
+	if err := db.CreateTableFromRows("r", []string{"a"}, nil, [][]string{{"1"}}); err != nil {
+		t.Fatal(err)
+	}
+	s := New(db, Config{MaxInFlight: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 16
+	var wg sync.WaitGroup
+	statuses := make(chan int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, _ := postJSON(t, ts.URL+"/query", QueryRequest{Table: "r"})
+			statuses <- resp.StatusCode
+		}()
+	}
+	wg.Wait()
+	close(statuses)
+	for code := range statuses {
+		if code != http.StatusOK {
+			t.Errorf("status = %d, want 200 (requests must queue, not fail)", code)
+		}
+	}
+	if got := s.inFlight.Load(); got != 0 {
+		t.Errorf("in-flight gauge = %d after drain, want 0", got)
+	}
+}
+
+func TestGracefulShutdown(t *testing.T) {
+	db := cods.Open(cods.Config{})
+	s := New(db, Config{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(l) }()
+
+	url := "http://" + l.Addr().String()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("serve returned %v", err)
+	}
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Fatal("server still accepting after shutdown")
+	}
+}

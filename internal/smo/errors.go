@@ -1,0 +1,12 @@
+package smo
+
+import "errors"
+
+// ErrParse is wrapped by every error returned from Parse and ParseScript,
+// so callers (the HTTP server, the REPL) can distinguish a malformed
+// statement from an execution failure with errors.Is.
+var ErrParse = errors.New("invalid statement")
+
+// ErrUnknownStatement is wrapped by Parse errors whose input does not
+// begin with any known operator keyword. It also matches ErrParse.
+var ErrUnknownStatement = errors.New("unknown statement")

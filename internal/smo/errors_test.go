@@ -1,0 +1,41 @@
+package smo
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParseErrorSentinels(t *testing.T) {
+	_, err := Parse("EXPLODE TABLE r")
+	if err == nil {
+		t.Fatal("Parse of unknown operator succeeded")
+	}
+	if !errors.Is(err, ErrUnknownStatement) {
+		t.Errorf("err = %v, want errors.Is ErrUnknownStatement", err)
+	}
+	if !errors.Is(err, ErrParse) {
+		t.Errorf("err = %v, want errors.Is ErrParse", err)
+	}
+
+	// A known operator with bad syntax is a parse error but not an
+	// unknown statement.
+	_, err = Parse("CREATE TABLE")
+	if err == nil {
+		t.Fatal("Parse of truncated CREATE TABLE succeeded")
+	}
+	if !errors.Is(err, ErrParse) {
+		t.Errorf("err = %v, want errors.Is ErrParse", err)
+	}
+	if errors.Is(err, ErrUnknownStatement) {
+		t.Errorf("err = %v, must not match ErrUnknownStatement", err)
+	}
+
+	if _, err := Parse("CREATE TABLE r (a, b)"); err != nil {
+		t.Errorf("valid statement: %v", err)
+	}
+
+	// ParseScript propagates the sentinels too.
+	if _, err := ParseScript("CREATE TABLE r (a)\nFROBNICATE r"); !errors.Is(err, ErrUnknownStatement) {
+		t.Errorf("script err = %v, want ErrUnknownStatement", err)
+	}
+}

@@ -27,7 +27,7 @@ func Parse(input string) (Op, error) {
 	p := &opParser{toks: lexOp(input), input: input}
 	op, err := p.parse()
 	if err != nil {
-		return nil, fmt.Errorf("smo: parsing %q: %w", input, err)
+		return nil, fmt.Errorf("smo: parsing %q: %w: %w", input, ErrParse, err)
 	}
 	return op, nil
 }
@@ -424,5 +424,5 @@ func (p *opParser) parse() (Op, error) {
 		}
 		return p.end(op)
 	}
-	return nil, fmt.Errorf("unknown operator %q", p.peek())
+	return nil, fmt.Errorf("%w: no operator begins with %q", ErrUnknownStatement, p.peek())
 }

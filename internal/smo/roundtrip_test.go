@@ -1,0 +1,40 @@
+package smo
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Every operator must survive Parse(op.String()) unchanged: the
+// write-ahead log persists operators as text and replays them through
+// Parse, so String is a serialization format, not just display.
+func TestOpStringRoundTrip(t *testing.T) {
+	ops := []Op{
+		CreateTable{Table: "r", Columns: []string{"a", "b"}},
+		CreateTable{Table: "r", Columns: []string{"a"}, Key: []string{"a"}},
+		DropTable{Table: "r"},
+		RenameTable{From: "r", To: "s"},
+		CopyTable{From: "r", To: "s"},
+		UnionTables{A: "r", B: "s", Out: "u"},
+		PartitionTable{Table: "r", Condition: "a = 'x' AND b != 'y''z'", OutYes: "p", OutNo: "q"},
+		DecomposeTable{Table: "r", OutS: "s", SColumns: []string{"a", "b"}, OutT: "t2", TColumns: []string{"a", "c"}},
+		MergeTables{A: "s", B: "t2", Out: "r"},
+		AddColumn{Table: "r", Column: "c", Default: "plain"},
+		AddColumn{Table: "r", Column: "c", Default: "it's quoted"},
+		AddColumn{Table: "r", Column: "c", Default: ""},
+		AddColumn{Table: "r", Column: "c", ValuesFile: "dir/o'brien.txt"},
+		DropColumn{Table: "r", Column: "c"},
+		RenameColumn{Table: "r", From: "a", To: "b"},
+	}
+	for _, op := range ops {
+		text := op.String()
+		back, err := Parse(text)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", text, err)
+			continue
+		}
+		if !reflect.DeepEqual(back, op) {
+			t.Errorf("round trip of %q: got %#v, want %#v", text, back, op)
+		}
+	}
+}

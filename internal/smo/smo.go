@@ -3,7 +3,10 @@
 // for specifying them, used by the CODS platform CLI.
 package smo
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Op is a schema modification operator. Implementations are plain data;
 // execution lives in the engine (internal/core).
@@ -129,9 +132,9 @@ func (AddColumn) Kind() string { return "ADD COLUMN" }
 
 func (o AddColumn) String() string {
 	if o.ValuesFile != "" {
-		return fmt.Sprintf("ADD COLUMN %s TO %s FROM '%s'", o.Column, o.Table, o.ValuesFile)
+		return fmt.Sprintf("ADD COLUMN %s TO %s FROM %s", o.Column, o.Table, quoteLit(o.ValuesFile))
 	}
-	return fmt.Sprintf("ADD COLUMN %s TO %s DEFAULT '%s'", o.Column, o.Table, o.Default)
+	return fmt.Sprintf("ADD COLUMN %s TO %s DEFAULT %s", o.Column, o.Table, quoteLit(o.Default))
 }
 
 // DropColumn deletes a column and its data.
@@ -150,6 +153,13 @@ func (RenameColumn) Kind() string { return "RENAME COLUMN" }
 
 func (o RenameColumn) String() string {
 	return fmt.Sprintf("RENAME COLUMN %s TO %s IN %s", o.From, o.To, o.Table)
+}
+
+// quoteLit renders a string literal in the parseable syntax, doubling
+// embedded quotes, so every Op round-trips through Parse(op.String()) —
+// the invariant the write-ahead log relies on.
+func quoteLit(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
 }
 
 func joinIdents(ids []string) string {

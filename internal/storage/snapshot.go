@@ -1,0 +1,150 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cods/internal/colstore"
+)
+
+// Durable (checkpointed) catalogs do not overwrite their snapshot in
+// place — a crash mid-write would destroy the only good copy. Instead,
+// each checkpoint writes a complete new snapshot into its own epoch
+// subdirectory and then atomically publishes it by renaming a one-line
+// CURRENT pointer file:
+//
+//	<dir>/CURRENT            "snap-<epoch>\n", renamed into place
+//	<dir>/snap-<epoch>/      a full Save layout (catalog.json + *.col)
+//	<dir>/wal.log            statements since snapshot <epoch>
+//
+// Crash anywhere before the CURRENT rename leaves the previous snapshot
+// (and its live WAL) untouched; crash after it but before the WAL reset
+// leaves a WAL whose epoch is older than the snapshot's, which recovery
+// detects and discards (see wal.go). Older snap-* directories are
+// removed only after the new pointer is durably published. Plain
+// Save/Load (the explicit, non-logged path) keep the flat layout.
+
+// currentName is the snapshot pointer file inside a durable directory.
+const currentName = "CURRENT"
+
+func snapDirName(epoch uint64) string { return fmt.Sprintf("snap-%06d", epoch) }
+
+// HasSnapshot reports whether dir contains a published durable snapshot.
+// A durable database directory may legitimately have only a WAL (crash
+// before the first checkpoint), so callers probe before LoadSnapshot.
+func HasSnapshot(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, currentName))
+	return err == nil
+}
+
+// SaveSnapshot checkpoints tables as snapshot generation epoch: the data
+// is fully written and fsync'd before the CURRENT pointer is atomically
+// swapped to it, and stale generations are pruned afterwards. On return
+// the snapshot is the one recovery will load, so the caller may reset
+// the WAL to the same epoch.
+func SaveSnapshot(dir string, tables []*colstore.Table, epoch uint64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	sub := snapDirName(epoch)
+	snapDir := filepath.Join(dir, sub)
+	// A leftover directory at this epoch means an earlier checkpoint
+	// crashed before publishing; its contents are suspect, start over.
+	if err := os.RemoveAll(snapDir); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := Save(snapDir, tables); err != nil {
+		return err
+	}
+	if err := syncTree(snapDir, tables); err != nil {
+		return err
+	}
+
+	// Publish: write CURRENT beside the snapshot, fsync it, rename into
+	// place, fsync the directory so the rename itself is durable.
+	tmp := filepath.Join(dir, currentName+".tmp")
+	if err := writeFileSync(tmp, []byte(sub+"\n")); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, currentName)); err != nil {
+		return fmt.Errorf("storage: publishing snapshot: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+
+	// Old generations are unreachable now; pruning is best-effort.
+	entries, err := os.ReadDir(dir)
+	if err == nil {
+		for _, e := range entries {
+			if e.IsDir() && strings.HasPrefix(e.Name(), "snap-") && e.Name() != sub {
+				os.RemoveAll(filepath.Join(dir, e.Name()))
+			}
+		}
+	}
+	return nil
+}
+
+// LoadSnapshot reads the published durable snapshot and returns its
+// tables and epoch.
+func LoadSnapshot(dir string) ([]*colstore.Table, uint64, error) {
+	data, err := os.ReadFile(filepath.Join(dir, currentName))
+	if err != nil {
+		return nil, 0, fmt.Errorf("storage: %w", err)
+	}
+	sub := strings.TrimSpace(string(data))
+	var epoch uint64
+	if _, err := fmt.Sscanf(sub, "snap-%d", &epoch); err != nil {
+		return nil, 0, fmt.Errorf("storage: malformed CURRENT %q: %w", sub, err)
+	}
+	tables, err := Load(filepath.Join(dir, sub))
+	if err != nil {
+		return nil, 0, err
+	}
+	return tables, epoch, nil
+}
+
+// writeFileSync writes data and fsyncs before closing.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: writing %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: syncing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renames and creates inside it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("storage: syncing dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// syncTree fsyncs the snapshot's directories (column files are already
+// fsync'd as they are written; catalog.json by Save's rename path needs
+// its directory synced for the entries to be durable).
+func syncTree(snapDir string, tables []*colstore.Table) error {
+	for _, t := range tables {
+		if err := syncDir(filepath.Join(snapDir, t.Name())); err != nil {
+			return err
+		}
+	}
+	return syncDir(snapDir)
+}

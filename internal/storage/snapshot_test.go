@@ -1,0 +1,100 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cods/internal/colstore"
+)
+
+func buildTable(t *testing.T, name string, rows [][]string) *colstore.Table {
+	t.Helper()
+	tb, err := colstore.NewTableBuilder(name, []string{"a", "b"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := tb.AppendRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tab, err := tb.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestSnapshotSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if HasSnapshot(dir) {
+		t.Fatal("empty dir claims a snapshot")
+	}
+	tab := buildTable(t, "r", [][]string{{"1", "x"}, {"2", "y"}})
+	if err := SaveSnapshot(dir, []*colstore.Table{tab}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !HasSnapshot(dir) {
+		t.Fatal("snapshot not visible after SaveSnapshot")
+	}
+	tables, epoch, err := LoadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 || len(tables) != 1 || tables[0].Name() != "r" || tables[0].NumRows() != 2 {
+		t.Fatalf("loaded epoch %d, tables %v", epoch, tables)
+	}
+}
+
+// A new generation replaces the old atomically and prunes it.
+func TestSnapshotGenerations(t *testing.T) {
+	dir := t.TempDir()
+	v1 := buildTable(t, "r", [][]string{{"1", "x"}})
+	if err := SaveSnapshot(dir, []*colstore.Table{v1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	v2 := buildTable(t, "s", [][]string{{"2", "y"}, {"3", "z"}})
+	if err := SaveSnapshot(dir, []*colstore.Table{v2}, 2); err != nil {
+		t.Fatal(err)
+	}
+	tables, epoch, err := LoadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 2 || len(tables) != 1 || tables[0].Name() != "s" {
+		t.Fatalf("loaded epoch %d, tables %v", epoch, tables)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapDirName(1))); !os.IsNotExist(err) {
+		t.Fatalf("old generation not pruned: %v", err)
+	}
+}
+
+// A crash before CURRENT is swapped must leave the old snapshot loadable:
+// simulate by writing the new generation's directory without the pointer.
+func TestSnapshotCrashBeforePublishKeepsOld(t *testing.T) {
+	dir := t.TempDir()
+	v1 := buildTable(t, "r", [][]string{{"1", "x"}})
+	if err := SaveSnapshot(dir, []*colstore.Table{v1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Half-finished generation 2: data written, never published.
+	v2 := buildTable(t, "s", [][]string{{"2", "y"}})
+	if err := Save(filepath.Join(dir, snapDirName(2)), []*colstore.Table{v2}); err != nil {
+		t.Fatal(err)
+	}
+	tables, epoch, err := LoadSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 || tables[0].Name() != "r" {
+		t.Fatalf("loaded epoch %d table %s; want the published generation 1", epoch, tables[0].Name())
+	}
+	// Re-checkpointing at epoch 2 must clobber the suspect leftovers.
+	if err := SaveSnapshot(dir, []*colstore.Table{v2}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, epoch, _ := LoadSnapshot(dir); epoch != 2 {
+		t.Fatalf("epoch after re-checkpoint = %d", epoch)
+	}
+}

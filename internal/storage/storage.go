@@ -3,10 +3,24 @@
 // dictionary and compressed bitmaps. Columns are written and read in their
 // compressed form; saving and loading never decompresses data.
 //
-// Layout:
+// Alongside the snapshot, a write-ahead log (WAL, ReplayWAL) records each
+// SMO statement applied after the snapshot, fsync'd and checksummed, so a
+// crash loses nothing: recovery loads the snapshot and replays the log.
+//
+// Two snapshot layouts exist. Plain Save/Load use a flat directory — the
+// explicit, non-crash-safe persistence path:
 //
 //	<dir>/catalog.json
 //	<dir>/<table>/<n>.col      one file per column, in schema order
+//
+// Durable catalogs checkpoint with SaveSnapshot/LoadSnapshot, which keep
+// each snapshot generation in its own epoch subdirectory published by an
+// atomically swapped CURRENT pointer (crashing mid-checkpoint can never
+// damage the previous generation), with the statement log beside them:
+//
+//	<dir>/CURRENT              "snap-<epoch>", renamed into place
+//	<dir>/snap-<epoch>/...     a flat Save layout per generation
+//	<dir>/wal.log              statement log since snapshot <epoch>
 package storage
 
 import (
@@ -21,6 +35,9 @@ import (
 
 // FormatVersion identifies the on-disk layout.
 const FormatVersion = 1
+
+// catalogName is the snapshot's manifest file inside a catalog directory.
+const catalogName = "catalog.json"
 
 type catalogFile struct {
 	Format int            `json:"format"`
@@ -65,7 +82,16 @@ func Save(dir string, tables []*colstore.Table) error {
 	if err != nil {
 		return fmt.Errorf("storage: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, "catalog.json"), data, 0o644); err != nil {
+	// The manifest is written last, fsync'd, and renamed into place so a
+	// crash mid-save never leaves a manifest describing half-written
+	// tables. (In-place Save still overwrites column data first — the
+	// crash-safe path for durable catalogs is SaveSnapshot, which writes
+	// into a fresh epoch directory and swaps a pointer.)
+	tmp := filepath.Join(dir, catalogName+".tmp")
+	if err := writeFileSync(tmp, data); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, catalogName)); err != nil {
 		return fmt.Errorf("storage: %w", err)
 	}
 	return nil
@@ -85,12 +111,18 @@ func writeColumnFile(path string, c *colstore.Column) error {
 		f.Close()
 		return fmt.Errorf("storage: flushing %s: %w", path, err)
 	}
+	// Durability callers (checkpointing) truncate the WAL on the strength
+	// of this snapshot, so the data must be on disk, not in page cache.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("storage: syncing %s: %w", path, err)
+	}
 	return f.Close()
 }
 
 // Load reads all tables from a directory written by Save.
 func Load(dir string) ([]*colstore.Table, error) {
-	data, err := os.ReadFile(filepath.Join(dir, "catalog.json"))
+	data, err := os.ReadFile(filepath.Join(dir, catalogName))
 	if err != nil {
 		return nil, fmt.Errorf("storage: %w", err)
 	}

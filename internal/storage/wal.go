@@ -1,0 +1,267 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// The write-ahead log makes a catalog directory crash-safe: every applied
+// SMO statement is appended (checksummed and fsync'd) before the call
+// returns, and recovery replays the log on top of the latest snapshot.
+// Snapshot + WAL together always describe the last committed schema
+// version; a torn tail record (crash mid-append) is detected by its CRC
+// or short length and ignored.
+//
+// File layout (<dir>/wal.log, little-endian):
+//
+//	header:  magic "CODSWAL\x00" | uint32 format version | uint64 epoch
+//	record:  uint32 payload length | uint32 CRC32(payload) | payload
+//
+// The payload is the statement text exactly as accepted by smo.Parse.
+// Catalog changes that cannot be replayed from text alone (bulk loads,
+// rollbacks, file-fed columns) are never logged; the facade checkpoints
+// instead, so replaying the log is always pure statement re-execution.
+//
+// The epoch ties the log to the snapshot generation it extends: a
+// checkpoint publishes snapshot epoch E+1 and then resets the log to
+// epoch E+1. If a crash lands between those two steps, recovery sees a
+// log whose epoch is older than the snapshot's and discards it — every
+// statement in it is already part of the snapshot. Replaying on epoch
+// mismatch would double-apply statements; see SaveSnapshot.
+
+// walName is the log's file name inside a catalog directory.
+const walName = "wal.log"
+
+// walHeaderSize is magic (8) + format (4) + epoch (8).
+const walHeaderSize = 20
+
+var walMagic = [8]byte{'C', 'O', 'D', 'S', 'W', 'A', 'L', 0}
+
+// maxWALRecord bounds a single record so a corrupt length prefix cannot
+// trigger a huge allocation during replay.
+const maxWALRecord = 16 << 20
+
+// ErrWALFormat reports a WAL whose header is malformed or of an
+// unsupported format version. A header shorter than walHeaderSize is NOT
+// this error: that is the signature of a crash during Reset, and OpenWAL
+// silently rebuilds it (the snapshot already holds everything).
+var ErrWALFormat = errors.New("storage: bad WAL header")
+
+// WAL is an append-only, fsync'd statement log. It is not safe for
+// concurrent use; callers serialize appends (the cods.DB facade appends
+// under its exclusive catalog lock).
+type WAL struct {
+	f     *os.File
+	path  string
+	epoch uint64
+	// stmts holds the complete records found when the log was opened —
+	// the recovery replay input.
+	stmts []string
+}
+
+// walPath returns the log path for a catalog directory.
+func walPath(dir string) string { return filepath.Join(dir, walName) }
+
+// OpenWAL opens (creating if needed) the write-ahead log in dir and
+// positions it for appending. A new log — or one whose header was torn
+// by a crash during Reset — is (re)initialized with createEpoch; an
+// existing log keeps its own epoch. The statements scanned at open time
+// are available via Statements; appends go after the last complete
+// record, discarding any torn tail left by a crash.
+func OpenWAL(dir string, createEpoch uint64) (*WAL, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	path := walPath(dir)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	w := &WAL{f: f, path: path, epoch: createEpoch}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	if size < walHeaderSize {
+		// Empty, or a header torn by a crash mid-Reset: rebuild. Any
+		// pre-crash statements were made redundant by the snapshot the
+		// Reset was part of.
+		if err := w.writeHeader(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return w, nil
+	}
+	stmts, epoch, end, err := scanWAL(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.stmts, w.epoch = stmts, epoch
+	if end < size {
+		if err := f.Truncate(end); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("storage: truncating torn WAL tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	return w, nil
+}
+
+// Epoch returns the snapshot generation this log extends.
+func (w *WAL) Epoch() uint64 { return w.epoch }
+
+// Statements returns the complete records found when the log was opened,
+// in append order. The slice is not updated by later Appends.
+func (w *WAL) Statements() []string { return w.stmts }
+
+// writeHeader truncates the file and writes + fsyncs the header for the
+// current epoch.
+func (w *WAL) writeHeader() error {
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("storage: resetting WAL: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	var hdr [walHeaderSize]byte
+	copy(hdr[:8], walMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], FormatVersion)
+	binary.LittleEndian.PutUint64(hdr[12:], w.epoch)
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("storage: writing WAL header: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("storage: syncing WAL header: %w", err)
+	}
+	return nil
+}
+
+// Append durably logs one statement: the record is written and fsync'd
+// before Append returns, so a committed statement survives any later
+// crash.
+func (w *WAL) Append(stmt string) error {
+	payload := []byte(stmt)
+	if len(payload) > maxWALRecord {
+		return fmt.Errorf("storage: WAL record of %d bytes exceeds limit %d", len(payload), maxWALRecord)
+	}
+	rec := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(payload))
+	copy(rec[8:], payload)
+	if _, err := w.f.Write(rec); err != nil {
+		return fmt.Errorf("storage: appending WAL record: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("storage: syncing WAL: %w", err)
+	}
+	return nil
+}
+
+// Reset truncates the log to an empty state at the given epoch. Called
+// after a fresh snapshot (tagged with the same epoch) makes the logged
+// statements redundant.
+func (w *WAL) Reset(epoch uint64) error {
+	w.epoch = epoch
+	w.stmts = nil
+	return w.writeHeader()
+}
+
+// Close releases the log file. Append is durable on return, so Close has
+// nothing left to flush.
+func (w *WAL) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	return nil
+}
+
+// Path returns the log's file path.
+func (w *WAL) Path() string { return w.path }
+
+// ReplayWAL returns the statements in dir's write-ahead log in append
+// order, plus the log's epoch. A missing or header-torn log is an empty
+// recovery, not an error. Replay stops silently at the first torn or
+// corrupt record — everything before it was durably committed,
+// everything at and after it never fully was.
+func ReplayWAL(dir string) ([]string, uint64, error) {
+	f, err := os.Open(walPath(dir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("storage: %w", err)
+	}
+	defer f.Close()
+	if fi, err := f.Stat(); err == nil && fi.Size() < walHeaderSize {
+		return nil, 0, nil
+	}
+	stmts, epoch, _, err := scanWAL(f)
+	return stmts, epoch, err
+}
+
+// scanWAL reads records from the start of the log, returning the decoded
+// statements, the header epoch, and the byte offset just past the last
+// complete record. A short, oversized, or checksum-failing record ends
+// the scan; a bad full-size header is ErrWALFormat. Callers ensure the
+// file is at least walHeaderSize long.
+func scanWAL(f *os.File) ([]string, uint64, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, 0, fmt.Errorf("storage: %w", err)
+	}
+	var hdr [walHeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, 0, 0, fmt.Errorf("%w: %v", ErrWALFormat, err)
+	}
+	if [8]byte(hdr[:8]) != walMagic {
+		return nil, 0, 0, fmt.Errorf("%w: bad magic", ErrWALFormat)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != FormatVersion {
+		return nil, 0, 0, fmt.Errorf("%w: format %d (supported: %d)", ErrWALFormat, v, FormatVersion)
+	}
+	epoch := binary.LittleEndian.Uint64(hdr[12:])
+	var stmts []string
+	off := int64(walHeaderSize)
+	for {
+		var rh [8]byte
+		if _, err := io.ReadFull(f, rh[:]); err != nil {
+			return stmts, epoch, off, nil // clean EOF or torn length/CRC prefix
+		}
+		n := binary.LittleEndian.Uint32(rh[0:])
+		sum := binary.LittleEndian.Uint32(rh[4:])
+		if n > maxWALRecord {
+			return stmts, epoch, off, nil // corrupt length; treat as torn tail
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return stmts, epoch, off, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return stmts, epoch, off, nil // corrupt payload
+		}
+		stmts = append(stmts, string(payload))
+		off += 8 + int64(n)
+	}
+}
+
+// RemoveWAL deletes dir's write-ahead log if present.
+func RemoveWAL(dir string) error {
+	if err := os.Remove(walPath(dir)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("storage: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,256 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func appendAll(t *testing.T, dir string, stmts ...string) {
+	t.Helper()
+	w, err := OpenWAL(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for _, s := range stmts {
+		if err := w.Append(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func replay(t *testing.T, dir string) []string {
+	t.Helper()
+	stmts, _, err := ReplayWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stmts
+}
+
+func TestWALAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	want := []string{
+		"CREATE TABLE r (a, b)",
+		"ADD COLUMN c TO r DEFAULT 'x'",
+		"RENAME TABLE r TO s",
+	}
+	appendAll(t, dir, want...)
+	got := replay(t, dir)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d statements, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("stmt %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWALReplayMissingLog(t *testing.T) {
+	if got := replay(t, t.TempDir()); got != nil {
+		t.Fatalf("replay of missing log = %v, want nil", got)
+	}
+}
+
+func TestWALAppendAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	appendAll(t, dir, "CREATE TABLE a (x)")
+	appendAll(t, dir, "CREATE TABLE b (y)")
+	got := replay(t, dir)
+	if len(got) != 2 || got[0] != "CREATE TABLE a (x)" || got[1] != "CREATE TABLE b (y)" {
+		t.Fatalf("replay after reopen = %v", got)
+	}
+	// Statements scanned at open time are exposed for recovery.
+	w, err := OpenWAL(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if s := w.Statements(); len(s) != 2 {
+		t.Fatalf("Statements() = %v", s)
+	}
+}
+
+func TestWALResetAdvancesEpoch(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append("CREATE TABLE r (a)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Reset(1); err != nil {
+		t.Fatal(err)
+	}
+	if w.Epoch() != 1 {
+		t.Fatalf("epoch after reset = %d, want 1", w.Epoch())
+	}
+	if err := w.Append("CREATE TABLE s (b)"); err != nil {
+		t.Fatal(err)
+	}
+	stmts, epoch, err := ReplayWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 1 {
+		t.Fatalf("replayed epoch = %d, want 1", epoch)
+	}
+	if len(stmts) != 1 || stmts[0] != "CREATE TABLE s (b)" {
+		t.Fatalf("replay after reset = %v", stmts)
+	}
+	// Reopening keeps the persisted epoch, ignoring createEpoch.
+	w.Close()
+	w2, err := OpenWAL(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.Epoch() != 1 {
+		t.Fatalf("epoch after reopen = %d, want 1", w2.Epoch())
+	}
+}
+
+// TestWALTornTail simulates a crash at every possible byte boundary of the
+// final record: however much of the last append survives, recovery must
+// yield exactly the statements fully committed before it.
+func TestWALTornTail(t *testing.T) {
+	committed := []string{"CREATE TABLE r (a, b)", "DROP COLUMN b FROM r"}
+	last := "ADD COLUMN c TO r DEFAULT 'v'"
+
+	ref := t.TempDir()
+	appendAll(t, ref, committed...)
+	refSize := fileSize(t, walPath(ref))
+	appendAll(t, ref, last)
+	fullSize := fileSize(t, walPath(ref))
+	full, err := os.ReadFile(walPath(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := refSize; cut < fullSize; cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(walPath(dir), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got := replay(t, dir)
+		if len(got) != len(committed) {
+			t.Fatalf("cut at %d/%d: replayed %d statements, want %d (%v)", cut, fullSize, len(got), len(committed), got)
+		}
+	}
+
+	// A torn tail must also not break appending: reopening truncates it,
+	// and the next record lands cleanly.
+	dir := t.TempDir()
+	if err := os.WriteFile(walPath(dir), full[:fullSize-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, dir, "RENAME TABLE r TO s")
+	got := replay(t, dir)
+	want := append(append([]string(nil), committed...), "RENAME TABLE r TO s")
+	if len(got) != len(want) {
+		t.Fatalf("after torn-tail reopen: %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("stmt %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestWALTornHeader simulates a crash during Reset, at every byte
+// boundary of the header: OpenWAL must rebuild the log at createEpoch
+// with no statements, never error.
+func TestWALTornHeader(t *testing.T) {
+	ref := t.TempDir()
+	appendAll(t, ref, "CREATE TABLE r (a)")
+	full, err := os.ReadFile(walPath(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < walHeaderSize; cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(walPath(dir), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w, err := OpenWAL(dir, 7)
+		if err != nil {
+			t.Fatalf("cut at %d: OpenWAL: %v", cut, err)
+		}
+		if w.Epoch() != 7 || len(w.Statements()) != 0 {
+			t.Fatalf("cut at %d: epoch %d stmts %v, want 7 and none", cut, w.Epoch(), w.Statements())
+		}
+		w.Close()
+	}
+}
+
+// TestWALCorruptPayload flips a byte inside a committed record's payload;
+// the checksum must stop replay at the record before it.
+func TestWALCorruptPayload(t *testing.T) {
+	dir := t.TempDir()
+	appendAll(t, dir, "CREATE TABLE r (a)", "CREATE TABLE s (b)")
+	data, err := os.ReadFile(walPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(walPath(dir), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := replay(t, dir)
+	if len(got) != 1 || got[0] != "CREATE TABLE r (a)" {
+		t.Fatalf("replay with corrupt tail record = %v, want just the first statement", got)
+	}
+}
+
+func TestWALBadHeader(t *testing.T) {
+	dir := t.TempDir()
+	garbage := []byte("this is definitely not a wal file at all")
+	if len(garbage) < walHeaderSize {
+		t.Fatal("garbage must cover the full header to be a format error")
+	}
+	if err := os.WriteFile(walPath(dir), garbage, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReplayWAL(dir); !errors.Is(err, ErrWALFormat) {
+		t.Fatalf("replay of garbage log: err = %v, want ErrWALFormat", err)
+	}
+	if _, err := OpenWAL(dir, 0); !errors.Is(err, ErrWALFormat) {
+		t.Fatalf("open of garbage log: err = %v, want ErrWALFormat", err)
+	}
+}
+
+func TestWALRemove(t *testing.T) {
+	dir := t.TempDir()
+	appendAll(t, dir, "CREATE TABLE r (a)")
+	if err := RemoveWAL(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(walPath(dir)); !os.IsNotExist(err) {
+		t.Fatalf("wal still present after RemoveWAL: %v", err)
+	}
+	if err := RemoveWAL(dir); err != nil {
+		t.Fatalf("RemoveWAL on missing log: %v", err)
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+// The log lives inside the catalog directory next to the snapshots; pin
+// the name so they stay co-located.
+func TestWALPathInsideDir(t *testing.T) {
+	if walPath("d") != filepath.Join("d", "wal.log") {
+		t.Fatal("unexpected wal path")
+	}
+}

@@ -1,0 +1,24 @@
+#!/bin/sh
+# docslint: fail when any Go package lacks a package-level doc comment.
+# Library packages need "// Package <name> ...", commands "// Command ...".
+# Run from the repository root (CI's docs-lint step, `make docs-lint`).
+set -u
+fail=0
+for dir in . ./internal/* ./cmd/*; do
+    [ -d "$dir" ] || continue
+    ls "$dir"/*.go >/dev/null 2>&1 || continue
+    found=0
+    for f in "$dir"/*.go; do
+        case "$f" in *_test.go) continue ;; esac
+        if grep -q -E '^// (Package|Command) ' "$f"; then
+            found=1
+            break
+        fi
+    done
+    if [ "$found" -eq 0 ]; then
+        echo "docslint: $dir has no package doc comment (want '// Package ...' or '// Command ...')"
+        fail=1
+    fi
+done
+[ "$fail" -eq 0 ] && echo "docslint: all packages documented"
+exit $fail
