@@ -29,6 +29,14 @@ var (
 	ErrParse            = smo.ErrParse
 )
 
+// ErrNotDurable matches (via errors.Is) errors from catalog-changing
+// calls on a durable database caused by the storage layer failing to
+// make committed state durable — a failed WAL write or checkpoint, or
+// the poisoned state those leave behind until a Checkpoint succeeds.
+// The statement itself was fine; servers map this to a 5xx, not a
+// client error.
+var ErrNotDurable = errors.New("durability failure")
+
 // Config parameterizes a DB.
 type Config struct {
 	// Parallelism bounds the worker pool for per-value bitmap work; 0
@@ -66,9 +74,10 @@ type DB struct {
 	// statement to the write-ahead log or (for changes that cannot be
 	// replayed from text: bulk loads, rollbacks, file-fed columns) by
 	// checkpointing a fresh snapshot. walBroken is set when a WAL write
-	// fails with the catalog already changed in memory: the log is then
-	// missing a committed statement, so further catalog changes are
-	// refused until a Checkpoint re-establishes log/state agreement.
+	// or checkpoint fails with the catalog already changed in memory: the
+	// durable state is then missing a committed change, so further
+	// catalog changes are refused until a Checkpoint re-establishes
+	// log/state agreement.
 	dir       string
 	wal       *storage.WAL
 	walBroken bool
@@ -119,6 +128,11 @@ func OpenDurable(dir string, cfg Config) (*DB, error) {
 				return nil, err
 			}
 		}
+	} else if storage.HasFlatCatalog(dir) {
+		// The directory was written by plain Save. Opening it as an empty
+		// durable catalog would silently orphan its tables behind the
+		// first checkpoint's snapshot; make the mismatch explicit.
+		return nil, fmt.Errorf("cods: %s holds a plain Save catalog, not a durable one; open it with OpenDir, or load its tables into a database opened with OpenDurable on a fresh directory", dir)
 	}
 	wal, err := storage.OpenWAL(dir, snapEpoch)
 	if err != nil {
@@ -180,32 +194,72 @@ func (db *DB) Checkpoint() error {
 	if db.dir == "" {
 		return errors.New("cods: Checkpoint requires a database opened with OpenDurable")
 	}
-	return db.checkpointLocked()
+	return db.checkpointLocked(false)
 }
 
-func (db *DB) checkpointLocked() error {
+// checkpointLocked snapshots the catalog and resets the log. mutated
+// says the caller already changed the in-memory catalog in a way the
+// WAL cannot express (bulk load, rollback, file-fed column): a failure
+// before the snapshot publishes then leaves that change durable
+// nowhere, so the write path is poisoned — further statements must not
+// be logged on top of the hole, or recovery would replay them against a
+// snapshot missing it. An explicit Checkpoint of a fully-journaled
+// catalog (mutated false) can fail before publishing without poisoning:
+// the old snapshot plus the intact log still reproduce every commit.
+// Once the new generation publishes, any failure (dir sync, log reset)
+// always poisons, since appends would land in a stale-epoch log that
+// recovery discards.
+func (db *DB) checkpointLocked(mutated bool) error {
 	if db.wal == nil {
 		return ErrClosed
+	}
+	fail := func(err error) error {
+		if !mutated {
+			return err
+		}
+		db.walBroken = true
+		return fmt.Errorf("cods: %w: checkpoint snapshot failed (catalog changes disabled until a Checkpoint succeeds): %w", ErrNotDurable, err)
 	}
 	var tables []*colstore.Table
 	for _, name := range db.engine.Tables() {
 		t, err := db.engine.Table(name)
 		if err != nil {
-			return err
+			return fail(err)
 		}
 		tables = append(tables, t)
 	}
 	// Publish a fresh snapshot generation, then retire the log it
 	// subsumes. A crash between the two leaves a stale-epoch log that
-	// recovery discards (OpenDurable); a reset failure leaves the log
-	// broken until the next successful checkpoint.
+	// recovery discards (OpenDurable). Never reuse a published epoch: a
+	// prior checkpoint may have published its snapshot and then failed
+	// before resetting the log, and rewriting the generation CURRENT
+	// points at would leave recovery nothing good to load if we crash
+	// mid-write.
 	next := db.wal.Epoch() + 1
-	if err := storage.SaveSnapshot(db.dir, tables, next); err != nil {
-		return err
+	cur, ok, err := storage.CurrentEpoch(db.dir)
+	if err != nil {
+		// The published epoch is unknown; picking one blindly could
+		// rewrite the generation CURRENT points at.
+		return fail(err)
+	}
+	if ok && cur >= next {
+		next = cur + 1
+	}
+	published, err := storage.SaveSnapshot(db.dir, tables, next)
+	if err != nil {
+		if !published {
+			return fail(err)
+		}
+		// The CURRENT swap happened, so recovery may already load the new
+		// generation while the log still carries the old epoch; appends
+		// would land in a log recovery discards. Poison regardless of
+		// mutated.
+		db.walBroken = true
+		return fmt.Errorf("cods: %w: snapshot published but not finalized (catalog changes disabled until a Checkpoint succeeds): %w", ErrNotDurable, err)
 	}
 	if err := db.wal.Reset(next); err != nil {
 		db.walBroken = true
-		return fmt.Errorf("cods: snapshot published but WAL not reset (catalog changes disabled until a Checkpoint succeeds): %w", err)
+		return fmt.Errorf("cods: %w: snapshot published but WAL not reset (catalog changes disabled until a Checkpoint succeeds): %w", ErrNotDurable, err)
 	}
 	db.walBroken = false
 	return nil
@@ -242,17 +296,18 @@ func (db *DB) journalLocked(op smo.Op) error {
 			// until a snapshot captures it, further changes would log on
 			// top of a hole, so poison the write path.
 			db.walBroken = true
-			return fmt.Errorf("cods: statement applied but not durably logged (catalog changes disabled until a Checkpoint succeeds): %w", err)
+			return fmt.Errorf("cods: %w: statement applied but not durably logged (catalog changes disabled until a Checkpoint succeeds): %w", ErrNotDurable, err)
 		}
 		return nil
 	}
-	return db.checkpointLocked()
+	return db.checkpointLocked(true)
 }
 
 // failIfClosedLocked guards catalog-changing calls on a durable database:
-// after Close, or after a failed WAL write left the log missing a
-// committed statement, changes are refused rather than silently
-// diverging from disk. A successful Checkpoint clears the broken state.
+// after Close, or after a failed WAL write or checkpoint left durable
+// state missing a committed change, changes are refused rather than
+// silently diverging from disk. A successful Checkpoint clears the
+// broken state.
 func (db *DB) failIfClosedLocked() error {
 	if db.dir == "" {
 		return nil
@@ -261,7 +316,7 @@ func (db *DB) failIfClosedLocked() error {
 		return ErrClosed
 	}
 	if db.walBroken {
-		return errors.New("cods: write-ahead log is missing a committed statement after a write failure; run Checkpoint to restore durability")
+		return fmt.Errorf("cods: %w: a committed catalog change is not yet durable after a failed WAL write or checkpoint; run Checkpoint to restore durability", ErrNotDurable)
 	}
 	return nil
 }
@@ -314,6 +369,10 @@ func toResult(r *core.Result) *Result {
 //
 // Conditions are comparisons (= != < <= > >=) over column values combined
 // with AND/OR/NOT; comparisons are numeric when both sides are integers.
+//
+// On a durable database, a non-nil Result alongside a non-nil error
+// means the statement committed in memory but could not be made durable
+// (see Checkpoint); retrying it would re-apply a live statement.
 func (db *DB) Exec(op string) (*Result, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -328,12 +387,16 @@ func (db *DB) Exec(op string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	out := toResult(res)
 	if db.wal != nil {
 		if err := db.journalLocked(parsed); err != nil {
-			return nil, err
+			// The statement committed but could not be made durable;
+			// callers must see the result or they would retry a live
+			// statement.
+			return out, err
 		}
 	}
-	return toResult(res), nil
+	return out, nil
 }
 
 // ExecScript executes a sequence of operators separated by newlines or
@@ -349,9 +412,17 @@ func (db *DB) ExecScript(script string) ([]*Result, error) {
 		return nil, err
 	}
 	results, execErr := db.engine.ApplyScript(ops)
+	out := make([]*Result, len(results))
+	for i, r := range results {
+		out[i] = toResult(r)
+	}
 	// Operators applied before a mid-script failure are committed, so they
-	// are journaled even when execErr is non-nil. A script containing a
-	// non-replayable operator checkpoints once instead of logging.
+	// are journaled even when execErr is non-nil — in one batched append
+	// (a single fsync under the exclusive lock, not one per statement). A
+	// script containing a non-replayable operator checkpoints once
+	// instead of logging. A journal/checkpoint failure still returns the
+	// results: the statements are live in the catalog, and callers (the
+	// HTTP server) must see what committed to retry the remainder safely.
 	if db.wal != nil && len(results) > 0 {
 		journal := true
 		for _, r := range results {
@@ -361,18 +432,20 @@ func (db *DB) ExecScript(script string) ([]*Result, error) {
 			}
 		}
 		if journal {
-			for _, r := range results {
-				if err := db.journalLocked(r.Op); err != nil {
-					return nil, errors.Join(execErr, err)
-				}
+			stmts := make([]string, len(results))
+			for i, r := range results {
+				stmts[i] = r.Op.String()
 			}
-		} else if err := db.checkpointLocked(); err != nil {
-			return nil, errors.Join(execErr, err)
+			if err := db.wal.AppendAll(stmts); err != nil {
+				// Committed statements are missing from the log; poison
+				// the write path as journalLocked would.
+				db.walBroken = true
+				err = fmt.Errorf("cods: %w: statements applied but not durably logged (catalog changes disabled until a Checkpoint succeeds): %w", ErrNotDurable, err)
+				return out, errors.Join(execErr, err)
+			}
+		} else if err := db.checkpointLocked(true); err != nil {
+			return out, errors.Join(execErr, err)
 		}
-	}
-	out := make([]*Result, len(results))
-	for i, r := range results {
-		out[i] = toResult(r)
 	}
 	return out, execErr
 }
@@ -404,7 +477,7 @@ func (db *DB) CreateTableFromRows(name string, columns []string, key []string, r
 	// Bulk-loaded rows exist nowhere in statement form; checkpoint so the
 	// snapshot carries them.
 	if db.wal != nil {
-		return db.checkpointLocked()
+		return db.checkpointLocked(true)
 	}
 	return nil
 }
@@ -424,7 +497,7 @@ func (db *DB) LoadCSV(path, table string, key ...string) error {
 		return err
 	}
 	if db.wal != nil {
-		return db.checkpointLocked()
+		return db.checkpointLocked(true)
 	}
 	return nil
 }
@@ -595,7 +668,7 @@ func (db *DB) Rollback(version int) error {
 	// logged "rollback to N" would be ambiguous; snapshot the rolled-back
 	// state instead.
 	if db.wal != nil {
-		return db.checkpointLocked()
+		return db.checkpointLocked(true)
 	}
 	return nil
 }

@@ -242,3 +242,173 @@ func TestExecUnknownStatementTypedError(t *testing.T) {
 		t.Fatalf("err = %v, want errors.Is ErrParse", err)
 	}
 }
+
+// blockCheckpoints makes SaveSnapshot in dir fail by occupying the
+// CURRENT.tmp path (the snapshot pointer's staging file) with a
+// directory; os.Create on it fails even when running as root, unlike
+// permission bits. unblock with os.Remove.
+func blockCheckpoints(t *testing.T, dir string) string {
+	t.Helper()
+	blocker := filepath.Join(dir, "CURRENT.tmp")
+	if err := os.Mkdir(blocker, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return blocker
+}
+
+// TestCheckpointFailurePoisonsWrites covers the durability hole where a
+// catalog change that can only be persisted by checkpointing (here a
+// rollback) hits a snapshot failure: the change then exists nowhere on
+// disk, so further catalog changes must be refused — otherwise they
+// would be WAL-logged on top of the hole and recovery would replay them
+// against a snapshot missing it.
+func TestCheckpointFailurePoisonsWrites(t *testing.T) {
+	dir := t.TempDir()
+	db := openDurable(t, dir)
+	mustExec(t, db, "CREATE TABLE r (a, b)")
+
+	blocker := blockCheckpoints(t, dir)
+	if err := db.Rollback(0); err == nil {
+		t.Fatal("Rollback with blocked snapshot succeeded")
+	}
+	// The rollback is live in memory but durable nowhere: the write path
+	// must be poisoned...
+	if _, err := db.Exec("CREATE TABLE s (x)"); err == nil {
+		t.Fatal("Exec after failed checkpoint succeeded")
+	}
+	// ...while reads keep serving.
+	if got := db.Tables(); len(got) != 0 {
+		t.Fatalf("tables after rollback = %v, want none", got)
+	}
+
+	// A successful Checkpoint re-establishes durability and re-enables
+	// writes.
+	if err := os.Remove(blocker); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "CREATE TABLE s (x)")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openDurable(t, dir)
+	if got, want := re.Tables(), []string{"s"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered tables = %v, want %v", got, want)
+	}
+}
+
+// TestExecScriptReturnsCommittedResultsOnCheckpointFailure: when the
+// statements applied but making them durable failed, callers (the HTTP
+// server) must still see what committed alongside the error.
+func TestExecScriptReturnsCommittedResultsOnCheckpointFailure(t *testing.T) {
+	dir := t.TempDir()
+	db := openDurable(t, dir)
+	if err := db.CreateTableFromRows("t", []string{"a", "b"}, nil,
+		[][]string{{"1", "x"}, {"2", "y"}}); err != nil {
+		t.Fatal(err)
+	}
+	vals := filepath.Join(t.TempDir(), "vals.txt")
+	if err := os.WriteFile(vals, []byte("p\nq\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A file-fed column is non-replayable, so the script persists by
+	// checkpointing — which is blocked.
+	blockCheckpoints(t, dir)
+	results, err := db.ExecScript("ADD COLUMN c TO t FROM '" + vals + "'")
+	if err == nil {
+		t.Fatal("ExecScript with blocked checkpoint succeeded")
+	}
+	if len(results) != 1 {
+		t.Fatalf("results = %v, want the committed statement alongside the error", results)
+	}
+	if got, want := results[0].Kind, "ADD COLUMN"; got != want {
+		t.Fatalf("results[0].Kind = %q, want %q", got, want)
+	}
+}
+
+// TestOpenDurableRejectsPlainSaveDir: a directory written by plain Save
+// has tables but no CURRENT pointer; opening it as durable must fail
+// loudly instead of starting empty and orphaning the data behind the
+// first checkpoint's snapshot.
+func TestOpenDurableRejectsPlainSaveDir(t *testing.T) {
+	dir := t.TempDir()
+	db := Open(Config{})
+	if err := db.CreateTableFromRows("t", []string{"a"}, nil, [][]string{{"1"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := OpenDurable(dir, Config{}); err == nil {
+		t.Fatal("OpenDurable on a plain Save directory succeeded")
+	}
+	// The right opener still works.
+	od, err := OpenDir(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !od.HasTable("t") {
+		t.Fatal("OpenDir lost table t")
+	}
+}
+
+// TestExplicitCheckpointFailureDoesNotPoison: when an explicit
+// Checkpoint fails before publishing, every commit is still covered by
+// the old snapshot plus the intact WAL, so writes must keep working —
+// only checkpoints that were persisting a non-journalable change poison
+// the write path.
+func TestExplicitCheckpointFailureDoesNotPoison(t *testing.T) {
+	dir := t.TempDir()
+	db := openDurable(t, dir)
+	mustExec(t, db, "CREATE TABLE r (a)")
+
+	blocker := blockCheckpoints(t, dir)
+	if err := db.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint with blocked snapshot succeeded")
+	}
+	mustExec(t, db, "CREATE TABLE s (x)")
+	if err := os.Remove(blocker); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openDurable(t, dir)
+	if got, want := re.Tables(), []string{"r", "s"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered tables = %v, want %v", got, want)
+	}
+}
+
+// TestExecReturnsResultOnCheckpointFailure mirrors the ExecScript case
+// for the single-op path: a non-replayable statement that commits but
+// cannot be made durable must surface its Result alongside the error.
+func TestExecReturnsResultOnCheckpointFailure(t *testing.T) {
+	dir := t.TempDir()
+	db := openDurable(t, dir)
+	if err := db.CreateTableFromRows("t", []string{"a", "b"}, nil,
+		[][]string{{"1", "x"}, {"2", "y"}}); err != nil {
+		t.Fatal(err)
+	}
+	vals := filepath.Join(t.TempDir(), "vals.txt")
+	if err := os.WriteFile(vals, []byte("p\nq\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	blockCheckpoints(t, dir)
+	res, err := db.Exec("ADD COLUMN c TO t FROM '" + vals + "'")
+	if err == nil {
+		t.Fatal("Exec with blocked checkpoint succeeded")
+	}
+	if res == nil {
+		t.Fatal("Exec returned nil Result for a committed statement")
+	}
+	if got, want := res.Kind, "ADD COLUMN"; got != want {
+		t.Fatalf("res.Kind = %q, want %q", got, want)
+	}
+}

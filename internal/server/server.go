@@ -17,6 +17,11 @@
 // The server bounds concurrently served requests (Config.MaxInFlight);
 // excess requests queue until a slot frees or the client gives up, so a
 // traffic burst degrades to queueing instead of unbounded goroutines.
+// GET /healthz and GET /stats bypass the admission queue and never take
+// the catalog lock (they report the last schema version the server
+// observed): a server saturated with slow queries or blocked on a long
+// evolution still answers liveness probes, so an orchestrator never
+// kills it for being busy.
 package server
 
 import (
@@ -56,8 +61,15 @@ type Server struct {
 
 	inFlight atomic.Int64
 	stats    map[string]*endpointStats
+	// lastVersion is the most recently observed schema version, for the
+	// probe endpoints: they must answer without touching the DB lock (a
+	// pending evolution blocks new readers), so they report this instead
+	// of calling db.Version.
+	lastVersion atomic.Int64
 
-	mu       sync.Mutex
+	// hs is created in New, never replaced: Shutdown before (or racing)
+	// Serve still reaches the same http.Server, so a shut-down server
+	// refuses to serve instead of running indefinitely.
 	hs       *http.Server
 	mux      *http.ServeMux
 	done     chan struct{}
@@ -105,29 +117,49 @@ func New(db *cods.DB, cfg Config) *Server {
 		mux:   http.NewServeMux(),
 		done:  make(chan struct{}),
 	}
-	s.route("GET /healthz", s.handleHealthz)
-	s.route("GET /schema", s.handleSchema)
-	s.route("GET /stats", s.handleStats)
-	s.route("POST /query", s.handleQuery)
-	s.route("POST /exec", s.handleExec)
-	s.route("POST /checkpoint", s.handleCheckpoint)
+	// Probes bypass admission: they must answer while every request slot
+	// is held by slow queries, or an orchestrator mistakes busy for dead.
+	s.route("GET /healthz", s.handleHealthz, false)
+	s.route("GET /stats", s.handleStats, false)
+	s.route("GET /schema", s.handleSchema, true)
+	s.route("POST /query", s.handleQuery, true)
+	s.route("POST /exec", s.handleExec, true)
+	s.route("POST /checkpoint", s.handleCheckpoint, true)
+	s.hs = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	s.lastVersion.Store(int64(db.Version()))
 	return s
 }
 
-// route registers one "METHOD /path" pattern with the limiting and
-// accounting middleware applied.
-func (s *Server) route(pattern string, h func(w http.ResponseWriter, r *http.Request) *httpError) {
+// noteVersion records a schema version the server just observed, keeping
+// the lock-free probe endpoints current. Versions only ever grow, so a
+// concurrent handler publishing an older one must not win.
+func (s *Server) noteVersion(v int) {
+	nv := int64(v)
+	for {
+		cur := s.lastVersion.Load()
+		if nv <= cur || s.lastVersion.CompareAndSwap(cur, nv) {
+			return
+		}
+	}
+}
+
+// route registers one "METHOD /path" pattern with the accounting
+// middleware applied; admit additionally puts the request through the
+// MaxInFlight admission queue.
+func (s *Server) route(pattern string, h func(w http.ResponseWriter, r *http.Request) *httpError, admit bool) {
 	path := pattern[strings.Index(pattern, " ")+1:]
 	st := &endpointStats{}
 	s.stats[path] = st
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		// Admission: take a slot or queue until one frees; a client that
-		// disconnects while queued costs nothing further.
-		select {
-		case s.sem <- struct{}{}:
-			defer func() { <-s.sem }()
-		case <-r.Context().Done():
-			return
+		if admit {
+			// Admission: take a slot or queue until one frees; a client
+			// that disconnects while queued costs nothing further.
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			case <-r.Context().Done():
+				return
+			}
 		}
 		s.inFlight.Add(1)
 		defer s.inFlight.Add(-1)
@@ -157,13 +189,10 @@ func (s *Server) route(pattern string, h func(w http.ResponseWriter, r *http.Req
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Serve accepts connections on l until Shutdown. It blocks, returning
-// nil after a clean shutdown.
+// nil after a clean shutdown — immediately, without serving, if Shutdown
+// already ran.
 func (s *Server) Serve(l net.Listener) error {
-	s.mu.Lock()
-	s.hs = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
-	hs := s.hs
-	s.mu.Unlock()
-	err := hs.Serve(l)
+	err := s.hs.Serve(l)
 	if errors.Is(err, http.ErrServerClosed) {
 		// Shutdown was called; wait for it to finish draining.
 		<-s.done
@@ -182,15 +211,10 @@ func (s *Server) ListenAndServe(addr string) error {
 }
 
 // Shutdown stops accepting connections and waits (bounded by ctx) for
-// in-flight requests to finish.
+// in-flight requests to finish. Called before Serve, it prevents the
+// server from ever serving.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.mu.Lock()
-	hs := s.hs
-	s.mu.Unlock()
-	var err error
-	if hs != nil {
-		err = hs.Shutdown(ctx)
-	}
+	err := s.hs.Shutdown(ctx)
 	s.doneOnce.Do(func() { close(s.done) })
 	return err
 }
@@ -209,10 +233,16 @@ func errf(status int, format string, args ...any) *httpError {
 }
 
 // classifyExecErr maps an Exec failure to a status: statements the
-// client got wrong are 400, statements the catalog cannot apply are 422.
+// client got wrong are 400, statements the catalog cannot apply are
+// 422, and durability failures — the statement was fine, the storage
+// layer is degraded — are 503 so clients and monitoring see a server
+// problem, not a client one.
 func classifyExecErr(err error) *httpError {
 	if errors.Is(err, cods.ErrUnknownStatement) || errors.Is(err, cods.ErrParse) {
 		return errf(http.StatusBadRequest, "%v", err)
+	}
+	if errors.Is(err, cods.ErrNotDurable) {
+		return errf(http.StatusServiceUnavailable, "%v", err)
 	}
 	return errf(http.StatusUnprocessableEntity, "%v", err)
 }
@@ -241,9 +271,12 @@ func readJSON(r *http.Request, v any) *httpError {
 // --- /healthz ---
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) *httpError {
+	// Lock-free: a probe must answer while an evolution holds (or waits
+	// for) the catalog lock, so it reports the last observed version
+	// rather than calling db.Version.
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
-		"schema_version": s.db.Version(),
+		"schema_version": s.lastVersion.Load(),
 	})
 	return nil
 }
@@ -274,6 +307,7 @@ type SchemaColumn struct {
 
 func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) *httpError {
 	resp := SchemaResponse{Version: s.db.Version(), Tables: []SchemaTable{}}
+	s.noteVersion(resp.Version)
 	for _, name := range s.db.Tables() {
 		info, err := s.db.Describe(name)
 		if err != nil {
@@ -430,8 +464,18 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) *httpError {
 		return errf(http.StatusBadRequest, "set op or script, not both")
 	case req.Op != "":
 		res, err := s.db.Exec(req.Op)
+		if res != nil {
+			s.noteVersion(res.Version)
+		}
 		if err != nil {
-			return classifyExecErr(err)
+			herr := classifyExecErr(err)
+			if res != nil {
+				// The statement committed but could not be made durable;
+				// the client must see it or a retry re-applies a live
+				// statement.
+				herr.extra = map[string]any{"results": []ExecResult{toExecResult(res)}}
+			}
+			return herr
 		}
 		writeJSON(w, http.StatusOK, ExecResponse{Results: []ExecResult{toExecResult(res)}})
 		return nil
@@ -440,6 +484,9 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) *httpError {
 		execResults := []ExecResult{}
 		for _, r := range results {
 			execResults = append(execResults, toExecResult(r))
+		}
+		if n := len(results); n > 0 {
+			s.noteVersion(results[n-1].Version)
 		}
 		if err != nil {
 			// Statements before the failure committed (and are durable);
@@ -460,9 +507,17 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) *httpError {
 
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) *httpError {
 	if err := s.db.Checkpoint(); err != nil {
-		return errf(http.StatusUnprocessableEntity, "%v", err)
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, cods.ErrNotDurable) {
+			// Same contract as /exec: durability failures are the
+			// server's problem, not the client's.
+			status = http.StatusServiceUnavailable
+		}
+		return errf(status, "%v", err)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "schema_version": s.db.Version()})
+	v := s.db.Version()
+	s.noteVersion(v)
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "schema_version": v})
 	return nil
 }
 
@@ -490,7 +545,7 @@ type StatsResponse struct {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) *httpError {
 	resp := StatsResponse{
 		UptimeMS:      float64(time.Since(s.start).Microseconds()) / 1000,
-		SchemaVersion: s.db.Version(),
+		SchemaVersion: int(s.lastVersion.Load()),
 		InFlight:      s.inFlight.Load(),
 		MaxInFlight:   s.cfg.MaxInFlight,
 		Endpoints:     make(map[string]EndpointStats, len(s.stats)),

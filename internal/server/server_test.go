@@ -8,6 +8,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -420,5 +422,155 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 	if _, err := http.Get(url + "/healthz"); err == nil {
 		t.Fatal("server still accepting after shutdown")
+	}
+}
+
+// TestShutdownBeforeServe: a server shut down before (or while) Serve
+// starts must not serve — Serve returns a clean nil instead of running
+// indefinitely past its own Shutdown.
+func TestShutdownBeforeServe(t *testing.T) {
+	db := cods.Open(cods.Config{})
+	s := New(db, Config{})
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(l) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve after Shutdown: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Serve after Shutdown did not return")
+	}
+}
+
+// TestProbesBypassAdmission: /healthz and /stats must answer while every
+// request slot is held by slow queries, or an orchestrator mistakes a
+// busy server for a dead one.
+func TestProbesBypassAdmission(t *testing.T) {
+	db := cods.Open(cods.Config{})
+	s := New(db, Config{MaxInFlight: 1})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	// Saturate the only request slot.
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	client := &http.Client{Timeout: 2 * time.Second}
+	for _, path := range []string{"/healthz", "/stats"} {
+		resp, err := client.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s while saturated: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s while saturated: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestExecOpDurabilityFailureReportsResult: a single op that commits
+// but cannot be made durable (checkpoint blocked) must carry its result
+// in the error body, like the script path, so the client does not retry
+// a live statement.
+func TestExecOpDurabilityFailureReportsResult(t *testing.T) {
+	dir := t.TempDir()
+	db, err := cods.OpenDurable(dir, cods.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.CreateTableFromRows("t", []string{"a"}, nil,
+		[][]string{{"1"}, {"2"}}); err != nil {
+		t.Fatal(err)
+	}
+	vals := filepath.Join(t.TempDir(), "vals.txt")
+	if err := os.WriteFile(vals, []byte("p\nq\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the snapshot pointer's staging path so the op's checkpoint
+	// (file-fed columns are non-replayable) fails after the op commits.
+	if err := os.Mkdir(filepath.Join(dir, "CURRENT.tmp"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(db, Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	resp, raw := postJSON(t, ts.URL+"/exec",
+		ExecRequest{Op: "ADD COLUMN c TO t FROM '" + vals + "'"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503: %s", resp.StatusCode, raw)
+	}
+	var body struct {
+		Error   string       `json:"error"`
+		Results []ExecResult `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Error == "" {
+		t.Fatal("missing error")
+	}
+	if len(body.Results) != 1 || body.Results[0].Kind != "ADD COLUMN" {
+		t.Fatalf("results = %+v, want the committed ADD COLUMN", body.Results)
+	}
+}
+
+// TestProbesAnswerDuringEvolution: /healthz and /stats must answer while
+// an evolution holds the catalog's exclusive lock — which also blocks
+// new readers — not just while the admission queue is full. The Status
+// hook parks the evolution mid-flight with the lock held.
+func TestProbesAnswerDuringEvolution(t *testing.T) {
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	var once sync.Once
+	db := cods.Open(cods.Config{Status: func(string) {
+		once.Do(func() { close(entered) })
+		<-gate
+	}})
+	if err := db.CreateTableFromRows("emp",
+		[]string{"Employee", "Skill", "Address"}, nil,
+		[][]string{
+			{"alice", "go", "1 Main St"},
+			{"bob", "sql", "2 Oak Ave"},
+		}); err != nil {
+		t.Fatal(err)
+	}
+	s := New(db, Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	execDone := make(chan error, 1)
+	go func() {
+		_, err := db.Exec("DECOMPOSE TABLE emp INTO s1 (Employee, Skill), s2 (Employee, Address)")
+		execDone <- err
+	}()
+	<-entered // the evolution now holds the exclusive lock
+
+	client := &http.Client{Timeout: 2 * time.Second}
+	for _, path := range []string{"/healthz", "/stats"} {
+		resp, err := client.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s during evolution: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s during evolution: status %d", path, resp.StatusCode)
+		}
+	}
+
+	close(gate)
+	if err := <-execDone; err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -39,65 +40,106 @@ func HasSnapshot(dir string) bool {
 	return err == nil
 }
 
+// HasFlatCatalog reports whether dir holds a plain Save layout (a
+// top-level catalog.json). Durable openers probe this when no CURRENT
+// pointer exists: silently treating a Save directory as an empty durable
+// one would orphan its tables behind the first checkpoint's snapshot.
+func HasFlatCatalog(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, catalogName))
+	return err == nil
+}
+
 // SaveSnapshot checkpoints tables as snapshot generation epoch: the data
 // is fully written and fsync'd before the CURRENT pointer is atomically
-// swapped to it, and stale generations are pruned afterwards. On return
-// the snapshot is the one recovery will load, so the caller may reset
-// the WAL to the same epoch.
-func SaveSnapshot(dir string, tables []*colstore.Table, epoch uint64) error {
+// swapped to it, and stale generations are pruned afterwards. On a nil
+// error the snapshot is the one recovery will load, so the caller may
+// reset the WAL to the same epoch. published reports whether the CURRENT
+// swap happened: a failure with published true (the post-rename dir
+// sync) means the new generation may already be the one recovery loads,
+// so the caller must treat the old snapshot + log pair as retired.
+func SaveSnapshot(dir string, tables []*colstore.Table, epoch uint64) (published bool, err error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("storage: %w", err)
+		return false, fmt.Errorf("storage: %w", err)
 	}
 	sub := snapDirName(epoch)
 	snapDir := filepath.Join(dir, sub)
 	// A leftover directory at this epoch means an earlier checkpoint
 	// crashed before publishing; its contents are suspect, start over.
+	// (Callers never reuse a published epoch — see CurrentEpoch.)
 	if err := os.RemoveAll(snapDir); err != nil {
-		return fmt.Errorf("storage: %w", err)
+		return false, fmt.Errorf("storage: %w", err)
 	}
 	if err := Save(snapDir, tables); err != nil {
-		return err
+		return false, err
 	}
 	if err := syncTree(snapDir, tables); err != nil {
-		return err
+		return false, err
 	}
 
 	// Publish: write CURRENT beside the snapshot, fsync it, rename into
 	// place, fsync the directory so the rename itself is durable.
 	tmp := filepath.Join(dir, currentName+".tmp")
 	if err := writeFileSync(tmp, []byte(sub+"\n")); err != nil {
-		return err
+		return false, err
 	}
 	if err := os.Rename(tmp, filepath.Join(dir, currentName)); err != nil {
-		return fmt.Errorf("storage: publishing snapshot: %w", err)
+		return false, fmt.Errorf("storage: publishing snapshot: %w", err)
 	}
 	if err := syncDir(dir); err != nil {
-		return err
+		return true, err
 	}
 
 	// Old generations are unreachable now; pruning is best-effort.
-	entries, err := os.ReadDir(dir)
-	if err == nil {
+	entries, rerr := os.ReadDir(dir)
+	if rerr == nil {
 		for _, e := range entries {
 			if e.IsDir() && strings.HasPrefix(e.Name(), "snap-") && e.Name() != sub {
 				os.RemoveAll(filepath.Join(dir, e.Name()))
 			}
 		}
 	}
-	return nil
+	return true, nil
+}
+
+// readCurrent parses dir's CURRENT pointer into its subdirectory name
+// and epoch.
+func readCurrent(dir string) (sub string, epoch uint64, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, currentName))
+	if err != nil {
+		return "", 0, fmt.Errorf("storage: %w", err)
+	}
+	sub = strings.TrimSpace(string(data))
+	if _, err := fmt.Sscanf(sub, "snap-%d", &epoch); err != nil {
+		return "", 0, fmt.Errorf("storage: malformed CURRENT %q: %w", sub, err)
+	}
+	return sub, epoch, nil
+}
+
+// CurrentEpoch returns the published snapshot generation. ok is false
+// with a nil error when none is published; a non-nil error means the
+// pointer could not be read or parsed, so the published epoch is
+// unknown. Checkpoints use it to never rewrite a published generation:
+// retrying a failed checkpoint at an epoch that already got published
+// would destroy the snapshot CURRENT points at while rewriting it —
+// which is why an unreadable pointer must abort the checkpoint rather
+// than pass for "nothing published".
+func CurrentEpoch(dir string) (epoch uint64, ok bool, err error) {
+	_, epoch, err = readCurrent(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, false, nil
+		}
+		return 0, false, err
+	}
+	return epoch, true, nil
 }
 
 // LoadSnapshot reads the published durable snapshot and returns its
 // tables and epoch.
 func LoadSnapshot(dir string) ([]*colstore.Table, uint64, error) {
-	data, err := os.ReadFile(filepath.Join(dir, currentName))
+	sub, epoch, err := readCurrent(dir)
 	if err != nil {
-		return nil, 0, fmt.Errorf("storage: %w", err)
-	}
-	sub := strings.TrimSpace(string(data))
-	var epoch uint64
-	if _, err := fmt.Sscanf(sub, "snap-%d", &epoch); err != nil {
-		return nil, 0, fmt.Errorf("storage: malformed CURRENT %q: %w", sub, err)
+		return nil, 0, err
 	}
 	tables, err := Load(filepath.Join(dir, sub))
 	if err != nil {

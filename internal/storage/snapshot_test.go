@@ -32,7 +32,7 @@ func TestSnapshotSaveLoadRoundTrip(t *testing.T) {
 		t.Fatal("empty dir claims a snapshot")
 	}
 	tab := buildTable(t, "r", [][]string{{"1", "x"}, {"2", "y"}})
-	if err := SaveSnapshot(dir, []*colstore.Table{tab}, 1); err != nil {
+	if _, err := SaveSnapshot(dir, []*colstore.Table{tab}, 1); err != nil {
 		t.Fatal(err)
 	}
 	if !HasSnapshot(dir) {
@@ -51,11 +51,11 @@ func TestSnapshotSaveLoadRoundTrip(t *testing.T) {
 func TestSnapshotGenerations(t *testing.T) {
 	dir := t.TempDir()
 	v1 := buildTable(t, "r", [][]string{{"1", "x"}})
-	if err := SaveSnapshot(dir, []*colstore.Table{v1}, 1); err != nil {
+	if _, err := SaveSnapshot(dir, []*colstore.Table{v1}, 1); err != nil {
 		t.Fatal(err)
 	}
 	v2 := buildTable(t, "s", [][]string{{"2", "y"}, {"3", "z"}})
-	if err := SaveSnapshot(dir, []*colstore.Table{v2}, 2); err != nil {
+	if _, err := SaveSnapshot(dir, []*colstore.Table{v2}, 2); err != nil {
 		t.Fatal(err)
 	}
 	tables, epoch, err := LoadSnapshot(dir)
@@ -75,7 +75,7 @@ func TestSnapshotGenerations(t *testing.T) {
 func TestSnapshotCrashBeforePublishKeepsOld(t *testing.T) {
 	dir := t.TempDir()
 	v1 := buildTable(t, "r", [][]string{{"1", "x"}})
-	if err := SaveSnapshot(dir, []*colstore.Table{v1}, 1); err != nil {
+	if _, err := SaveSnapshot(dir, []*colstore.Table{v1}, 1); err != nil {
 		t.Fatal(err)
 	}
 	// Half-finished generation 2: data written, never published.
@@ -91,7 +91,7 @@ func TestSnapshotCrashBeforePublishKeepsOld(t *testing.T) {
 		t.Fatalf("loaded epoch %d table %s; want the published generation 1", epoch, tables[0].Name())
 	}
 	// Re-checkpointing at epoch 2 must clobber the suspect leftovers.
-	if err := SaveSnapshot(dir, []*colstore.Table{v2}, 2); err != nil {
+	if _, err := SaveSnapshot(dir, []*colstore.Table{v2}, 2); err != nil {
 		t.Fatal(err)
 	}
 	if _, epoch, _ := LoadSnapshot(dir); epoch != 2 {

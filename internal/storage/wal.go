@@ -149,17 +149,32 @@ func (w *WAL) writeHeader() error {
 // Append durably logs one statement: the record is written and fsync'd
 // before Append returns, so a committed statement survives any later
 // crash.
-func (w *WAL) Append(stmt string) error {
-	payload := []byte(stmt)
-	if len(payload) > maxWALRecord {
-		return fmt.Errorf("storage: WAL record of %d bytes exceeds limit %d", len(payload), maxWALRecord)
+func (w *WAL) Append(stmt string) error { return w.AppendAll([]string{stmt}) }
+
+// AppendAll durably logs a batch of statements with a single write and
+// fsync. Crash-equivalent to sequential Appends whose durability is
+// only observed after the last one — records land in order, so a crash
+// mid-batch keeps a clean prefix (the torn tail is discarded on
+// reopen) — while holding whatever lock serializes the caller for one
+// disk sync instead of len(stmts).
+func (w *WAL) AppendAll(stmts []string) error {
+	if len(stmts) == 0 {
+		return nil
 	}
-	rec := make([]byte, 8+len(payload))
-	binary.LittleEndian.PutUint32(rec[0:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(payload))
-	copy(rec[8:], payload)
-	if _, err := w.f.Write(rec); err != nil {
-		return fmt.Errorf("storage: appending WAL record: %w", err)
+	var buf []byte
+	for _, stmt := range stmts {
+		payload := []byte(stmt)
+		if len(payload) > maxWALRecord {
+			return fmt.Errorf("storage: WAL record of %d bytes exceeds limit %d", len(payload), maxWALRecord)
+		}
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, payload...)
+	}
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("storage: appending WAL records: %w", err)
 	}
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("storage: syncing WAL: %w", err)
@@ -256,12 +271,4 @@ func scanWAL(f *os.File) ([]string, uint64, int64, error) {
 		stmts = append(stmts, string(payload))
 		off += 8 + int64(n)
 	}
-}
-
-// RemoveWAL deletes dir's write-ahead log if present.
-func RemoveWAL(dir string) error {
-	if err := os.Remove(walPath(dir)); err != nil && !os.IsNotExist(err) {
-		return fmt.Errorf("storage: %w", err)
-	}
-	return nil
 }

@@ -224,17 +224,34 @@ func TestWALBadHeader(t *testing.T) {
 	}
 }
 
-func TestWALRemove(t *testing.T) {
+func TestWALAppendAllBatch(t *testing.T) {
 	dir := t.TempDir()
-	appendAll(t, dir, "CREATE TABLE r (a)")
-	if err := RemoveWAL(dir); err != nil {
+	w, err := OpenWAL(dir, 0)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := os.Stat(walPath(dir)); !os.IsNotExist(err) {
-		t.Fatalf("wal still present after RemoveWAL: %v", err)
+	stmts := []string{
+		"CREATE TABLE r (a, b)",
+		"ADD COLUMN c TO r DEFAULT 'x'",
+		"RENAME TABLE r TO s",
 	}
-	if err := RemoveWAL(dir); err != nil {
-		t.Fatalf("RemoveWAL on missing log: %v", err)
+	if err := w.AppendAll(stmts); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendAll(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := replay(t, dir)
+	if len(got) != len(stmts) {
+		t.Fatalf("replayed %v, want %v", got, stmts)
+	}
+	for i := range stmts {
+		if got[i] != stmts[i] {
+			t.Fatalf("replayed[%d] = %q, want %q", i, got[i], stmts[i])
+		}
 	}
 }
 
