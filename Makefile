@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench docs-lint serve-smoke ci
+.PHONY: all build vet fmt-check test race bench bench-smoke docs-lint serve-smoke ci
 
 all: build test
 
@@ -20,11 +20,12 @@ test:
 
 # Race-detector pass over the concurrency-sensitive packages: the parallel
 # execution layer, the evolution algorithms that fan out over it, the
-# public facade (concurrent Query vs Exec), and the HTTP serving layer.
+# engine's atomic catalog publication, the public facade (lock-free reads
+# vs Exec), and the HTTP serving layer.
 race:
 	$(GO) test -race cods cods/internal/par cods/internal/evolve \
 		cods/internal/wah cods/internal/colstore cods/internal/colquery \
-		cods/internal/server
+		cods/internal/core cods/internal/server
 
 # Every package must carry a package doc comment.
 docs-lint:
@@ -39,4 +40,10 @@ serve-smoke:
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
-ci: build vet fmt-check test docs-lint serve-smoke race bench
+# Read p99 while a DECOMPOSE/MERGE loop runs: lock-free snapshot reads vs
+# the retired RWMutex design. Enough iterations to make the p99 metric
+# meaningful; still seconds, not minutes.
+bench-smoke:
+	$(GO) test -run=NONE -bench=ReadLatencyDuringEvolution -benchtime=200x cods
+
+ci: build vet fmt-check test docs-lint serve-smoke race bench bench-smoke

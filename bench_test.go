@@ -9,7 +9,10 @@ package cods_test
 import (
 	"fmt"
 	"runtime"
+	"sort"
+	"sync"
 	"testing"
+	"time"
 
 	"cods/internal/bench"
 	"cods/internal/bitset"
@@ -453,6 +456,110 @@ func dbRegister(db *cods.DB, t *colstore.Table) error {
 		return err
 	}
 	return db.CreateTableFromRows(t.Name(), t.ColumnNames(), t.Key(), rows)
+}
+
+// BenchmarkReadLatencyDuringEvolution measures read latency (p99 and max,
+// reported as metrics) while a DECOMPOSE/MERGE loop runs concurrently on
+// another table of the same DB.
+//
+// The "snapshot" case is the live code path: reads load the published
+// catalog snapshot and never wait, so read latency is independent of
+// evolution duration. The "rwmutex" case emulates the retired design —
+// readers take a shared lock that each evolution holds exclusively — so
+// its p99 degrades to roughly the length of an evolution. The gap between
+// the two is what copy-on-write catalog publication buys.
+func BenchmarkReadLatencyDuringEvolution(b *testing.B) {
+	setup := func(b *testing.B) *cods.DB {
+		db := cods.Open(cods.Config{})
+		var evolveRows, queryRows [][]string
+		for i := 0; i < 3000; i++ {
+			evolveRows = append(evolveRows, []string{
+				fmt.Sprintf("e%04d", i%300),
+				fmt.Sprintf("s%04d", i),
+				fmt.Sprintf("a%03d", i%150),
+			})
+		}
+		for i := 0; i < 10_000; i++ {
+			queryRows = append(queryRows, []string{fmt.Sprintf("k%05d", i%500), fmt.Sprintf("v%05d", i)})
+		}
+		if err := db.CreateTableFromRows("E", []string{"Employee", "Skill", "Address"}, nil, evolveRows); err != nil {
+			b.Fatal(err)
+		}
+		if err := db.CreateTableFromRows("Q", []string{"K", "V"}, nil, queryRows); err != nil {
+			b.Fatal(err)
+		}
+		return db
+	}
+
+	// gate non-nil emulates the old RWMutex contract around the DB.
+	run := func(b *testing.B, gate *sync.RWMutex) {
+		db := setup(b)
+		stop := make(chan struct{})
+		evolveErr := make(chan error, 1)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if gate != nil {
+					gate.Lock()
+				}
+				_, err1 := db.Exec("DECOMPOSE TABLE E INTO S (Employee, Skill), T (Employee, Address)")
+				_, err2 := db.Exec("MERGE TABLES T, S INTO E")
+				if gate != nil {
+					gate.Unlock()
+				}
+				if err1 != nil || err2 != nil {
+					select {
+					case evolveErr <- fmt.Errorf("evolution loop: %v / %v", err1, err2):
+					default:
+					}
+					return
+				}
+			}
+		}()
+
+		lat := make([]time.Duration, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			if gate != nil {
+				gate.RLock()
+			}
+			n, err := db.Count("Q", "K = 'k00042'")
+			if gate != nil {
+				gate.RUnlock()
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != 20 {
+				b.Fatalf("Count = %d, want 20", n)
+			}
+			lat = append(lat, time.Since(start))
+		}
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+		select {
+		case err := <-evolveErr:
+			b.Fatal(err)
+		default:
+		}
+
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		p99 := lat[len(lat)*99/100]
+		b.ReportMetric(float64(p99.Nanoseconds())/1e6, "p99-ms")
+		b.ReportMetric(float64(lat[len(lat)-1].Nanoseconds())/1e6, "max-ms")
+	}
+
+	b.Run("snapshot", func(b *testing.B) { run(b, nil) })
+	b.Run("rwmutex", func(b *testing.B) { run(b, new(sync.RWMutex)) })
 }
 
 // BenchmarkHarnessSmoke runs the figure harness end to end at a tiny scale

@@ -129,6 +129,12 @@ func runServe(args []string) error {
 	}
 	srv := server.New(db, scfg)
 
+	// Install the signal handler before announcing readiness: a signal
+	// arriving after "listening on" but before Notify would hit the
+	// default handler and kill the process instead of draining it.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
 	// Listen before forking the serve goroutine so the bound address is
 	// known (and printable — ":0" picks a free port) when we report ready.
 	l, err := net.Listen("tcp", *addr)
@@ -139,8 +145,6 @@ func runServe(args []string) error {
 	go func() { errc <- srv.Serve(l) }()
 	logger.Printf("listening on %s", l.Addr())
 
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
 		return err

@@ -37,6 +37,12 @@ var (
 // client error.
 var ErrNotDurable = errors.New("durability failure")
 
+// ErrNoTable matches (via errors.Is) errors from reads against a table
+// that is not in the catalog — including one a concurrent evolution
+// dropped after the caller last looked. Servers map it to "not found"
+// rather than "bad request".
+var ErrNoTable = core.ErrNoTable
+
 // Config parameterizes a DB.
 type Config struct {
 	// Parallelism bounds the worker pool for per-value bitmap work; 0
@@ -53,20 +59,23 @@ type Config struct {
 // DB is a CODS database: a catalog of bitmap-indexed column-store tables
 // evolved in place by Schema Modification Operators.
 //
-// DB is safe for concurrent use. Catalog-changing calls (Exec, ExecScript,
-// Rollback, CreateTableFromRows, LoadCSV) take an exclusive lock; every
-// read — Query, Count, RunQuery, Rows, Describe, Save and friends — takes a
-// shared lock, so any number of readers run concurrently and an evolution
-// waits for in-flight reads, then blocks new ones until it commits. Readers
-// therefore always observe a whole schema version, never a half-applied
-// SMO. Tables are immutable, so results materialized before an evolution
-// commits remain valid afterwards.
+// DB is safe for concurrent use, and reads never block. Every read —
+// Query, Count, RunQuery, Rows, Describe, Save and friends — runs
+// lock-free against the immutable catalog snapshot that was current when
+// the call started (grab one explicitly with Snapshot for multi-step
+// reads), so a long-running evolution never stalls query traffic. A
+// reader observes a whole schema version — never a half-applied SMO — and
+// because tables are immutable, results materialized before an evolution
+// commits remain valid afterwards. Catalog-changing calls (Exec,
+// ExecScript, Rollback, CreateTableFromRows, LoadCSV) serialize on an
+// internal mutex, build the next version off to the side, and publish it
+// with one atomic swap when they commit.
 //
 // A DB from Open or OpenDir lives in memory (persist explicitly with
 // Save); a DB from OpenDurable additionally write-ahead-logs every
 // catalog change, surviving crashes — see OpenDurable, Checkpoint, Close.
 type DB struct {
-	mu     sync.RWMutex
+	mu     sync.Mutex // serializes catalog changes and the WAL; reads never take it
 	engine *core.Engine
 	cfg    Config
 	// dir and wal are set by OpenDurable: every committed catalog change
@@ -164,25 +173,11 @@ func OpenDurable(dir string, cfg Config) (*DB, error) {
 	return db, nil
 }
 
-// Save persists every table to a directory in compressed binary form.
+// Save persists every table to a directory in compressed binary form. It
+// reads one published catalog snapshot, so it writes a consistent schema
+// version without blocking — or being blocked by — a running evolution.
 func (db *DB) Save(dir string) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.saveLocked(dir)
-}
-
-// saveLocked snapshots the catalog under an already-held lock (shared or
-// exclusive).
-func (db *DB) saveLocked(dir string) error {
-	var tables []*colstore.Table
-	for _, name := range db.engine.Tables() {
-		t, err := db.engine.Table(name)
-		if err != nil {
-			return err
-		}
-		tables = append(tables, t)
-	}
-	return storage.Save(dir, tables)
+	return db.Snapshot().Save(dir)
 }
 
 // Checkpoint writes a fresh snapshot of a durable database and truncates
@@ -220,9 +215,13 @@ func (db *DB) checkpointLocked(mutated bool) error {
 		db.walBroken = true
 		return fmt.Errorf("cods: %w: checkpoint snapshot failed (catalog changes disabled until a Checkpoint succeeds): %w", ErrNotDurable, err)
 	}
+	// The staged catalog, not the published one: when a caller deferred
+	// publication, this checkpoint is what makes the pending change
+	// durable, so it must capture that change.
+	cat := db.engine.StagedCatalog()
 	var tables []*colstore.Table
-	for _, name := range db.engine.Tables() {
-		t, err := db.engine.Table(name)
+	for _, name := range cat.Tables() {
+		t, err := cat.Table(name)
 		if err != nil {
 			return fail(err)
 		}
@@ -277,6 +276,177 @@ func (db *DB) Close() error {
 	err := db.wal.Close()
 	db.wal = nil
 	return err
+}
+
+// Snapshot is an immutable, lock-free view of the database at one schema
+// version. Every DB read method is equivalent to a one-shot call on a
+// fresh Snapshot; grab one explicitly when a multi-step read (list tables,
+// then describe and query them) must observe a single schema version even
+// while evolutions commit concurrently. A Snapshot stays valid
+// indefinitely — tables are immutable — it just stops reflecting catalog
+// changes made after it was taken.
+type Snapshot struct {
+	cat *core.Catalog
+	cfg Config
+}
+
+// Snapshot returns the current published catalog version. It never
+// blocks: even while an evolution is mid-operator, it returns the last
+// committed version.
+func (db *DB) Snapshot() *Snapshot {
+	return &Snapshot{cat: db.engine.Catalog(), cfg: db.cfg}
+}
+
+// Version returns the snapshot's schema version.
+func (s *Snapshot) Version() int { return s.cat.Version() }
+
+// Tables lists the snapshot's table names, sorted.
+func (s *Snapshot) Tables() []string { return s.cat.Tables() }
+
+// HasTable reports whether a table exists in the snapshot.
+func (s *Snapshot) HasTable(name string) bool {
+	_, err := s.cat.Table(name)
+	return err == nil
+}
+
+// Columns returns a table's column names in schema order.
+func (s *Snapshot) Columns(table string) ([]string, error) {
+	t, err := s.cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	return t.ColumnNames(), nil
+}
+
+// NumRows returns a table's row count.
+func (s *Snapshot) NumRows(table string) (uint64, error) {
+	t, err := s.cat.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	return t.NumRows(), nil
+}
+
+// Rows materializes up to limit rows of a table starting at offset (limit
+// 0 means all).
+func (s *Snapshot) Rows(table string, offset, limit uint64) ([][]string, error) {
+	t, err := s.cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	return t.Rows(offset, limit)
+}
+
+// Describe returns schema and storage statistics for a table.
+func (s *Snapshot) Describe(table string) (*TableInfo, error) {
+	t, err := s.cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	info := &TableInfo{Name: t.Name(), Rows: t.NumRows(), Key: t.Key()}
+	for i := 0; i < t.NumColumns(); i++ {
+		c := t.ColumnAt(i)
+		info.Columns = append(info.Columns, ColumnInfo{
+			Name:            c.Name(),
+			Encoding:        c.Encoding().String(),
+			DistinctValues:  c.DistinctCount(),
+			CompressedBytes: c.CompressedSizeBytes(),
+		})
+	}
+	return info, nil
+}
+
+// Query returns the rows of a table satisfying a condition (same syntax
+// as PARTITION TABLE's WHERE).
+func (s *Snapshot) Query(table, condition string) ([][]string, error) {
+	t, err := s.cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := expr.Parse(condition)
+	if err != nil {
+		return nil, err
+	}
+	mask, err := pred.EvalP(t, s.cfg.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	filtered, err := t.FilterRowsP(t.Name(), mask, s.cfg.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	return filtered.Rows(0, 0)
+}
+
+// Count returns the number of rows satisfying a condition without
+// materializing them.
+func (s *Snapshot) Count(table, condition string) (uint64, error) {
+	t, err := s.cat.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	pred, err := expr.Parse(condition)
+	if err != nil {
+		return 0, err
+	}
+	mask, err := pred.EvalP(t, s.cfg.Parallelism)
+	if err != nil {
+		return 0, err
+	}
+	return mask.Count(), nil
+}
+
+// RunQuery executes a query with optional filtering, grouping,
+// aggregation, ordering and limit against one table of the snapshot.
+func (s *Snapshot) RunQuery(table string, q TableQuery) (*ResultSet, error) {
+	t, err := s.cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	iq := colquery.Query{
+		Select:      q.Select,
+		Where:       q.Where,
+		GroupBy:     q.GroupBy,
+		OrderBy:     q.OrderBy,
+		Desc:        q.Desc,
+		Limit:       q.Limit,
+		Parallelism: s.cfg.Parallelism,
+	}
+	for _, a := range q.Aggregates {
+		f, ok := aggFuncs[a.Func]
+		if !ok {
+			return nil, fmt.Errorf("cods: unknown aggregate function %d", a.Func)
+		}
+		iq.Aggregates = append(iq.Aggregates, colquery.Agg{Func: f, Column: a.Column, As: a.As})
+	}
+	rs, err := colquery.Run(t, iq)
+	if err != nil {
+		return nil, err
+	}
+	return &ResultSet{Columns: rs.Columns, Rows: rs.Rows}, nil
+}
+
+// History returns the executed-operator log up to the snapshot's version.
+func (s *Snapshot) History() []HistoryEntry {
+	var out []HistoryEntry
+	for _, h := range s.cat.History() {
+		out = append(out, HistoryEntry{Version: h.Version, Op: h.Op, Kind: h.Kind, Elapsed: h.Elapsed, Steps: h.Steps})
+	}
+	return out
+}
+
+// Save persists the snapshot's tables to a directory in compressed binary
+// form.
+func (s *Snapshot) Save(dir string) error {
+	var tables []*colstore.Table
+	for _, name := range s.cat.Tables() {
+		t, err := s.cat.Table(name)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	}
+	return storage.Save(dir, tables)
 }
 
 // replayable reports whether an operator can be re-executed from its text
@@ -383,6 +553,15 @@ func (db *DB) Exec(op string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if db.wal != nil {
+		// Durability before visibility: hold the new version back from
+		// lock-free readers until it is journaled, so no client acts on a
+		// schema version a crash could take back. Publication still runs
+		// if journaling fails — the statement is then live in memory by
+		// contract (see below), just not yet durable.
+		publish := db.engine.DeferPublication()
+		defer publish()
+	}
 	res, err := db.engine.Apply(parsed)
 	if err != nil {
 		return nil, err
@@ -410,6 +589,12 @@ func (db *DB) ExecScript(script string) ([]*Result, error) {
 	ops, err := smo.ParseScript(script)
 	if err != nil {
 		return nil, err
+	}
+	if db.wal != nil {
+		// As in Exec: committed statements become reader-visible only
+		// after the batched journal append (or checkpoint) below.
+		publish := db.engine.DeferPublication()
+		defer publish()
 	}
 	results, execErr := db.engine.ApplyScript(ops)
 	out := make([]*Result, len(results))
@@ -471,6 +656,10 @@ func (db *DB) CreateTableFromRows(name string, columns []string, key []string, r
 	if err != nil {
 		return err
 	}
+	if db.wal != nil {
+		publish := db.engine.DeferPublication()
+		defer publish()
+	}
 	if err := db.engine.Register(t); err != nil {
 		return err
 	}
@@ -493,6 +682,10 @@ func (db *DB) LoadCSV(path, table string, key ...string) error {
 	if err != nil {
 		return err
 	}
+	if db.wal != nil {
+		publish := db.engine.DeferPublication()
+		defer publish()
+	}
 	if err := db.engine.Register(t); err != nil {
 		return err
 	}
@@ -504,9 +697,7 @@ func (db *DB) LoadCSV(path, table string, key ...string) error {
 
 // SaveCSV writes a table to a CSV file.
 func (db *DB) SaveCSV(path, table string) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, err := db.engine.Table(table)
+	t, err := db.engine.Catalog().Table(table)
 	if err != nil {
 		return err
 	}
@@ -515,17 +706,12 @@ func (db *DB) SaveCSV(path, table string) error {
 
 // Tables lists the catalog's table names, sorted.
 func (db *DB) Tables() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.engine.Tables()
+	return db.Snapshot().Tables()
 }
 
 // HasTable reports whether a table exists.
 func (db *DB) HasTable(name string) bool {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	_, err := db.engine.Table(name)
-	return err == nil
+	return db.Snapshot().HasTable(name)
 }
 
 // ColumnInfo describes one column of a table.
@@ -546,57 +732,23 @@ type TableInfo struct {
 
 // Describe returns schema and storage statistics for a table.
 func (db *DB) Describe(table string) (*TableInfo, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, err := db.engine.Table(table)
-	if err != nil {
-		return nil, err
-	}
-	info := &TableInfo{Name: t.Name(), Rows: t.NumRows(), Key: t.Key()}
-	for i := 0; i < t.NumColumns(); i++ {
-		c := t.ColumnAt(i)
-		info.Columns = append(info.Columns, ColumnInfo{
-			Name:            c.Name(),
-			Encoding:        c.Encoding().String(),
-			DistinctValues:  c.DistinctCount(),
-			CompressedBytes: c.CompressedSizeBytes(),
-		})
-	}
-	return info, nil
+	return db.Snapshot().Describe(table)
 }
 
 // Columns returns a table's column names in schema order.
 func (db *DB) Columns(table string) ([]string, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, err := db.engine.Table(table)
-	if err != nil {
-		return nil, err
-	}
-	return t.ColumnNames(), nil
+	return db.Snapshot().Columns(table)
 }
 
 // NumRows returns a table's row count.
 func (db *DB) NumRows(table string) (uint64, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, err := db.engine.Table(table)
-	if err != nil {
-		return 0, err
-	}
-	return t.NumRows(), nil
+	return db.Snapshot().NumRows(table)
 }
 
 // Rows materializes up to limit rows of a table starting at offset (limit
 // 0 means all).
 func (db *DB) Rows(table string, offset, limit uint64) ([][]string, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, err := db.engine.Table(table)
-	if err != nil {
-		return nil, err
-	}
-	return t.Rows(offset, limit)
+	return db.Snapshot().Rows(table, offset, limit)
 }
 
 // Query returns the rows of a table satisfying a condition (same syntax
@@ -604,52 +756,20 @@ func (db *DB) Rows(table string, offset, limit uint64) ([][]string, error) {
 // index — once per distinct value, not once per row, fanned out over the
 // configured Parallelism.
 func (db *DB) Query(table, condition string) ([][]string, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, err := db.engine.Table(table)
-	if err != nil {
-		return nil, err
-	}
-	pred, err := expr.Parse(condition)
-	if err != nil {
-		return nil, err
-	}
-	mask, err := pred.EvalP(t, db.cfg.Parallelism)
-	if err != nil {
-		return nil, err
-	}
-	filtered, err := t.FilterRowsP(t.Name(), mask, db.cfg.Parallelism)
-	if err != nil {
-		return nil, err
-	}
-	return filtered.Rows(0, 0)
+	return db.Snapshot().Query(table, condition)
 }
 
 // Count returns the number of rows satisfying a condition without
 // materializing them (a compressed popcount).
 func (db *DB) Count(table, condition string) (uint64, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, err := db.engine.Table(table)
-	if err != nil {
-		return 0, err
-	}
-	pred, err := expr.Parse(condition)
-	if err != nil {
-		return 0, err
-	}
-	mask, err := pred.EvalP(t, db.cfg.Parallelism)
-	if err != nil {
-		return 0, err
-	}
-	return mask.Count(), nil
+	return db.Snapshot().Count(table, condition)
 }
 
 // Version returns the schema version (incremented per applied operator).
+// Lock-free: it always answers, even mid-evolution, reporting the last
+// committed version.
 func (db *DB) Version() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.engine.Version()
+	return db.Snapshot().Version()
 }
 
 // Rollback restores the catalog to an earlier schema version. Versioned
@@ -660,6 +780,10 @@ func (db *DB) Rollback(version int) error {
 	defer db.mu.Unlock()
 	if err := db.failIfClosedLocked(); err != nil {
 		return err
+	}
+	if db.wal != nil {
+		publish := db.engine.DeferPublication()
+		defer publish()
 	}
 	if err := db.engine.Rollback(version); err != nil {
 		return err
@@ -728,33 +852,7 @@ type ResultSet struct {
 // aggregates are evaluated on compressed bitmaps — once per distinct
 // value, never per row.
 func (db *DB) RunQuery(table string, q TableQuery) (*ResultSet, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, err := db.engine.Table(table)
-	if err != nil {
-		return nil, err
-	}
-	iq := colquery.Query{
-		Select:      q.Select,
-		Where:       q.Where,
-		GroupBy:     q.GroupBy,
-		OrderBy:     q.OrderBy,
-		Desc:        q.Desc,
-		Limit:       q.Limit,
-		Parallelism: db.cfg.Parallelism,
-	}
-	for _, a := range q.Aggregates {
-		f, ok := aggFuncs[a.Func]
-		if !ok {
-			return nil, fmt.Errorf("cods: unknown aggregate function %d", a.Func)
-		}
-		iq.Aggregates = append(iq.Aggregates, colquery.Agg{Func: f, Column: a.Column, As: a.As})
-	}
-	rs, err := colquery.Run(t, iq)
-	if err != nil {
-		return nil, err
-	}
-	return &ResultSet{Columns: rs.Columns, Rows: rs.Rows}, nil
+	return db.Snapshot().RunQuery(table, q)
 }
 
 // HistoryEntry records one executed operator.
@@ -768,13 +866,7 @@ type HistoryEntry struct {
 
 // History returns the executed-operator log in order.
 func (db *DB) History() []HistoryEntry {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	var out []HistoryEntry
-	for _, h := range db.engine.History() {
-		out = append(out, HistoryEntry{Version: h.Version, Op: h.Op, Kind: h.Kind, Elapsed: h.Elapsed, Steps: h.Steps})
-	}
-	return out
+	return db.Snapshot().History()
 }
 
 // FDSuggestion is a decomposition opportunity discovered from the data: a
@@ -795,9 +887,7 @@ type FDSuggestion struct {
 // "new information about the data" evolution scenario (§1): the advisor
 // produces the knowledge, Exec applies it.
 func (db *DB) Advise(table string) ([]FDSuggestion, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, err := db.engine.Table(table)
+	t, err := db.engine.Catalog().Table(table)
 	if err != nil {
 		return nil, err
 	}
@@ -817,12 +907,12 @@ func (db *DB) Advise(table string) ([]FDSuggestion, error) {
 }
 
 // Validate checks the structural invariants of every table (per-value
-// bitmaps disjoint and complete, declared keys unique).
+// bitmaps disjoint and complete, declared keys unique). It validates one
+// catalog snapshot, consistent even while evolutions commit concurrently.
 func (db *DB) Validate() error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	for _, name := range db.engine.Tables() {
-		t, err := db.engine.Table(name)
+	cat := db.engine.Catalog()
+	for _, name := range cat.Tables() {
+		t, err := cat.Table(name)
 		if err != nil {
 			return err
 		}

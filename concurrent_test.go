@@ -11,9 +11,10 @@ import (
 
 // TestConcurrentQueryDuringEvolve races parallel Query/Count/catalog reads
 // against SMO execution on the same DB. Under -race this exercises the
-// facade's reader/writer locking; the assertions check that every reader
-// observes a whole schema version — one of the known catalog states an SMO
-// sequence can leave behind, never a half-applied one.
+// facade's lock-free snapshot reads against the writers' copy-on-write
+// catalog publication; the assertions check that every reader observes a
+// whole schema version — one of the known catalog states an SMO sequence
+// can leave behind, never a half-applied one.
 func TestConcurrentQueryDuringEvolve(t *testing.T) {
 	db := cods.Open(cods.Config{Parallelism: 4})
 	var rows [][]string

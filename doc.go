@@ -43,14 +43,21 @@
 //
 // # Concurrency
 //
-// A DB is safe for concurrent use by multiple goroutines. Reads (Query,
-// Count, RunQuery, Rows, Describe, Save, ...) take a shared lock and run
-// concurrently with each other; catalog-changing calls (Exec, ExecScript,
-// Rollback, CreateTableFromRows, LoadCSV) take an exclusive lock. A reader
-// therefore always observes a complete schema version, never a partially
-// applied operator, and an SMO waits for in-flight reads before evolving
-// the catalog. Tables are immutable, so results already materialized stay
-// valid across subsequent evolutions.
+// A DB is safe for concurrent use by multiple goroutines, and reads never
+// block. Committed catalog state is published as an immutable snapshot
+// behind an atomic pointer; every read (Query, Count, RunQuery, Rows,
+// Describe, Save, ...) loads the pointer once and runs lock-free against
+// that snapshot, so even a long DECOMPOSE or MERGE holding the write path
+// never stalls query traffic — the paper's online-evolution promise. A
+// read observes the whole schema version that was current when it
+// started: never a partially applied operator, and never the outputs of
+// an SMO that has not committed. Catalog-changing calls (Exec,
+// ExecScript, Rollback, CreateTableFromRows, LoadCSV) serialize on an
+// internal mutex, build the next version off to the side, and publish it
+// with one atomic swap at commit; Rollback publishes the restored version
+// the same way. Tables are immutable, so results already materialized
+// stay valid across subsequent evolutions, and DB.Snapshot pins one
+// schema version explicitly for multi-step reads.
 //
 // # Durability and serving
 //

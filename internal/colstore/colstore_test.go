@@ -2,6 +2,7 @@ package colstore
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -463,5 +464,85 @@ func TestQuickFilterRowsPreservesContent(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRowsHugeLimit is a regression test: offset+limit used to be computed
+// in uint64, so a huge limit wrapped, end underflowed below offset, and
+// end-offset became an absurd allocation. Clamping must be overflow-safe.
+func TestRowsHugeLimit(t *testing.T) {
+	tab := figure1R(t)
+	all, err := tab.Rows(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		offset, limit uint64
+		want          int
+	}{
+		{0, math.MaxUint64, 7},
+		{0, math.MaxUint64 - 1, 7},
+		{3, math.MaxUint64, 4},
+		{6, math.MaxUint64, 1},
+		{7, math.MaxUint64, 0},
+		{math.MaxUint64, math.MaxUint64, 0},
+		{math.MaxUint64, 1, 0},
+		{2, 2, 2},
+	}
+	for _, c := range cases {
+		got, err := tab.Rows(c.offset, c.limit)
+		if err != nil {
+			t.Fatalf("Rows(%d, %d): %v", c.offset, c.limit, err)
+		}
+		if len(got) != c.want {
+			t.Fatalf("Rows(%d, %d) returned %d rows, want %d", c.offset, c.limit, len(got), c.want)
+		}
+		for i, row := range got {
+			wantRow := all[c.offset+uint64(i)]
+			for j := range row {
+				if row[j] != wantRow[j] {
+					t.Fatalf("Rows(%d, %d)[%d] = %v, want %v", c.offset, c.limit, i, row, wantRow)
+				}
+			}
+		}
+	}
+}
+
+// TestRowIDRange checks the paged decode against the full decode on both
+// encodings, including empty and clamped ranges.
+func TestRowIDRange(t *testing.T) {
+	tab := figure1R(t)
+	for _, enc := range []string{"bitmap", "rle"} {
+		for i := 0; i < tab.NumColumns(); i++ {
+			col := tab.ColumnAt(i)
+			if enc == "rle" {
+				col = col.ToRLEEncoding()
+			}
+			full := col.RowIDs()
+			n := col.NumRows()
+			for start := uint64(0); start <= n; start++ {
+				for end := start; end <= n+2; end++ {
+					got := col.RowIDRange(start, end)
+					wantEnd := end
+					if wantEnd > n {
+						wantEnd = n
+					}
+					if start >= wantEnd {
+						if len(got) != 0 {
+							t.Fatalf("%s %q [%d,%d): got %d ids, want 0", enc, col.Name(), start, end, len(got))
+						}
+						continue
+					}
+					if uint64(len(got)) != wantEnd-start {
+						t.Fatalf("%s %q [%d,%d): got %d ids, want %d", enc, col.Name(), start, end, len(got), wantEnd-start)
+					}
+					for j, id := range got {
+						if id != full[start+uint64(j)] {
+							t.Fatalf("%s %q [%d,%d): id[%d] = %d, want %d", enc, col.Name(), start, end, j, id, full[start+uint64(j)])
+						}
+					}
+				}
+			}
+		}
 	}
 }

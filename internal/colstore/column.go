@@ -120,6 +120,54 @@ func (c *Column) RowIDs() []uint32 {
 	return out
 }
 
+// RowIDRange materializes value ids for the rows [start, end) only, the
+// page-sized counterpart of RowIDs: the allocation is proportional to the
+// page, and decoding stops at end instead of walking every set bit, so
+// early pages over a big table cost O(end), not O(table). Bitmap columns
+// still scan compressed words from row 0 up to end (WAH has no
+// position index to seek by), so a page deep in the table costs O(end)
+// per column; RLE columns skip whole runs before start.
+func (c *Column) RowIDRange(start, end uint64) []uint32 {
+	if end > c.nrows {
+		end = c.nrows
+	}
+	if start >= end {
+		return nil
+	}
+	out := make([]uint32, end-start)
+	switch c.enc {
+	case EncodingBitmap:
+		for id, bm := range c.bitmaps {
+			id32 := uint32(id)
+			bm.Ones(func(p uint64) bool {
+				if p >= end {
+					return false
+				}
+				if p >= start {
+					out[p-start] = id32
+				}
+				return true
+			})
+		}
+	case EncodingRLE:
+		var pos uint64
+		for _, r := range c.runs.Runs() {
+			runEnd := pos + r.Count
+			if runEnd > start {
+				lo, hi := max(pos, start), min(runEnd, end)
+				for p := lo; p < hi; p++ {
+					out[p-start] = r.ID
+				}
+			}
+			pos = runEnd
+			if pos >= end {
+				break
+			}
+		}
+	}
+	return out
+}
+
 // ValueAt returns the value stored at the given row. Cost is O(distinct ·
 // words) for bitmap columns; intended for display and tests, not bulk
 // access (use RowIDs).

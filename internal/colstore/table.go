@@ -220,7 +220,9 @@ func (t *Table) Rows(offset, limit uint64) ([][]string, error) {
 		offset = t.nrows
 	}
 	end := t.nrows
-	if limit > 0 && offset+limit < end {
+	// Compare limit against the remaining span instead of computing
+	// offset+limit, which wraps for limits near MaxUint64.
+	if limit > 0 && limit < end-offset {
 		end = offset + limit
 	}
 	n := end - offset
@@ -229,9 +231,9 @@ func (t *Table) Rows(offset, limit uint64) ([][]string, error) {
 		out[i] = make([]string, len(t.cols))
 	}
 	for c, col := range t.cols {
-		ids := col.RowIDs()
+		ids := col.RowIDRange(offset, end)
 		for i := uint64(0); i < n; i++ {
-			out[i][c] = col.dict.Value(ids[offset+i])
+			out[i][c] = col.dict.Value(ids[i])
 		}
 	}
 	return out, nil

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"cods/internal/colstore"
+	"cods/internal/smo"
+)
+
+func buildTable(t *testing.T, name string, rows [][]string) *colstore.Table {
+	t.Helper()
+	tb, err := colstore.NewTableBuilder(name, []string{"A", "B"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := tb.AppendRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tab, err := tb.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// TestCatalogPinsVersion checks copy-on-write publication: a Catalog taken
+// before an SMO keeps showing the pre-SMO schema version forever, while a
+// fresh Catalog sees the committed change.
+func TestCatalogPinsVersion(t *testing.T) {
+	e := New(Config{})
+	if err := e.Register(buildTable(t, "R", [][]string{{"a1", "b1"}, {"a2", "b2"}})); err != nil {
+		t.Fatal(err)
+	}
+	before := e.Catalog()
+	if before.Version() != 0 {
+		t.Fatalf("version before SMO = %d, want 0", before.Version())
+	}
+
+	op, err := smo.Parse("RENAME TABLE R TO R2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Apply(op); err != nil {
+		t.Fatal(err)
+	}
+
+	// The old snapshot is immutable: same version, same table set.
+	if before.Version() != 0 {
+		t.Fatalf("pinned snapshot version changed to %d", before.Version())
+	}
+	if _, err := before.Table("R"); err != nil {
+		t.Fatalf("pinned snapshot lost table R: %v", err)
+	}
+	if _, err := before.Table("R2"); !errors.Is(err, ErrNoTable) {
+		t.Fatalf("pinned snapshot shows future table R2 (err = %v)", err)
+	}
+	if len(before.History()) != 0 {
+		t.Fatalf("pinned snapshot history grew to %d entries", len(before.History()))
+	}
+
+	// A fresh snapshot sees the commit.
+	after := e.Catalog()
+	if after.Version() != 1 {
+		t.Fatalf("version after SMO = %d, want 1", after.Version())
+	}
+	if _, err := after.Table("R2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := after.Table("R"); !errors.Is(err, ErrNoTable) {
+		t.Fatalf("renamed-away table still visible (err = %v)", err)
+	}
+	if h := after.History(); len(h) != 1 || h[0].Kind != "RENAME TABLE" {
+		t.Fatalf("history = %+v", h)
+	}
+}
+
+// TestDeferPublication checks the durability-before-visibility hook:
+// while publication is deferred, commits stay invisible to lock-free
+// readers (but visible to StagedCatalog, which checkpoints snapshot);
+// the release func makes them observable.
+func TestDeferPublication(t *testing.T) {
+	e := New(Config{})
+	if err := e.Register(buildTable(t, "R", [][]string{{"a1", "b1"}})); err != nil {
+		t.Fatal(err)
+	}
+
+	publish := e.DeferPublication()
+	op, err := smo.Parse("RENAME TABLE R TO R2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Apply(op); err != nil {
+		t.Fatal(err)
+	}
+
+	// Readers still see the pre-change catalog...
+	if got := e.Catalog().Version(); got != 0 {
+		t.Fatalf("published version during deferral = %d, want 0", got)
+	}
+	if _, err := e.Catalog().Table("R2"); !errors.Is(err, ErrNoTable) {
+		t.Fatalf("deferred commit visible to readers (err = %v)", err)
+	}
+	// ...while the staged catalog (what a checkpoint would persist)
+	// carries the commit.
+	staged := e.StagedCatalog()
+	if staged.Version() != 1 {
+		t.Fatalf("staged version = %d, want 1", staged.Version())
+	}
+	if _, err := staged.Table("R2"); err != nil {
+		t.Fatalf("staged catalog missing the deferred commit: %v", err)
+	}
+
+	// Spans nest: an inner span's release must not expose the outer
+	// span's commits.
+	inner := e.DeferPublication()
+	inner()
+	if got := e.Catalog().Version(); got != 0 {
+		t.Fatalf("inner release published outer deferred commit (version %d)", got)
+	}
+
+	publish()
+	if got := e.Catalog().Version(); got != 1 {
+		t.Fatalf("published version after release = %d, want 1", got)
+	}
+	if _, err := e.Catalog().Table("R2"); err != nil {
+		t.Fatal(err)
+	}
+	// Releasing again is harmless, and later commits publish normally.
+	publish()
+	op, err = smo.Parse("RENAME TABLE R2 TO R3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Apply(op); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Catalog().Version(); got != 2 {
+		t.Fatalf("version after deferral ended = %d, want 2", got)
+	}
+}
+
+// TestErrNoTableSentinel checks that every table-lookup failure — reader
+// and writer side — matches ErrNoTable via errors.Is, so servers can map
+// it to "not found".
+func TestErrNoTableSentinel(t *testing.T) {
+	e := New(Config{})
+	if _, err := e.Table("nope"); !errors.Is(err, ErrNoTable) {
+		t.Fatalf("Engine.Table error %v does not match ErrNoTable", err)
+	}
+	if _, err := e.Catalog().Table("nope"); !errors.Is(err, ErrNoTable) {
+		t.Fatalf("Catalog.Table error %v does not match ErrNoTable", err)
+	}
+	op, err := smo.Parse("DROP TABLE nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Apply(op); !errors.Is(err, ErrNoTable) {
+		t.Fatalf("Apply(DROP TABLE nope) error %v does not match ErrNoTable", err)
+	}
+}

@@ -6,17 +6,25 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cods/internal/colstore"
 	"cods/internal/evolve"
 	"cods/internal/smo"
 )
+
+// ErrNoTable matches (via errors.Is) failures to look up a table that is
+// not in the catalog. Servers use it to blame the right party: a query
+// against a table a concurrent evolution just dropped is "not found", not
+// a malformed request.
+var ErrNoTable = errors.New("no table")
 
 // Config parameterizes an Engine.
 type Config struct {
@@ -33,10 +41,13 @@ type Config struct {
 }
 
 // Engine is the CODS platform: it owns the table catalog and executes
-// SMOs. Safe for concurrent use; SMO execution takes the write lock, reads
-// take the read lock.
+// SMOs. Safe for concurrent use. Writers (Apply, Rollback, Register)
+// serialize on an internal mutex, build the next catalog version off to
+// the side, and publish it with one atomic pointer swap; readers (Table,
+// Tables, Version, History, Catalog) load the published pointer and never
+// block, even while an SMO is mid-execution.
 type Engine struct {
-	mu      sync.RWMutex
+	mu      sync.Mutex // serializes writers; readers never take it
 	tables  map[string]*colstore.Table
 	version int
 	history []HistoryEntry
@@ -45,7 +56,55 @@ type Engine struct {
 	// versioned schemas cost almost nothing, and any version can be
 	// rolled back to (the "audibility" PRISM motivates; paper §1).
 	snapshots map[int]map[string]*colstore.Table
-	cfg       Config
+	// published is the current catalog as readers see it: an immutable
+	// Catalog swapped in after each committed change (copy-on-write
+	// publication). A reader that loaded it observes that whole schema
+	// version for as long as it keeps the pointer.
+	published atomic.Pointer[Catalog]
+	// deferPublish, when positive, suppresses publication inside commits
+	// (see DeferPublication): the facade uses it to make a change durable
+	// (WAL fsync or checkpoint) before readers can observe it. A depth
+	// counter, not a bool, so overlapping deferred spans compose: only
+	// the outermost release publishes.
+	deferPublish int
+	cfg          Config
+}
+
+// Catalog is an immutable view of the engine at one schema version: the
+// table set, the version number, and the operator history up to it.
+// Obtained lock-free from Engine.Catalog; safe to use concurrently and
+// indefinitely (tables are immutable, the maps are never mutated after
+// publication).
+type Catalog struct {
+	tables  map[string]*colstore.Table
+	version int
+	history []HistoryEntry
+}
+
+// Table returns the named table, or an error wrapping ErrNoTable.
+func (c *Catalog) Table(name string) (*colstore.Table, error) {
+	if t, ok := c.tables[name]; ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("core: %w %q", ErrNoTable, name)
+}
+
+// Tables returns the catalog's table names, sorted.
+func (c *Catalog) Tables() []string {
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Version returns the catalog's schema version.
+func (c *Catalog) Version() int { return c.version }
+
+// History returns the executed-operator log up to this version.
+func (c *Catalog) History() []HistoryEntry {
+	return append([]HistoryEntry(nil), c.history...)
 }
 
 // HistoryEntry records one executed operator.
@@ -76,16 +135,82 @@ func New(cfg Config) *Engine {
 	}
 	e := &Engine{tables: make(map[string]*colstore.Table), snapshots: make(map[int]map[string]*colstore.Table), cfg: cfg}
 	e.snapshots[0] = map[string]*colstore.Table{}
+	e.publish()
 	return e
 }
 
-// snapshot records the current catalog under the current version.
+// snapshot records the current catalog under the current version and
+// publishes it to readers. Writers call it with the mutex held as the
+// last step of a committed change; until then readers keep loading the
+// previous version, so a mid-flight SMO is never observable.
 func (e *Engine) snapshot() {
 	copied := make(map[string]*colstore.Table, len(e.tables))
 	for k, v := range e.tables {
 		copied[k] = v
 	}
 	e.snapshots[e.version] = copied
+	e.publish()
+}
+
+// publish atomically swaps in the current version as the readers' catalog.
+// The snapshot map is immutable from here on (Rollback copies it), and
+// history is append-only, so the published Catalog never changes.
+func (e *Engine) publish() {
+	if e.deferPublish > 0 {
+		return
+	}
+	e.published.Store(&Catalog{
+		tables:  e.snapshots[e.version],
+		version: e.version,
+		history: e.history,
+	})
+}
+
+// DeferPublication holds commits back from lock-free readers until the
+// returned publish func runs. Spans nest: each call increments a depth
+// counter and its publish decrements it, so an inner span's release
+// cannot prematurely expose an outer span's not-yet-durable commits;
+// calling the same publish func more than once is harmless. The durable
+// facade paths use it so a change becomes durable (WAL fsync or
+// checkpoint) before it becomes observable — readers never act on a
+// schema version a crash could take back. The caller must serialize with
+// other writers for the whole deferred span (the facade's writer mutex
+// does) and must call publish even when durability fails: the change is
+// then live in memory by contract, merely not yet durable.
+func (e *Engine) DeferPublication() (publish func()) {
+	e.mu.Lock()
+	e.deferPublish++
+	e.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			e.mu.Lock()
+			e.deferPublish--
+			e.publish()
+			e.mu.Unlock()
+		})
+	}
+}
+
+// StagedCatalog returns the current catalog including commits whose
+// publication is deferred. Checkpoints snapshot this — not the published
+// catalog — so a deferred change is captured by the very checkpoint that
+// makes it durable.
+func (e *Engine) StagedCatalog() *Catalog {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return &Catalog{
+		tables:  e.snapshots[e.version],
+		version: e.version,
+		history: e.history,
+	}
+}
+
+// Catalog returns the current published catalog, lock-free. The result is
+// immutable: callers may run any number of reads against it and always
+// observe the same whole schema version, regardless of concurrent SMOs.
+func (e *Engine) Catalog() *Catalog {
+	return e.published.Load()
 }
 
 func loadValuesFile(path string) ([]string, error) {
@@ -109,40 +234,26 @@ func (e *Engine) Register(t *colstore.Table) error {
 	return nil
 }
 
-// Table returns the named table.
+// Table returns the named table from the published catalog, lock-free.
 func (e *Engine) Table(name string) (*colstore.Table, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if t, ok := e.tables[name]; ok {
-		return t, nil
-	}
-	return nil, fmt.Errorf("core: no table %q", name)
+	return e.Catalog().Table(name)
 }
 
-// Tables returns the catalog's table names, sorted.
+// Tables returns the published catalog's table names, sorted, lock-free.
 func (e *Engine) Tables() []string {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	names := make([]string, 0, len(e.tables))
-	for n := range e.tables {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
+	return e.Catalog().Tables()
 }
 
 // Version returns the schema version, incremented by each applied SMO.
+// Lock-free: it reads the published catalog.
 func (e *Engine) Version() int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.version
+	return e.Catalog().Version()
 }
 
-// History returns the executed-operator log.
+// History returns the executed-operator log. Lock-free: it reads the
+// published catalog.
 func (e *Engine) History() []HistoryEntry {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return append([]HistoryEntry(nil), e.history...)
+	return e.Catalog().History()
 }
 
 // Apply executes one SMO atomically: either the whole catalog change
@@ -229,12 +340,13 @@ func (e *Engine) ApplyScript(ops []smo.Op) ([]*Result, error) {
 	return results, nil
 }
 
-// get looks a table up under the already-held lock.
+// get looks a table up in the writer-side working set, under the
+// already-held lock.
 func (e *Engine) get(name string) (*colstore.Table, error) {
 	if t, ok := e.tables[name]; ok {
 		return t, nil
 	}
-	return nil, fmt.Errorf("no table %q", name)
+	return nil, fmt.Errorf("%w %q", ErrNoTable, name)
 }
 
 // ensureFree fails when an output name is taken and not about to be

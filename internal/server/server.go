@@ -1,9 +1,12 @@
 // Package server exposes a cods.DB over HTTP/JSON: online queries and
 // schema evolution (SMO execution) against one shared catalog, the
-// network face of the platform. Reads fan out concurrently under the
-// facade's shared lock while an evolution briefly takes the exclusive
-// lock, so clients always observe whole schema versions — the same
-// guarantee the embedded API gives, now under network load.
+// network face of the platform. Every read runs lock-free against the
+// catalog snapshot published by the last committed change, so query
+// traffic keeps flowing at full speed while an evolution executes —
+// clients always observe whole schema versions (the version that was
+// current when their request started), never a half-applied SMO and
+// never a stall behind one. This is the paper's online-evolution promise
+// at the network layer.
 //
 // Endpoints (all JSON; errors are {"error": "..."} with a 4xx/5xx status):
 //
@@ -17,11 +20,9 @@
 // The server bounds concurrently served requests (Config.MaxInFlight);
 // excess requests queue until a slot frees or the client gives up, so a
 // traffic burst degrades to queueing instead of unbounded goroutines.
-// GET /healthz and GET /stats bypass the admission queue and never take
-// the catalog lock (they report the last schema version the server
-// observed): a server saturated with slow queries or blocked on a long
-// evolution still answers liveness probes, so an orchestrator never
-// kills it for being busy.
+// GET /healthz and GET /stats bypass the admission queue, so a server
+// saturated with slow queries still answers liveness probes and an
+// orchestrator never kills it for being busy.
 package server
 
 import (
@@ -61,11 +62,6 @@ type Server struct {
 
 	inFlight atomic.Int64
 	stats    map[string]*endpointStats
-	// lastVersion is the most recently observed schema version, for the
-	// probe endpoints: they must answer without touching the DB lock (a
-	// pending evolution blocks new readers), so they report this instead
-	// of calling db.Version.
-	lastVersion atomic.Int64
 
 	// hs is created in New, never replaced: Shutdown before (or racing)
 	// Serve still reaches the same http.Server, so a shut-down server
@@ -126,21 +122,7 @@ func New(db *cods.DB, cfg Config) *Server {
 	s.route("POST /exec", s.handleExec, true)
 	s.route("POST /checkpoint", s.handleCheckpoint, true)
 	s.hs = &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
-	s.lastVersion.Store(int64(db.Version()))
 	return s
-}
-
-// noteVersion records a schema version the server just observed, keeping
-// the lock-free probe endpoints current. Versions only ever grow, so a
-// concurrent handler publishing an older one must not win.
-func (s *Server) noteVersion(v int) {
-	nv := int64(v)
-	for {
-		cur := s.lastVersion.Load()
-		if nv <= cur || s.lastVersion.CompareAndSwap(cur, nv) {
-			return
-		}
-	}
 }
 
 // route registers one "METHOD /path" pattern with the accounting
@@ -271,12 +253,11 @@ func readJSON(r *http.Request, v any) *httpError {
 // --- /healthz ---
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) *httpError {
-	// Lock-free: a probe must answer while an evolution holds (or waits
-	// for) the catalog lock, so it reports the last observed version
-	// rather than calling db.Version.
+	// db.Version reads the published catalog snapshot without locking, so
+	// the probe always answers — even while an evolution is mid-operator.
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
-		"schema_version": s.lastVersion.Load(),
+		"schema_version": s.db.Version(),
 	})
 	return nil
 }
@@ -306,14 +287,15 @@ type SchemaColumn struct {
 }
 
 func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) *httpError {
-	resp := SchemaResponse{Version: s.db.Version(), Tables: []SchemaTable{}}
-	s.noteVersion(resp.Version)
-	for _, name := range s.db.Tables() {
-		info, err := s.db.Describe(name)
+	// One snapshot for the whole response: the version and every table
+	// shape describe the same schema version, even while evolutions
+	// commit concurrently.
+	snap := s.db.Snapshot()
+	resp := SchemaResponse{Version: snap.Version(), Tables: []SchemaTable{}}
+	for _, name := range snap.Tables() {
+		info, err := snap.Describe(name)
 		if err != nil {
-			// The table vanished between listing and describing (an
-			// evolution committed in between); the next poll sees the
-			// new catalog.
+			// Unreachable within one snapshot; skip defensively.
 			continue
 		}
 		st := SchemaTable{Name: info.Name, Rows: info.Rows, Key: info.Key}
@@ -379,9 +361,6 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) *httpError 
 	if req.Table == "" {
 		return errf(http.StatusBadRequest, "missing table")
 	}
-	if !s.db.HasTable(req.Table) {
-		return errf(http.StatusNotFound, "no table %q", req.Table)
-	}
 	q := cods.TableQuery{
 		Select:  req.Select,
 		Where:   req.Where,
@@ -398,10 +377,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) *httpError 
 		q.Aggregates = append(q.Aggregates, cods.Agg{Func: f, Column: a.Column, As: a.As})
 	}
 	begin := time.Now()
+	// No existence pre-check: it would race a concurrent evolution (the
+	// table could vanish between the check and the query) and cost a
+	// redundant catalog lookup. RunQuery resolves the table in the same
+	// snapshot it queries; classify its error instead.
 	rs, err := s.db.RunQuery(req.Table, q)
 	if err != nil {
-		// The table existed a moment ago, so a failure here is a bad
-		// predicate, column, or query shape — the client's to fix.
+		if errors.Is(err, cods.ErrNoTable) {
+			return errf(http.StatusNotFound, "%v", err)
+		}
+		// The table exists, so the failure is a bad predicate, column, or
+		// query shape — the client's to fix.
 		return errf(http.StatusBadRequest, "%v", err)
 	}
 	rows := rs.Rows
@@ -464,9 +450,6 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) *httpError {
 		return errf(http.StatusBadRequest, "set op or script, not both")
 	case req.Op != "":
 		res, err := s.db.Exec(req.Op)
-		if res != nil {
-			s.noteVersion(res.Version)
-		}
 		if err != nil {
 			herr := classifyExecErr(err)
 			if res != nil {
@@ -484,9 +467,6 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) *httpError {
 		execResults := []ExecResult{}
 		for _, r := range results {
 			execResults = append(execResults, toExecResult(r))
-		}
-		if n := len(results); n > 0 {
-			s.noteVersion(results[n-1].Version)
 		}
 		if err != nil {
 			// Statements before the failure committed (and are durable);
@@ -515,9 +495,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) *httpE
 		}
 		return errf(status, "%v", err)
 	}
-	v := s.db.Version()
-	s.noteVersion(v)
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "schema_version": v})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "schema_version": s.db.Version()})
 	return nil
 }
 
@@ -545,7 +523,7 @@ type StatsResponse struct {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) *httpError {
 	resp := StatsResponse{
 		UptimeMS:      float64(time.Since(s.start).Microseconds()) / 1000,
-		SchemaVersion: int(s.lastVersion.Load()),
+		SchemaVersion: s.db.Version(),
 		InFlight:      s.inFlight.Load(),
 		MaxInFlight:   s.cfg.MaxInFlight,
 		Endpoints:     make(map[string]EndpointStats, len(s.stats)),

@@ -574,3 +574,145 @@ func TestProbesAnswerDuringEvolution(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestProbesAndReadsDuringParkedEvolution parks an SMO mid-operator (via
+// the facade's Status hook, while it owns the write path) and asserts
+// that /healthz, /stats, /schema and /query all answer from the
+// pre-evolution snapshot without waiting — no endpoint stalls behind a
+// running evolution.
+func TestProbesAndReadsDuringParkedEvolution(t *testing.T) {
+	parked := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	db := cods.Open(cods.Config{Status: func(string) {
+		once.Do(func() {
+			close(parked)
+			<-release
+		})
+	}})
+	if err := db.CreateTableFromRows("emp",
+		[]string{"Employee", "Skill", "Address"}, nil,
+		[][]string{
+			{"alice", "go", "1 Main St"},
+			{"bob", "sql", "2 Oak Ave"},
+			{"carol", "go", "3 Pine Rd"},
+		}); err != nil {
+		t.Fatal(err)
+	}
+	s := New(db, Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := db.Exec("DECOMPOSE TABLE emp INTO skills (Employee, Skill), addrs (Employee, Address)")
+		done <- err
+	}()
+	<-parked
+
+	// Only t.Errorf (never the t.Fatal-based helpers) inside the
+	// goroutine: FailNow must run on the test goroutine.
+	get := func(url string, v any) (int, error) {
+		resp, err := http.Get(url)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(v)
+	}
+	post := func(url string, body any) (int, []byte, error) {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return 0, nil, err
+		}
+		resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			return 0, nil, err
+		}
+		return resp.StatusCode, buf.Bytes(), nil
+	}
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		var health struct {
+			Status        string `json:"status"`
+			SchemaVersion int    `json:"schema_version"`
+		}
+		if code, err := get(ts.URL+"/healthz", &health); err != nil || code != http.StatusOK {
+			t.Errorf("healthz status = %d, err = %v", code, err)
+		}
+		if health.Status != "ok" || health.SchemaVersion != 0 {
+			t.Errorf("healthz = %+v, want ok/version 0", health)
+		}
+		var stats StatsResponse
+		if code, err := get(ts.URL+"/stats", &stats); err != nil || code != http.StatusOK {
+			t.Errorf("stats status = %d, err = %v", code, err)
+		}
+		if stats.SchemaVersion != 0 {
+			t.Errorf("stats schema_version = %d, want 0", stats.SchemaVersion)
+		}
+		var schema SchemaResponse
+		if code, err := get(ts.URL+"/schema", &schema); err != nil || code != http.StatusOK {
+			t.Errorf("schema status = %d, err = %v", code, err)
+		}
+		if schema.Version != 0 || len(schema.Tables) != 1 || schema.Tables[0].Name != "emp" {
+			t.Errorf("schema during parked evolution = %+v, want version 0 with [emp]", schema)
+		}
+		code, raw, err := post(ts.URL+"/query", QueryRequest{Table: "emp"})
+		if err != nil || code != http.StatusOK {
+			t.Errorf("query status = %d, err = %v: %s", code, err, raw)
+		}
+		var qr QueryResponse
+		if err := json.Unmarshal(raw, &qr); err != nil {
+			t.Errorf("query body: %v", err)
+		} else if qr.RowCount != 3 || len(qr.Columns) != 3 {
+			t.Errorf("query saw %d rows, %d columns: torn or missed snapshot", qr.RowCount, len(qr.Columns))
+		}
+		// The decomposition outputs must not be visible yet.
+		code, _, err = post(ts.URL+"/query", QueryRequest{Table: "skills"})
+		if err != nil || code != http.StatusNotFound {
+			t.Errorf("query of mid-flight output table = %d (err %v), want 404", code, err)
+		}
+	}()
+
+	select {
+	case <-finished:
+	case <-time.After(10 * time.Second):
+		t.Fatal("an endpoint blocked behind a parked evolution")
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	var schema SchemaResponse
+	getJSON(t, ts.URL+"/schema", &schema)
+	if schema.Version != 1 || len(schema.Tables) != 2 {
+		t.Fatalf("schema after evolution = %+v, want version 1 with 2 tables", schema)
+	}
+}
+
+// TestQueryErrorClassification is the TOCTOU regression: /query resolves
+// the table inside RunQuery's snapshot (no pre-check), and classifies the
+// error — 404 for a table the catalog lacks, 400 for a query the client
+// got wrong.
+func TestQueryErrorClassification(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, raw := postJSON(t, ts.URL+"/query", QueryRequest{Table: "ghost"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown table status = %d (%s), want 404", resp.StatusCode, raw)
+	}
+	resp, raw = postJSON(t, ts.URL+"/query", QueryRequest{Table: "emp", Where: "NoSuchColumn = 'x'"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad predicate status = %d (%s), want 400", resp.StatusCode, raw)
+	}
+	resp, raw = postJSON(t, ts.URL+"/query", QueryRequest{Table: "emp", OrderBy: "NoSuchColumn"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad order-by status = %d (%s), want 400", resp.StatusCode, raw)
+	}
+}
