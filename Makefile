@@ -20,12 +20,13 @@ test:
 
 # Race-detector pass over the concurrency-sensitive packages: the parallel
 # execution layer, the evolution algorithms that fan out over it, the
-# engine's atomic catalog publication, the public facade (lock-free reads
+# engine's atomic catalog publication, the DML delta overlay (lazy flush
+# caching racing concurrent readers), the public facade (lock-free reads
 # vs Exec), and the HTTP serving layer.
 race:
 	$(GO) test -race cods cods/internal/par cods/internal/evolve \
 		cods/internal/wah cods/internal/colstore cods/internal/colquery \
-		cods/internal/core cods/internal/server
+		cods/internal/core cods/internal/delta cods/internal/server
 
 # Every package must carry a package doc comment.
 docs-lint:
@@ -40,10 +41,11 @@ serve-smoke:
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
-# Read p99 while a DECOMPOSE/MERGE loop runs: lock-free snapshot reads vs
-# the retired RWMutex design. Enough iterations to make the p99 metric
-# meaningful; still seconds, not minutes.
+# Read p99 while a DECOMPOSE/MERGE loop runs (lock-free snapshot reads vs
+# the retired RWMutex design), plus the mixed DML+query+evolution workload
+# over the delta overlay, so the perf trajectory covers writes. Enough
+# iterations to make the metrics meaningful; still seconds, not minutes.
 bench-smoke:
-	$(GO) test -run=NONE -bench=ReadLatencyDuringEvolution -benchtime=200x cods
+	$(GO) test -run=NONE -bench='ReadLatencyDuringEvolution|MixedWorkload' -benchtime=200x cods
 
 ci: build vet fmt-check test docs-lint serve-smoke race bench bench-smoke

@@ -562,6 +562,56 @@ func BenchmarkReadLatencyDuringEvolution(b *testing.B) {
 	b.Run("rwmutex", func(b *testing.B) { run(b, new(sync.RWMutex)) })
 }
 
+// BenchmarkMixedWorkload is the HTAP-shaped counterpart of
+// BenchmarkReadLatencyDuringEvolution: one DB takes interleaved DML
+// (through the delta overlay), bitmap count queries (merged base+delta
+// without flushing), grouped aggregates (which flush the overlay), and a
+// periodic PARTITION/UNION evolution cycle (which flushes before
+// evolving). It tracks the cost of the write path the delta overlay
+// opens, so the perf trajectory covers writes, not just reads and
+// evolutions.
+func BenchmarkMixedWorkload(b *testing.B) {
+	db := cods.Open(cods.Config{})
+	spec := workload.Spec{Rows: 20_000, DistinctKeys: 500, Seed: 11}
+	r, err := workload.BuildColstore(spec, "R")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := dbRegister(db, r); err != nil {
+		b.Fatal(err)
+	}
+	stmts := workload.DML(spec, "R", 3*b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range stmts[3*i : 3*i+3] {
+			if _, err := db.Exec(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := db.Count("R", "A = 'k0000042'"); err != nil {
+			b.Fatal(err)
+		}
+		if i%5 == 0 {
+			if _, err := db.RunQuery("R", cods.TableQuery{
+				Where:      "C >= 'c0000000'",
+				Aggregates: []cods.Agg{{Func: cods.Count}, {Func: cods.CountDistinct, Column: "A"}},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if i%25 == 24 {
+			// Generated keys are 'k…', DML-inserted ones 'n…': the split is
+			// clean and the union restores R, delta flushed into the base.
+			if _, err := db.Exec("PARTITION TABLE R WHERE A < 'n0000000' INTO Rk, Rn"); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := db.Exec("UNION TABLES Rk, Rn INTO R"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // BenchmarkHarnessSmoke runs the figure harness end to end at a tiny scale
 // so `go test -bench .` exercises the exact code path codsbench uses.
 func BenchmarkHarnessSmoke(b *testing.B) {

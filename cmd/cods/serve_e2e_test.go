@@ -165,9 +165,26 @@ func getSchema(t *testing.T, base string) (version int, tables map[string][]stri
 	return sr.Version, tables
 }
 
+// queryRows posts /query and returns the matching rows.
+func queryRows(t *testing.T, base, table, where string) [][]string {
+	t.Helper()
+	resp, raw := post(t, base+"/query", map[string]any{"table": table, "where": where})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query %s where %q: %d %s", table, where, resp.StatusCode, raw)
+	}
+	var qr struct {
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(raw, &qr); err != nil {
+		t.Fatal(err)
+	}
+	return qr.Rows
+}
+
 // TestServeSIGKILLRecovery is the acceptance test: a durable server
-// killed with SIGKILL after N /exec evolutions must recover all N on
-// restart via snapshot + WAL replay.
+// killed with SIGKILL after N /exec statements — schema evolutions and
+// DML — must recover all N on restart via snapshot + WAL replay,
+// including the delta overlay the DML left behind.
 func TestServeSIGKILLRecovery(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and runs the real binary")
@@ -177,6 +194,11 @@ func TestServeSIGKILLRecovery(t *testing.T) {
 	p := startServe(t, "-dir", dbdir)
 	ops := []string{
 		"CREATE TABLE emp (Employee, Skill, Address)",
+		"INSERT INTO emp VALUES ('alice', 'go', '1 Main St')",
+		"INSERT INTO emp VALUES ('bob', 'sql', '2 Oak Ave')",
+		"INSERT INTO emp VALUES ('carol', 'go', '3 Pine;Rd')", // hostile literal through the WAL
+		"UPDATE emp SET Address = '9 New Rd' WHERE Employee = 'alice'",
+		"DELETE FROM emp WHERE Employee = 'bob'",
 		"ADD COLUMN Grade TO emp DEFAULT 'junior'",
 		"COPY TABLE emp TO emp2",
 		"RENAME COLUMN Grade TO Level IN emp2",
@@ -216,6 +238,19 @@ func TestServeSIGKILLRecovery(t *testing.T) {
 	}
 	if _, ok := tables["emp2"]; ok {
 		t.Error("emp2 survived recovery but was decomposed before the kill")
+	}
+
+	// The replayed DML state: alice updated, bob deleted, carol's hostile
+	// literal intact — in emp (still carrying its delta overlay) and in
+	// the decomposed outputs (delta flushed before the operator).
+	if rows := queryRows(t, re.base, "emp", "Employee = 'alice'"); len(rows) != 1 || rows[0][2] != "9 New Rd" {
+		t.Errorf("recovered alice = %v, want updated address", rows)
+	}
+	if rows := queryRows(t, re.base, "emp", "Employee = 'bob'"); len(rows) != 0 {
+		t.Errorf("deleted bob survived recovery: %v", rows)
+	}
+	if rows := queryRows(t, re.base, "rest", "Address = '3 Pine;Rd'"); len(rows) != 1 || rows[0][0] != "carol" {
+		t.Errorf("recovered rest misses carol's row: %v", rows)
 	}
 
 	// Recovery must also work across a checkpoint boundary: checkpoint,

@@ -261,7 +261,28 @@ func (db *DB) checkpointLocked(mutated bool) error {
 		return fmt.Errorf("cods: %w: snapshot published but WAL not reset (catalog changes disabled until a Checkpoint succeeds): %w", ErrNotDurable, err)
 	}
 	db.walBroken = false
+	// The snapshot persisted every table with its delta flushed in, and
+	// the WAL entries that journaled the DML are gone; compact the
+	// in-memory overlays to match, so deltas cannot grow without bound
+	// across checkpoints. Compaction reuses the flush computed while
+	// collecting tables above, so it cannot fail here — and if it ever
+	// did, the overlays just stay pending, which is correct, merely
+	// uncompacted.
+	_ = db.engine.Compact()
 	return nil
+}
+
+// Compact flushes every table's pending DML into a rebuilt base table,
+// bounding the per-read cost of the delta overlay (tail scans, deletion
+// masks) without changing any content or the schema version. On a
+// durable database prefer Checkpoint, which compacts and additionally
+// persists the state and truncates the write-ahead log; Compact alone
+// never touches disk — recovery replays the journaled DML either way —
+// and is the way to retire overlays on an in-memory database.
+func (db *DB) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.engine.Compact()
 }
 
 // Close releases a durable database's write-ahead log. Further
@@ -305,45 +326,50 @@ func (s *Snapshot) Tables() []string { return s.cat.Tables() }
 
 // HasTable reports whether a table exists in the snapshot.
 func (s *Snapshot) HasTable(name string) bool {
-	_, err := s.cat.Table(name)
+	_, err := s.cat.Overlay(name)
 	return err == nil
 }
 
 // Columns returns a table's column names in schema order.
 func (s *Snapshot) Columns(table string) ([]string, error) {
-	t, err := s.cat.Table(table)
+	ov, err := s.cat.Overlay(table)
 	if err != nil {
 		return nil, err
 	}
-	return t.ColumnNames(), nil
+	return ov.ColumnNames(), nil
 }
 
-// NumRows returns a table's row count.
+// NumRows returns a table's row count, pending DML included.
 func (s *Snapshot) NumRows(table string) (uint64, error) {
-	t, err := s.cat.Table(table)
+	ov, err := s.cat.Overlay(table)
 	if err != nil {
 		return 0, err
 	}
-	return t.NumRows(), nil
+	return ov.NumRows(), nil
 }
 
 // Rows materializes up to limit rows of a table starting at offset (limit
-// 0 means all).
+// 0 means all), pending DML included.
 func (s *Snapshot) Rows(table string, offset, limit uint64) ([][]string, error) {
-	t, err := s.cat.Table(table)
+	ov, err := s.cat.Overlay(table)
 	if err != nil {
 		return nil, err
 	}
-	return t.Rows(offset, limit)
+	return ov.Rows(offset, limit)
 }
 
-// Describe returns schema and storage statistics for a table.
+// Describe returns schema and storage statistics for a table. Rows is
+// the exact merged count (pending DML included); the per-column storage
+// statistics describe the indexed base and pick up pending DML at the
+// next flush or checkpoint — Describe never forces a flush, so schema
+// polling (GET /schema) stays cheap under a write stream.
 func (s *Snapshot) Describe(table string) (*TableInfo, error) {
-	t, err := s.cat.Table(table)
+	ov, err := s.cat.Overlay(table)
 	if err != nil {
 		return nil, err
 	}
-	info := &TableInfo{Name: t.Name(), Rows: t.NumRows(), Key: t.Key()}
+	t := ov.Base()
+	info := &TableInfo{Name: t.Name(), Rows: ov.NumRows(), Key: t.Key()}
 	for i := 0; i < t.NumColumns(); i++ {
 		c := t.ColumnAt(i)
 		info.Columns = append(info.Columns, ColumnInfo{
@@ -357,9 +383,10 @@ func (s *Snapshot) Describe(table string) (*TableInfo, error) {
 }
 
 // Query returns the rows of a table satisfying a condition (same syntax
-// as PARTITION TABLE's WHERE).
+// as PARTITION TABLE's WHERE). Base rows evaluate on the bitmap index;
+// rows appended by pending DML merge in without materializing the table.
 func (s *Snapshot) Query(table, condition string) ([][]string, error) {
-	t, err := s.cat.Table(table)
+	ov, err := s.cat.Overlay(table)
 	if err != nil {
 		return nil, err
 	}
@@ -367,21 +394,14 @@ func (s *Snapshot) Query(table, condition string) ([][]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	mask, err := pred.EvalP(t, s.cfg.Parallelism)
-	if err != nil {
-		return nil, err
-	}
-	filtered, err := t.FilterRowsP(t.Name(), mask, s.cfg.Parallelism)
-	if err != nil {
-		return nil, err
-	}
-	return filtered.Rows(0, 0)
+	return ov.Query(pred)
 }
 
 // Count returns the number of rows satisfying a condition without
-// materializing them.
+// materializing them (a compressed popcount over the base plus a scan of
+// the delta overlay's appended tail).
 func (s *Snapshot) Count(table, condition string) (uint64, error) {
-	t, err := s.cat.Table(table)
+	ov, err := s.cat.Overlay(table)
 	if err != nil {
 		return 0, err
 	}
@@ -389,11 +409,7 @@ func (s *Snapshot) Count(table, condition string) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	mask, err := pred.EvalP(t, s.cfg.Parallelism)
-	if err != nil {
-		return 0, err
-	}
-	return mask.Count(), nil
+	return ov.Count(pred)
 }
 
 // RunQuery executes a query with optional filtering, grouping,
@@ -537,8 +553,27 @@ func toResult(r *core.Result) *Result {
 //	DROP COLUMN c FROM t
 //	RENAME COLUMN old TO new IN t
 //
+// and the DML statements, which change tuples rather than schema:
+//
+//	INSERT INTO t VALUES ('v1', 'v2', ...)
+//	DELETE FROM t [WHERE <condition>]
+//	UPDATE t SET c = 'v' [WHERE <condition>]
+//
+// DML executes against a per-table delta overlay (appended rows plus a
+// deletion bitmap over the immutable base), published copy-on-write like
+// every other catalog change: reads merge base and delta transparently,
+// a running evolution never observes half a statement, and Checkpoint
+// (or Compact) folds the overlay into a rebuilt base. An evolution
+// operator over a table with pending DML flushes the delta first, so
+// DECOMPOSE/MERGE semantics are unchanged. Declared keys are enforced:
+// INSERT rejects duplicate key values and UPDATE of a key column
+// validates uniqueness before committing.
+//
 // Conditions are comparisons (= != < <= > >=) over column values combined
-// with AND/OR/NOT; comparisons are numeric when both sides are integers.
+// with AND/OR/NOT. Values that parse as 64-bit integers compare
+// numerically and order before all non-integer values; other values
+// compare lexicographically — one total order shared with ORDER BY and
+// MIN/MAX.
 //
 // On a durable database, a non-nil Result alongside a non-nil error
 // means the statement committed in memory but could not be made durable

@@ -24,13 +24,27 @@
 //		"DECOMPOSE TABLE R INTO S (Employee, Skill), T (Employee, Address)")
 //	...
 //	res, err = db.Exec("MERGE TABLES S, T INTO R")
+//	res, err = db.Exec("INSERT INTO R VALUES ('Nguyen', 'Juggling', '12 Side St')")
 //
-// The operator syntax is the paper's Table 1; see the Exec documentation
-// for the full grammar. Lower-level building blocks (the WAH bitmap
-// engine, the column store, the evolution algorithms, the row-store
+// The operator syntax is the paper's Table 1 plus the DML statements
+// INSERT INTO t VALUES (...), DELETE FROM t [WHERE ...] and UPDATE t SET
+// c = 'v' [WHERE ...]; see the Exec documentation for the full grammar.
+// Lower-level building blocks (the WAH bitmap engine, the column store,
+// the DML delta overlay, the evolution algorithms, the row-store
 // baselines used by the benchmark harness) live under internal/ and are
 // exercised through this facade, the example programs, and the cmd/
 // tools.
+//
+// # DML and the delta overlay
+//
+// Tables accept row-level writes without giving up immutable storage:
+// each catalog entry is a base table plus a delta overlay
+// (internal/delta) of appended rows and a deletion bitmap, derived
+// copy-on-write per statement and published like any other catalog
+// change. Reads merge base and delta transparently; an evolution
+// operator over a table with pending DML flushes the delta into the base
+// first; Checkpoint compacts overlays into rebuilt bases. DML statements
+// are WAL-journaled as text and replayed on recovery like SMOs.
 //
 // # Parallelism
 //

@@ -2,6 +2,7 @@ package cods
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -229,6 +230,110 @@ func TestDurableClosedRejectsWrites(t *testing.T) {
 	// Reads still serve from memory.
 	if !db.HasTable("r") {
 		t.Fatal("read after Close failed")
+	}
+}
+
+// TestDurableDMLRecoveryFromWAL journals DML, crashes (drops the handle
+// without Close or Checkpoint) and expects replay to restore the delta
+// overlay exactly — inserts present, deletes gone, updates applied.
+func TestDurableDMLRecoveryFromWAL(t *testing.T) {
+	dir := t.TempDir()
+	db := openDurable(t, dir)
+	for _, s := range []string{
+		"CREATE TABLE r (k, v)",
+		"INSERT INTO r VALUES ('a', '1')",
+		"INSERT INTO r VALUES ('b', '2')",
+		"INSERT INTO r VALUES ('c', 'x;y')", // hostile literal through the WAL
+		"UPDATE r SET v = '20' WHERE k = 'b'",
+		"DELETE FROM r WHERE k = 'a'",
+	} {
+		mustExec(t, db, s)
+	}
+	// No Close: simulate a crash.
+
+	re := openDurable(t, dir)
+	n, err := re.NumRows("r")
+	if err != nil || n != 2 {
+		t.Fatalf("recovered rows = %d (%v), want 2", n, err)
+	}
+	rows, err := re.Rows("r", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, r := range rows {
+		got[r[0]] = r[1]
+	}
+	want := map[string]string{"b": "20", "c": "x;y"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered rows = %v, want %v", got, want)
+	}
+}
+
+// TestDurableDMLCheckpointCompaction: Checkpoint must compact the delta
+// into the snapshot's rebuilt base, truncate the WAL, and a reopen must
+// return identical query results — with the overlay gone, not replayed.
+func TestDurableDMLCheckpointCompaction(t *testing.T) {
+	dir := t.TempDir()
+	db := openDurable(t, dir)
+	mustExec(t, db, "CREATE TABLE r (k, v)")
+	for i := 0; i < 8; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO r VALUES ('k%d', '%d')", i, i))
+	}
+	mustExec(t, db, "DELETE FROM r WHERE v < '3'")
+	mustExec(t, db, "UPDATE r SET v = '100' WHERE k = 'k5'")
+	preRows, err := db.Query("r", "v >= '0'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	preCount, err := db.Count("r", "v = '100'")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint DML lands in the fresh WAL on top of the compacted
+	// snapshot.
+	mustExec(t, db, "INSERT INTO r VALUES ('post', '7')")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openDurable(t, dir)
+	postRows, err := re.Query("r", "v >= '0'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(postRows) != len(preRows)+1 {
+		t.Fatalf("reopened rows = %d, want %d", len(postRows), len(preRows)+1)
+	}
+	cnt, err := re.Count("r", "v = '100'")
+	if err != nil || cnt != preCount {
+		t.Fatalf("reopened Count(v=100) = %d (%v), want %d", cnt, err, preCount)
+	}
+	n, err := re.NumRows("r")
+	if err != nil || n != 6 {
+		t.Fatalf("reopened rows = %d (%v), want 6 (8 - 3 deleted + 1 post)", n, err)
+	}
+}
+
+// A DML script is journaled in one batched append, and the statements
+// applied before a mid-script failure recover.
+func TestDurableDMLScriptPartialFailure(t *testing.T) {
+	dir := t.TempDir()
+	db := openDurable(t, dir)
+	mustExec(t, db, "CREATE TABLE r (k)")
+	_, err := db.ExecScript("INSERT INTO r VALUES ('a'); INSERT INTO r VALUES ('b'); INSERT INTO nosuch VALUES ('c')")
+	if err == nil {
+		t.Fatal("script with bad tail succeeded")
+	}
+
+	re := openDurable(t, dir)
+	n, err := re.NumRows("r")
+	if err != nil || n != 2 {
+		t.Fatalf("recovered rows = %d (%v), want 2", n, err)
 	}
 }
 

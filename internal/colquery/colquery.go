@@ -10,6 +10,7 @@ package colquery
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strconv"
 	"strings"
@@ -292,7 +293,16 @@ func aggregate(bc *colstore.Column, a Agg, mask *wah.Bitmap, parallelism int) (s
 		counts := par.Map(bc.DistinctCount(), parallelism, func(id int) uint64 {
 			return wah.And(bc.BitmapForID(uint32(id)), mask).Count()
 		})
-		var sum int64
+		// Products and the running sum are computed exactly in 128 bits
+		// (two's complement hi:lo), so neither a transient mid-fold
+		// overflow nor one huge value×count product can reject a total
+		// that is representable: the result depends only on the multiset
+		// of values, never on dictionary-id order, and the one error is
+		// the final total exceeding int64. The accumulator itself cannot
+		// overflow: Σ|value|·count ≤ MaxInt64+1 times the table's row
+		// count, which is below 2^127.
+		var sumHi int64
+		var sumLo uint64
 		var rows uint64
 		for id, n := range counts {
 			if n == 0 {
@@ -302,9 +312,27 @@ func aggregate(bc *colstore.Column, a Agg, mask *wah.Bitmap, parallelism int) (s
 			if err != nil {
 				return "", fmt.Errorf("colquery: %s over non-numeric value %q in %s", a.Func, bc.Dict().Value(uint32(id)), a.Column)
 			}
-			sum += v * int64(n)
+			mag := uint64(v)
+			if v < 0 {
+				mag = -mag // two's complement magnitude, MinInt64-safe
+			}
+			hi, lo := bits.Mul64(mag, n)
+			if v < 0 {
+				lo = ^lo + 1
+				hi = ^hi
+				if lo == 0 {
+					hi++
+				}
+			}
+			var carry uint64
+			sumLo, carry = bits.Add64(sumLo, lo, 0)
+			sumHi += int64(hi) + int64(carry)
 			rows += n
 		}
+		if sumHi != int64(sumLo)>>63 {
+			return "", fmt.Errorf("colquery: %s over %s overflows int64", a.Func, a.Column)
+		}
+		sum := int64(sumLo)
 		if a.Func == Sum {
 			return strconv.FormatInt(sum, 10), nil
 		}
@@ -316,15 +344,14 @@ func aggregate(bc *colstore.Column, a Agg, mask *wah.Bitmap, parallelism int) (s
 	return "", fmt.Errorf("colquery: unknown aggregate %v", a.Func)
 }
 
-// valueLess compares values numerically when both parse as integers,
-// lexicographically otherwise — the same rule as the predicate language.
+// valueLess orders values by the predicate language's total order
+// (expr.Compare): integers numerically and before all non-integers,
+// non-integers lexicographically. Sharing the comparator keeps ORDER BY,
+// MIN/MAX and WHERE mutually consistent; a previous local rule ("numeric
+// only when both sides parse") was not transitive on mixed values
+// ("9" < "10" < "10x" < "9"), leaving sort results undefined.
 func valueLess(a, b string) bool {
-	if x, errX := strconv.ParseInt(a, 10, 64); errX == nil {
-		if y, errY := strconv.ParseInt(b, 10, 64); errY == nil {
-			return x < y
-		}
-	}
-	return a < b
+	return expr.Compare(a, b) < 0
 }
 
 func orderBy(rs *ResultSet, column string, desc bool) error {

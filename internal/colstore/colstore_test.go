@@ -546,3 +546,21 @@ func TestRowIDRange(t *testing.T) {
 		}
 	}
 }
+
+// RangeScan must follow the system-wide CompareValues total order on
+// mixed numeric/non-numeric values: the old split comparators (sort
+// lexicographic, search numeric-when-both-parse) made the binary search
+// non-monotonic and returned wrong row sets.
+func TestRangeScanMixedValuesTotalOrder(t *testing.T) {
+	col := NewColumnFromValues("V", []string{"10x", "9", "abc", "10", "2"})
+	// Integers sort first: [2 9 10], then [10x abc].
+	if got := col.RangeScan("10", "").Count(); got != 3 {
+		t.Fatalf("RangeScan(10,∞) = %d rows, want 3 (10, 10x, abc; 9 and 2 excluded)", got)
+	}
+	if got := col.RangeScan("", "9").Count(); got != 2 {
+		t.Fatalf("RangeScan(-∞,9) = %d rows, want 2 (2, 9)", got)
+	}
+	if got := col.RangeScan("10x", "abc").Count(); got != 2 {
+		t.Fatalf("RangeScan(10x,abc) = %d rows, want 2", got)
+	}
+}

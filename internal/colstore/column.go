@@ -360,36 +360,49 @@ func (c *Column) ToRLEEncoding() *Column {
 // RLERuns exposes the run column for RLE-encoded columns; nil otherwise.
 func (c *Column) RLERuns() *rle.Column { return c.runs }
 
+// CompareValues totally orders two column values: -1, 0 or 1 as a sorts
+// before, equal to, or after b. Values that parse as 64-bit integers
+// order numerically and before every non-integer value; non-integers
+// order lexicographically. This is the one value order of the whole
+// system — the predicate language (expr.Compare delegates here), ORDER
+// BY, MIN/MAX and RangeScan all share it, so no two layers can disagree
+// about which of two values is smaller. It lives in colstore because
+// every higher layer already depends on this package.
+func CompareValues(a, b string) int {
+	ai, aerr := strconv.ParseInt(a, 10, 64)
+	bi, berr := strconv.ParseInt(b, 10, 64)
+	switch {
+	case aerr == nil && berr == nil:
+		switch {
+		case ai < bi:
+			return -1
+		case ai > bi:
+			return 1
+		}
+		return 0
+	case aerr == nil:
+		return -1
+	case berr == nil:
+		return 1
+	}
+	return strings.Compare(a, b)
+}
+
 // RangeScan returns the bitmap of rows whose value lies in [lo, hi]
-// (inclusive bounds; an empty bound is unbounded on that side).
-// Comparison is numeric when the bound and every column value parse as
-// integers, lexicographic otherwise. Like all index scans, the predicate
-// is decided once per distinct value; the row-level work is a compressed
-// OR over the qualifying values' bitmaps.
+// (inclusive bounds; an empty bound is unbounded on that side), under
+// the CompareValues total order. Like all index scans, the predicate is
+// decided once per distinct value; the row-level work is a compressed OR
+// over the qualifying values' bitmaps.
 func (c *Column) RangeScan(lo, hi string) *wah.Bitmap {
 	ids := c.sortValues()
-	cmp := func(a, b string) int {
-		if x, errX := strconv.ParseInt(a, 10, 64); errX == nil {
-			if y, errY := strconv.ParseInt(b, 10, 64); errY == nil {
-				switch {
-				case x < y:
-					return -1
-				case x > y:
-					return 1
-				}
-				return 0
-			}
-		}
-		return strings.Compare(a, b)
-	}
 	// Binary-search the sorted value order for the qualifying id range.
 	start := 0
 	if lo != "" {
-		start = sort.Search(len(ids), func(i int) bool { return cmp(c.dict.Value(ids[i]), lo) >= 0 })
+		start = sort.Search(len(ids), func(i int) bool { return CompareValues(c.dict.Value(ids[i]), lo) >= 0 })
 	}
 	end := len(ids)
 	if hi != "" {
-		end = sort.Search(len(ids), func(i int) bool { return cmp(c.dict.Value(ids[i]), hi) > 0 })
+		end = sort.Search(len(ids), func(i int) bool { return CompareValues(c.dict.Value(ids[i]), hi) > 0 })
 	}
 	if start >= end {
 		out := wah.New()
@@ -406,27 +419,36 @@ func (c *Column) RangeScan(lo, hi string) *wah.Bitmap {
 	return out
 }
 
-// sortValues returns value ids ordered for range scans: numerically when
-// every value parses as an integer, lexicographically otherwise.
+// sortValues returns value ids in the CompareValues total order — the
+// sorted order RangeScan's binary search requires. A sort predicate
+// disagreeing with the search comparator (the old numeric-vs-lex split)
+// would make the search non-monotonic on mixed values. Each value is
+// parsed once up front, not once per comparison.
 func (c *Column) sortValues() []uint32 {
+	type key struct {
+		isInt bool
+		n     int64
+	}
+	keys := make([]key, c.dict.Len())
+	for i := range keys {
+		n, err := strconv.ParseInt(c.dict.Value(uint32(i)), 10, 64)
+		keys[i] = key{err == nil, n}
+	}
 	ids := make([]uint32, c.dict.Len())
 	for i := range ids {
 		ids[i] = uint32(i)
 	}
-	numeric := true
-	nums := make([]int64, len(ids))
-	for i, id := range ids {
-		n, err := strconv.ParseInt(c.dict.Value(id), 10, 64)
-		if err != nil {
-			numeric = false
-			break
+	sort.Slice(ids, func(a, b int) bool {
+		ka, kb := keys[ids[a]], keys[ids[b]]
+		switch {
+		case ka.isInt && kb.isInt:
+			return ka.n < kb.n
+		case ka.isInt:
+			return true
+		case kb.isInt:
+			return false
 		}
-		nums[i] = n
-	}
-	if numeric {
-		sort.Slice(ids, func(a, b int) bool { return nums[ids[a]] < nums[ids[b]] })
-	} else {
-		sort.Slice(ids, func(a, b int) bool { return c.dict.Value(ids[a]) < c.dict.Value(ids[b]) })
-	}
+		return c.dict.Value(ids[a]) < c.dict.Value(ids[b])
+	})
 	return ids
 }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"cods/internal/colstore"
+	"cods/internal/delta"
 	"cods/internal/evolve"
 	"cods/internal/smo"
 )
@@ -47,15 +48,19 @@ type Config struct {
 // Tables, Version, History, Catalog) load the published pointer and never
 // block, even while an SMO is mid-execution.
 type Engine struct {
-	mu      sync.Mutex // serializes writers; readers never take it
-	tables  map[string]*colstore.Table
+	mu sync.Mutex // serializes writers; readers never take it
+	// tables maps each name to its delta.Overlay: the immutable base
+	// table plus pending DML (appended rows, deletion bitmap). SMOs
+	// consume the flushed table; DML derives a new overlay (copy on
+	// write); readers merge base+delta through the overlay.
+	tables  map[string]*delta.Overlay
 	version int
 	history []HistoryEntry
-	// snapshots holds the catalog as of each schema version. Tables are
-	// immutable, so a snapshot is a map copy sharing all column data —
-	// versioned schemas cost almost nothing, and any version can be
-	// rolled back to (the "audibility" PRISM motivates; paper §1).
-	snapshots map[int]map[string]*colstore.Table
+	// snapshots holds the catalog as of each schema version. Overlays are
+	// immutable, so a snapshot is a map copy sharing all column data and
+	// DML state — versioned schemas cost almost nothing, and any version
+	// can be rolled back to (the "audibility" PRISM motivates; paper §1).
+	snapshots map[int]map[string]*delta.Overlay
 	// published is the current catalog as readers see it: an immutable
 	// Catalog swapped in after each committed change (copy-on-write
 	// publication). A reader that loaded it observes that whole schema
@@ -76,15 +81,30 @@ type Engine struct {
 // indefinitely (tables are immutable, the maps are never mutated after
 // publication).
 type Catalog struct {
-	tables  map[string]*colstore.Table
+	tables  map[string]*delta.Overlay
 	version int
 	history []HistoryEntry
 }
 
-// Table returns the named table, or an error wrapping ErrNoTable.
+// Table returns the named table with any pending DML flushed in, or an
+// error wrapping ErrNoTable. The flush is computed at most once per
+// overlay version and cached, so repeated reads of a DML'd table pay for
+// the merge once; a table without pending DML is returned as-is.
 func (c *Catalog) Table(name string) (*colstore.Table, error) {
-	if t, ok := c.tables[name]; ok {
-		return t, nil
+	ov, err := c.Overlay(name)
+	if err != nil {
+		return nil, err
+	}
+	return ov.Table()
+}
+
+// Overlay returns the named table's delta overlay — the base table plus
+// pending DML — or an error wrapping ErrNoTable. Read paths that can
+// merge base and delta without flushing (counts, filtered row reads) use
+// it to skip materialization.
+func (c *Catalog) Overlay(name string) (*delta.Overlay, error) {
+	if ov, ok := c.tables[name]; ok {
+		return ov, nil
 	}
 	return nil, fmt.Errorf("core: %w %q", ErrNoTable, name)
 }
@@ -133,8 +153,8 @@ func New(cfg Config) *Engine {
 	if cfg.ValuesLoader == nil {
 		cfg.ValuesLoader = loadValuesFile
 	}
-	e := &Engine{tables: make(map[string]*colstore.Table), snapshots: make(map[int]map[string]*colstore.Table), cfg: cfg}
-	e.snapshots[0] = map[string]*colstore.Table{}
+	e := &Engine{tables: make(map[string]*delta.Overlay), snapshots: make(map[int]map[string]*delta.Overlay), cfg: cfg}
+	e.snapshots[0] = map[string]*delta.Overlay{}
 	e.publish()
 	return e
 }
@@ -144,7 +164,7 @@ func New(cfg Config) *Engine {
 // last step of a committed change; until then readers keep loading the
 // previous version, so a mid-flight SMO is never observable.
 func (e *Engine) snapshot() {
-	copied := make(map[string]*colstore.Table, len(e.tables))
+	copied := make(map[string]*delta.Overlay, len(e.tables))
 	for k, v := range e.tables {
 		copied[k] = v
 	}
@@ -222,14 +242,15 @@ func loadValuesFile(path string) ([]string, error) {
 	return lines, nil
 }
 
-// Register adds an externally built table (data loading) to the catalog.
+// Register adds an externally built table (data loading) to the catalog,
+// wrapped in a clean delta overlay.
 func (e *Engine) Register(t *colstore.Table) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if _, exists := e.tables[t.Name()]; exists {
 		return fmt.Errorf("core: table %q already exists", t.Name())
 	}
-	e.tables[t.Name()] = t
+	e.tables[t.Name()] = delta.Wrap(t, e.cfg.Parallelism)
 	e.snapshot()
 	return nil
 }
@@ -281,13 +302,18 @@ func (e *Engine) Apply(op smo.Op) (*Result, error) {
 	}
 	res.Elapsed = time.Since(start)
 
+	// DML replaces a table's overlay under its own name: no catalog
+	// create/drop to report, just the new version.
+	dml := smo.IsDML(op)
 	for _, name := range drop {
 		delete(e.tables, name)
 		res.Dropped = append(res.Dropped, name)
 	}
-	for _, t := range add {
-		e.tables[t.Name()] = t
-		res.Created = append(res.Created, t.Name())
+	for _, ov := range add {
+		e.tables[ov.Name()] = ov
+		if !dml {
+			res.Created = append(res.Created, ov.Name())
+		}
 	}
 	e.version++
 	res.Version = e.version
@@ -311,7 +337,7 @@ func (e *Engine) Rollback(version int) error {
 	if !ok {
 		return fmt.Errorf("core: no schema version %d (current: %d)", version, e.version)
 	}
-	restored := make(map[string]*colstore.Table, len(snap))
+	restored := make(map[string]*delta.Overlay, len(snap))
 	for k, v := range snap {
 		restored[k] = v
 	}
@@ -340,13 +366,63 @@ func (e *Engine) ApplyScript(ops []smo.Op) ([]*Result, error) {
 	return results, nil
 }
 
-// get looks a table up in the writer-side working set, under the
-// already-held lock.
-func (e *Engine) get(name string) (*colstore.Table, error) {
-	if t, ok := e.tables[name]; ok {
-		return t, nil
+// overlay looks a table's delta overlay up in the writer-side working
+// set, under the already-held lock.
+func (e *Engine) overlay(name string) (*delta.Overlay, error) {
+	if ov, ok := e.tables[name]; ok {
+		return ov, nil
 	}
 	return nil, fmt.Errorf("%w %q", ErrNoTable, name)
+}
+
+// wrap boxes operator outputs as clean overlays for the catalog.
+func (e *Engine) wrap(ts ...*colstore.Table) []*delta.Overlay {
+	out := make([]*delta.Overlay, len(ts))
+	for i, t := range ts {
+		out[i] = delta.Wrap(t, e.cfg.Parallelism)
+	}
+	return out
+}
+
+// Compact replaces every dirty overlay of the current version with its
+// flushed base, republishing the same schema version (the tuple sets are
+// identical — only the physical representation changes). Checkpoint
+// calls it after persisting a snapshot: the snapshot wrote the flushed
+// tables, so keeping the in-memory deltas would let them grow without
+// bound across truncations of the WAL that journaled them.
+func (e *Engine) Compact() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	dirty := false
+	for _, ov := range e.tables {
+		if ov.Dirty() {
+			dirty = true
+			break
+		}
+	}
+	if !dirty {
+		return nil
+	}
+	compacted := make(map[string]*delta.Overlay, len(e.tables))
+	for name, ov := range e.tables {
+		if !ov.Dirty() {
+			compacted[name] = ov
+			continue
+		}
+		t, err := ov.Table()
+		if err != nil {
+			return err
+		}
+		compacted[name] = delta.Wrap(t, e.cfg.Parallelism)
+	}
+	e.tables = compacted
+	// snapshot() re-freezes the working set under the current version
+	// and republishes — same code path as a commit, so the "stored maps
+	// are distinct from the writer working set" invariant lives in one
+	// place. The version number is unchanged; only the representation
+	// is.
+	e.snapshot()
+	return nil
 }
 
 // ensureFree fails when an output name is taken and not about to be
@@ -364,8 +440,60 @@ func (e *Engine) ensureFree(name string, dropping ...string) error {
 }
 
 // execute computes an operator's outputs without touching the catalog.
-func (e *Engine) execute(op smo.Op, opts evolve.Options) (add []*colstore.Table, drop []string, err error) {
+// Evolution operators read tables through get, which flushes any pending
+// DML into the base first — the delta overlay is an artifact of the write
+// path, and the paper's algorithms must see one plain table. DML
+// statements instead derive a new overlay from the current one.
+func (e *Engine) execute(op smo.Op, opts evolve.Options) (add []*delta.Overlay, drop []string, err error) {
+	get := func(name string) (*colstore.Table, error) {
+		ov, err := e.overlay(name)
+		if err != nil {
+			return nil, err
+		}
+		if ov.Dirty() {
+			opts.Status(fmt.Sprintf("delta flush: %s (+%d appended, -%d deleted)",
+				name, ov.PendingAdded(), ov.PendingDeleted()))
+		}
+		return ov.Table()
+	}
+
 	switch o := op.(type) {
+	case smo.Insert:
+		ov, err := e.overlay(o.Table)
+		if err != nil {
+			return nil, nil, err
+		}
+		nov, err := ov.Insert(o.Values)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts.Status(fmt.Sprintf("insert: 1 row appended to delta overlay (%d pending)", nov.PendingAdded()))
+		return []*delta.Overlay{nov}, nil, nil
+
+	case smo.Delete:
+		ov, err := e.overlay(o.Table)
+		if err != nil {
+			return nil, nil, err
+		}
+		nov, n, err := ov.Delete(o.Where)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts.Status(fmt.Sprintf("delete: %d rows marked in deletion bitmap", n))
+		return []*delta.Overlay{nov}, nil, nil
+
+	case smo.Update:
+		ov, err := e.overlay(o.Table)
+		if err != nil {
+			return nil, nil, err
+		}
+		nov, n, err := ov.Update(o.Column, o.Value, o.Where)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts.Status(fmt.Sprintf("update: %d rows rewritten through delta overlay", n))
+		return []*delta.Overlay{nov}, nil, nil
+
 	case smo.CreateTable:
 		if err := e.ensureFree(o.Table); err != nil {
 			return nil, nil, err
@@ -378,40 +506,44 @@ func (e *Engine) execute(op smo.Op, opts evolve.Options) (add []*colstore.Table,
 		if err != nil {
 			return nil, nil, err
 		}
-		return []*colstore.Table{t}, nil, nil
+		return e.wrap(t), nil, nil
 
 	case smo.DropTable:
-		if _, err := e.get(o.Table); err != nil {
+		// Existence check only — flushing a table about to be dropped
+		// would be wasted work.
+		if _, err := e.overlay(o.Table); err != nil {
 			return nil, nil, err
 		}
 		return nil, []string{o.Table}, nil
 
 	case smo.RenameTable:
-		t, err := e.get(o.From)
+		// Metadata-only: the overlay (pending DML included) carries over
+		// under the new name, no flush.
+		ov, err := e.overlay(o.From)
 		if err != nil {
 			return nil, nil, err
 		}
 		if err := e.ensureFree(o.To, o.From); err != nil {
 			return nil, nil, err
 		}
-		return []*colstore.Table{t.WithName(o.To)}, []string{o.From}, nil
+		return []*delta.Overlay{ov.WithName(o.To)}, []string{o.From}, nil
 
 	case smo.CopyTable:
-		t, err := e.get(o.From)
+		t, err := get(o.From)
 		if err != nil {
 			return nil, nil, err
 		}
 		if err := e.ensureFree(o.To); err != nil {
 			return nil, nil, err
 		}
-		return []*colstore.Table{evolve.Copy(t, o.To, opts)}, nil, nil
+		return e.wrap(evolve.Copy(t, o.To, opts)), nil, nil
 
 	case smo.UnionTables:
-		a, err := e.get(o.A)
+		a, err := get(o.A)
 		if err != nil {
 			return nil, nil, err
 		}
-		b, err := e.get(o.B)
+		b, err := get(o.B)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -422,10 +554,10 @@ func (e *Engine) execute(op smo.Op, opts evolve.Options) (add []*colstore.Table,
 		if err != nil {
 			return nil, nil, err
 		}
-		return []*colstore.Table{u}, []string{o.A, o.B}, nil
+		return e.wrap(u), []string{o.A, o.B}, nil
 
 	case smo.PartitionTable:
-		t, err := e.get(o.Table)
+		t, err := get(o.Table)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -442,10 +574,10 @@ func (e *Engine) execute(op smo.Op, opts evolve.Options) (add []*colstore.Table,
 		if err != nil {
 			return nil, nil, err
 		}
-		return []*colstore.Table{yes, no}, []string{o.Table}, nil
+		return e.wrap(yes, no), []string{o.Table}, nil
 
 	case smo.DecomposeTable:
-		t, err := e.get(o.Table)
+		t, err := get(o.Table)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -462,14 +594,14 @@ func (e *Engine) execute(op smo.Op, opts evolve.Options) (add []*colstore.Table,
 		if err != nil {
 			return nil, nil, err
 		}
-		return []*colstore.Table{res.S, res.T}, []string{o.Table}, nil
+		return e.wrap(res.S, res.T), []string{o.Table}, nil
 
 	case smo.MergeTables:
-		a, err := e.get(o.A)
+		a, err := get(o.A)
 		if err != nil {
 			return nil, nil, err
 		}
-		b, err := e.get(o.B)
+		b, err := get(o.B)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -480,10 +612,10 @@ func (e *Engine) execute(op smo.Op, opts evolve.Options) (add []*colstore.Table,
 		if err != nil {
 			return nil, nil, err
 		}
-		return []*colstore.Table{res.Table}, []string{o.A, o.B}, nil
+		return e.wrap(res.Table), []string{o.A, o.B}, nil
 
 	case smo.AddColumn:
-		t, err := e.get(o.Table)
+		t, err := get(o.Table)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -503,10 +635,10 @@ func (e *Engine) execute(op smo.Op, opts evolve.Options) (add []*colstore.Table,
 				return nil, nil, err
 			}
 		}
-		return []*colstore.Table{nt}, []string{o.Table}, nil
+		return e.wrap(nt), []string{o.Table}, nil
 
 	case smo.DropColumn:
-		t, err := e.get(o.Table)
+		t, err := get(o.Table)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -514,10 +646,10 @@ func (e *Engine) execute(op smo.Op, opts evolve.Options) (add []*colstore.Table,
 		if err != nil {
 			return nil, nil, err
 		}
-		return []*colstore.Table{nt}, []string{o.Table}, nil
+		return e.wrap(nt), []string{o.Table}, nil
 
 	case smo.RenameColumn:
-		t, err := e.get(o.Table)
+		t, err := get(o.Table)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -525,7 +657,7 @@ func (e *Engine) execute(op smo.Op, opts evolve.Options) (add []*colstore.Table,
 		if err != nil {
 			return nil, nil, err
 		}
-		return []*colstore.Table{nt}, []string{o.Table}, nil
+		return e.wrap(nt), []string{o.Table}, nil
 	}
 	return nil, nil, fmt.Errorf("unsupported operator %T", op)
 }

@@ -296,3 +296,133 @@ func TestStatusCallback(t *testing.T) {
 		t.Fatalf("missing distinction event: %s", all)
 	}
 }
+
+// TestDMLOverlayLifecycle covers the engine face of the delta overlay:
+// DML statements version the catalog with dirty overlays, evolutions
+// flush them (with a status step), and Compact retires them without
+// changing content or version.
+func TestDMLOverlayLifecycle(t *testing.T) {
+	e := newEngineWithR(t)
+	res := apply(t, e, "INSERT INTO R VALUES ('Nguyen', 'Sailing', '9 Pier Ln')")
+	if len(res.Created) != 0 || len(res.Dropped) != 0 {
+		t.Fatalf("DML reported created=%v dropped=%v", res.Created, res.Dropped)
+	}
+	apply(t, e, "DELETE FROM R WHERE Employee = 'Roberts'")
+
+	cat := e.Catalog()
+	ov, err := cat.Overlay("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ov.Dirty() || ov.PendingAdded() != 1 || ov.PendingDeleted() != 1 {
+		t.Fatalf("overlay state: dirty=%v added=%d deleted=%d", ov.Dirty(), ov.PendingAdded(), ov.PendingDeleted())
+	}
+	if n := ov.NumRows(); n != 7 {
+		t.Fatalf("NumRows = %d, want 7 (7 seed + 1 - 1)", n)
+	}
+	version := cat.Version()
+	rowsBefore, err := cat.Table("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := rowsBefore.TupleMultiset()
+
+	if err := e.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	cat = e.Catalog()
+	if got := cat.Version(); got != version {
+		t.Fatalf("Compact changed version %d -> %d", version, got)
+	}
+	ov, err = cat.Overlay("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.Dirty() {
+		t.Fatal("overlay still dirty after Compact")
+	}
+	tab, err := cat.Table("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tab.TupleMultiset(), before) {
+		t.Fatal("Compact changed table content")
+	}
+
+	// An evolution over a dirty overlay flushes first and reports it.
+	apply(t, e, "INSERT INTO R VALUES ('Park', 'Welding', '3 Dock Rd')")
+	res = apply(t, e, "DECOMPOSE TABLE R INTO S (Employee, Skill), T (Employee, Address)")
+	flushed := false
+	for _, s := range res.Steps {
+		if strings.HasPrefix(s, "delta flush: R") {
+			flushed = true
+		}
+	}
+	if !flushed {
+		t.Fatalf("no delta-flush step in %v", res.Steps)
+	}
+	s, err := e.Catalog().Table("S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, row := range s.SortedTuples() {
+		if row[0] == "Park" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("decomposed S misses the inserted row")
+	}
+}
+
+// TestCompactDoesNotAliasPublishedSnapshot is the regression for a map
+// aliasing bug: Compact must give the writer working set and the
+// stored/published snapshot distinct maps, or the next Apply mutates
+// rollback history (and the published catalog) in place.
+func TestCompactDoesNotAliasPublishedSnapshot(t *testing.T) {
+	e := newEngineWithR(t)
+	apply(t, e, "INSERT INTO R VALUES ('Nguyen', 'Sailing', '9 Pier Ln')")
+	if err := e.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	compactedVersion := e.Version()
+
+	apply(t, e, "DROP TABLE R")
+	if _, err := e.Catalog().Overlay("R"); err == nil {
+		t.Fatal("R still published after DROP")
+	}
+	if err := e.Rollback(compactedVersion); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := e.Catalog().Table("R")
+	if err != nil {
+		t.Fatalf("rollback to compacted version lost R: %v", err)
+	}
+	if n := tab.NumRows(); n != 8 {
+		t.Fatalf("restored R has %d rows, want 8", n)
+	}
+}
+
+// RENAME TABLE is metadata-only even with pending DML: the overlay
+// carries over to the new name without a delta flush.
+func TestRenameCarriesDeltaWithoutFlush(t *testing.T) {
+	e := newEngineWithR(t)
+	apply(t, e, "INSERT INTO R VALUES ('Nguyen', 'Sailing', '9 Pier Ln')")
+	res := apply(t, e, "RENAME TABLE R TO R2")
+	for _, s := range res.Steps {
+		if strings.HasPrefix(s, "delta flush") {
+			t.Fatalf("rename flushed the delta: %v", res.Steps)
+		}
+	}
+	ov, err := e.Catalog().Overlay("R2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ov.Dirty() || ov.NumRows() != 8 {
+		t.Fatalf("renamed overlay: dirty=%v rows=%d, want dirty with 8", ov.Dirty(), ov.NumRows())
+	}
+	if _, err := e.Catalog().Overlay("R"); err == nil {
+		t.Fatal("old name still present")
+	}
+}

@@ -1,0 +1,634 @@
+// Package delta implements the DML overlay that makes tables writable
+// without giving up the immutable bitmap-indexed column store: each table
+// in the catalog is a base colstore.Table (never mutated) plus an Overlay
+// of appended rows and a deletion bitmap over the base. INSERT appends to
+// the overlay, DELETE marks base rows in the bitmap (and drops appended
+// rows), UPDATE is delete-plus-reinsert of the changed rows. Every DML
+// statement produces a new Overlay value (copy-on-write), so the engine's
+// published catalog snapshots stay immutable and lock-free readers keep
+// working unchanged while writes commit.
+//
+// Reads merge base and delta: filtered reads evaluate predicates on the
+// base's bitmap index as usual, mask out deleted rows with one compressed
+// AND-NOT, and scan only the (small) appended tail row-wise with
+// expr.Node.EvalRow. Whole-table access (aggregation queries, evolution
+// operators, checkpoints) goes through Table, which flushes the overlay
+// into a rebuilt base — computed at most once per overlay version and
+// cached, so an evolution operator or checkpoint "compacting the delta"
+// is the same code path as a heavy read. Schema Modification Operators
+// always consume the flushed table, which keeps the paper's evolution
+// algorithms oblivious to DML.
+package delta
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"cods/internal/colstore"
+	"cods/internal/expr"
+	"cods/internal/par"
+	"cods/internal/wah"
+)
+
+// arena coordinates in-place extension of one shared appended-rows
+// backing array across the overlay versions that view prefixes of it.
+// tip is the authoritative number of rows written to the array: an
+// overlay whose view length equals tip (and with spare capacity) is the
+// newest version and may claim the next slot; any other overlay must
+// copy. This makes a linear chain of INSERTs — each statement deriving
+// from the last — amortized O(1) instead of O(rows-so-far), while a
+// branch (e.g. DML after a rollback to an older version) safely copies.
+// Readers never touch slots beyond their own view length, so claimed
+// slots racing reads of older views is not possible.
+type arena struct {
+	mu  sync.Mutex
+	tip int
+}
+
+// Overlay is an immutable view of one table: a base column-store table
+// plus pending DML. The zero overlay (fresh from Wrap) is the base table
+// itself. Methods returning *Overlay never mutate the receiver.
+type Overlay struct {
+	base *colstore.Table
+	// byName maps column names to schema positions; built once in Wrap
+	// (the schema never changes within a lineage) and shared by every
+	// derived overlay.
+	byName map[string]int
+	// added holds rows appended since the base was built, in schema
+	// order. Row slices are never mutated after they enter an overlay;
+	// the backing array may be shared with newer versions (see arena).
+	added [][]string
+	// ar guards extension of added's backing array; nil until the first
+	// insert of a lineage.
+	ar *arena
+	// deleted marks base-row positions removed by DELETE/UPDATE; nil
+	// means none. Never mutated once set (bitmap algebra allocates).
+	deleted  *wah.Bitmap
+	nDeleted uint64
+	// parallelism bounds the worker pool for bitmap work (predicate
+	// evaluation, filtering, flush); 0 means GOMAXPROCS.
+	parallelism int
+
+	// flush cache: an overlay is immutable, so the merged table is
+	// computed at most once and shared by every reader of this version.
+	flushOnce sync.Once
+	flushed   *colstore.Table
+	flushErr  error
+}
+
+// Wrap returns a clean overlay over a base table. parallelism bounds
+// bitmap work for this overlay and its descendants (0 = GOMAXPROCS).
+func Wrap(base *colstore.Table, parallelism int) *Overlay {
+	byName := make(map[string]int, base.NumColumns())
+	for i, c := range base.ColumnNames() {
+		byName[c] = i
+	}
+	return &Overlay{base: base, byName: byName, parallelism: parallelism}
+}
+
+// WithName returns an overlay over the same DML state with the base
+// renamed. Rename is metadata-only on a column store, so the appended
+// tail, deletion bitmap and append arena carry forward untouched — the
+// arena in particular must be shared, not copied, so a lineage that
+// branches across the rename still coordinates backing-array claims.
+func (o *Overlay) WithName(name string) *Overlay {
+	return &Overlay{
+		base: o.base.WithName(name), byName: o.byName,
+		added: o.added, ar: o.ar,
+		deleted: o.deleted, nDeleted: o.nDeleted,
+		parallelism: o.parallelism,
+	}
+}
+
+// Base returns the underlying immutable table (schema authority; its row
+// set ignores pending DML).
+func (o *Overlay) Base() *colstore.Table { return o.base }
+
+// Name returns the table name.
+func (o *Overlay) Name() string { return o.base.Name() }
+
+// ColumnNames returns the schema's column names in order. DML never
+// changes the schema, so the base is authoritative.
+func (o *Overlay) ColumnNames() []string { return o.base.ColumnNames() }
+
+// Dirty reports whether the overlay carries pending DML.
+func (o *Overlay) Dirty() bool { return len(o.added) > 0 || o.nDeleted > 0 }
+
+// PendingAdded returns the number of appended rows not yet compacted.
+func (o *Overlay) PendingAdded() int { return len(o.added) }
+
+// PendingDeleted returns the number of base rows marked deleted.
+func (o *Overlay) PendingDeleted() uint64 { return o.nDeleted }
+
+// NumRows returns the merged row count, without flushing.
+func (o *Overlay) NumRows() uint64 {
+	return o.base.NumRows() - o.nDeleted + uint64(len(o.added))
+}
+
+// derive copies the overlay's DML state for a new version (Delete and
+// Update). The capacity clamp severs the result from the arena protocol:
+// with no spare capacity and no arena, the next Insert of this lineage
+// must copy into a fresh array — so a derive over a shared backing array
+// (e.g. Update matching nothing returns o.added unchanged) can never
+// hand out a second claim on slots another lineage extends into. The
+// flush cache is deliberately not carried over.
+func (o *Overlay) derive(added [][]string, deleted *wah.Bitmap) *Overlay {
+	added = added[:len(added):len(added)]
+	n := &Overlay{base: o.base, byName: o.byName, added: added, deleted: deleted, parallelism: o.parallelism}
+	if deleted != nil {
+		n.nDeleted = deleted.Count()
+	}
+	return n
+}
+
+// keyConflict reports whether row's values in the declared key columns
+// already appear in a live merged row. The evolution operators (MERGE's
+// key–FK join in particular) and ValidateKey rely on declared keys being
+// real, so the DML write path must not be a hole that lets duplicates
+// in. Cost per call: one dictionary EqScan + compressed AND per key
+// column, plus a scan of the appended tail.
+func (o *Overlay) keyConflict(row []string) (bool, error) {
+	key := o.base.Key()
+	if len(key) == 0 {
+		return false, nil
+	}
+	hit, err := o.baseKeyMatch(key, row, o.deleted)
+	if err != nil {
+		return false, err
+	}
+	if hit {
+		return true, nil
+	}
+	for _, a := range o.added {
+		same := true
+		for _, k := range key {
+			if a[o.byName[k]] != row[o.byName[k]] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// baseKeyMatch reports whether any base row not masked out by del holds
+// row's values in the kcols columns: one dictionary EqScan plus a
+// compressed AND per key column.
+func (o *Overlay) baseKeyMatch(kcols []string, row []string, del *wah.Bitmap) (bool, error) {
+	var mask *wah.Bitmap
+	for _, k := range kcols {
+		col, err := o.base.Column(k)
+		if err != nil {
+			return false, err
+		}
+		bm := col.EqScan(row[o.byName[k]])
+		if mask == nil {
+			mask = bm
+		} else {
+			mask = wah.And(mask, bm)
+		}
+		if !mask.Any() {
+			return false, nil
+		}
+	}
+	if del != nil {
+		mask = wah.AndNot(mask, del)
+	}
+	return mask.Any(), nil
+}
+
+// Insert returns an overlay with one row appended. The row must match
+// the schema's arity and respect the table's declared key; values are
+// copied.
+func (o *Overlay) Insert(row []string) (*Overlay, error) {
+	if len(row) != o.base.NumColumns() {
+		return nil, fmt.Errorf("delta: INSERT into %s has %d values, schema has %d columns",
+			o.Name(), len(row), o.base.NumColumns())
+	}
+	if conflict, err := o.keyConflict(row); err != nil {
+		return nil, err
+	} else if conflict {
+		return nil, fmt.Errorf("delta: INSERT into %s violates key %v", o.Name(), o.base.Key())
+	}
+	row = append([]string(nil), row...)
+	n := &Overlay{base: o.base, byName: o.byName, deleted: o.deleted, nDeleted: o.nDeleted, parallelism: o.parallelism}
+	if o.ar != nil {
+		o.ar.mu.Lock()
+		if o.ar.tip == len(o.added) && cap(o.added) > len(o.added) {
+			// This overlay is the tip of its lineage and the backing array
+			// has room: claim the next slot in place. Older views never
+			// read past their own length, so the write is invisible to
+			// them.
+			n.added = append(o.added, row)
+			n.ar = o.ar
+			o.ar.tip++
+			o.ar.mu.Unlock()
+			return n, nil
+		}
+		o.ar.mu.Unlock()
+	}
+	// First insert of a lineage, a full backing array, or a branch (DML
+	// deriving from a non-tip version, e.g. after rollback): copy into a
+	// fresh array with doubling headroom, owned by a new arena.
+	n.added = make([][]string, len(o.added), 2*(len(o.added)+1))
+	copy(n.added, o.added)
+	n.added = append(n.added, row)
+	n.ar = &arena{tip: len(n.added)}
+	return n, nil
+}
+
+// parse compiles a condition, with "" meaning all rows (nil Node).
+func parse(condition string) (expr.Node, error) {
+	if condition == "" {
+		return nil, nil
+	}
+	return expr.Parse(condition)
+}
+
+// liveBaseMatches returns the bitmap of not-deleted base rows matching
+// pred (nil pred = all live rows).
+func (o *Overlay) liveBaseMatches(pred expr.Node) (*wah.Bitmap, error) {
+	var mask *wah.Bitmap
+	if pred == nil {
+		mask = wah.New()
+		mask.AppendRun(1, o.base.NumRows())
+	} else {
+		var err error
+		if mask, err = pred.EvalP(o.base, o.parallelism); err != nil {
+			return nil, err
+		}
+	}
+	if o.deleted == nil {
+		return mask, nil
+	}
+	return wah.AndNot(mask, o.deleted), nil
+}
+
+// matchAdded evaluates pred row-wise over the appended tail, returning
+// matching indices (all indices for nil pred).
+func (o *Overlay) matchAdded(pred expr.Node) ([]int, error) {
+	idx := make([]int, 0, len(o.added))
+	for i, row := range o.added {
+		if pred == nil {
+			idx = append(idx, i)
+			continue
+		}
+		ok, err := pred.EvalRow(func(col string) (string, bool) {
+			ci, ok := o.byName[col]
+			if !ok {
+				return "", false
+			}
+			return row[ci], true
+		})
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			idx = append(idx, i)
+		}
+	}
+	return idx, nil
+}
+
+// Delete returns an overlay with the rows matching condition removed
+// (every row when condition is empty) and the number of rows it removed.
+func (o *Overlay) Delete(condition string) (*Overlay, uint64, error) {
+	pred, err := parse(condition)
+	if err != nil {
+		return nil, 0, err
+	}
+	hit, err := o.liveBaseMatches(pred)
+	if err != nil {
+		return nil, 0, err
+	}
+	removed := hit.Count()
+	deleted := o.deleted
+	if removed > 0 {
+		if deleted == nil {
+			deleted = hit
+		} else {
+			deleted = wah.Or(deleted, hit)
+		}
+	}
+	addedHit, err := o.matchAdded(pred)
+	if err != nil {
+		return nil, 0, err
+	}
+	added := o.added
+	if len(addedHit) > 0 {
+		removed += uint64(len(addedHit))
+		added = make([][]string, 0, len(o.added)-len(addedHit))
+		drop := make(map[int]bool, len(addedHit))
+		for _, i := range addedHit {
+			drop[i] = true
+		}
+		for i, row := range o.added {
+			if !drop[i] {
+				added = append(added, row)
+			}
+		}
+	}
+	return o.derive(added, deleted), removed, nil
+}
+
+// Update returns an overlay with column set to value on every row
+// matching condition (all rows when empty), plus the number of rows
+// changed. Matching base rows are marked deleted and re-appended with the
+// new value — delete-plus-reinsert — so an updated base row moves to the
+// appended tail until the next flush.
+func (o *Overlay) Update(column, value, condition string) (*Overlay, uint64, error) {
+	ci, ok := o.byName[column]
+	if !ok {
+		return nil, 0, fmt.Errorf("delta: table %s has no column %q", o.Name(), column)
+	}
+	pred, err := parse(condition)
+	if err != nil {
+		return nil, 0, err
+	}
+	hit, err := o.liveBaseMatches(pred)
+	if err != nil {
+		return nil, 0, err
+	}
+	addedHit, err := o.matchAdded(pred)
+	if err != nil {
+		return nil, 0, err
+	}
+	changed := hit.Count() + uint64(len(addedHit))
+	if changed == 0 {
+		return o.derive(o.added, o.deleted), 0, nil
+	}
+
+	added := make([][]string, 0, len(o.added)+int(hit.Count()))
+	rewrite := make(map[int]bool, len(addedHit))
+	for _, i := range addedHit {
+		rewrite[i] = true
+	}
+	for i, row := range o.added {
+		if rewrite[i] {
+			nr := append([]string(nil), row...)
+			nr[ci] = value
+			row = nr
+		}
+		added = append(added, row)
+	}
+	deleted := o.deleted
+	if hit.Any() {
+		// Materialize the matched base rows (bitmap filtering, the same
+		// primitive evolutions use), rewrite the column, re-append.
+		matched, err := o.base.FilterRowsP(o.Name(), hit, o.parallelism)
+		if err != nil {
+			return nil, 0, err
+		}
+		rows, err := matched.Rows(0, 0)
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, row := range rows {
+			row[ci] = value
+			added = append(added, row)
+		}
+		if deleted == nil {
+			deleted = hit
+		} else {
+			deleted = wah.Or(deleted, hit)
+		}
+	}
+	// Updating a key column can collide rewritten rows with each other or
+	// with untouched rows. Check each rewritten row's new key tuple —
+	// against the other rewritten rows, the surviving base (the rewritten
+	// base rows' old selves are excluded via the deletion mask), and the
+	// unchanged tail — at O(changed × key columns) like INSERT's check,
+	// instead of rebuilding and re-validating the whole table.
+	isKey := false
+	for _, k := range o.base.Key() {
+		if k == column {
+			isKey = true
+			break
+		}
+	}
+	if isKey && changed > 0 {
+		kcols := o.base.Key()
+		tuple := func(row []string) string {
+			var sb strings.Builder
+			for _, k := range kcols {
+				sb.WriteString(row[o.byName[k]])
+				sb.WriteByte(0)
+			}
+			return sb.String()
+		}
+		keyErr := func() error {
+			return fmt.Errorf("delta: UPDATE %s violates key %v", o.Name(), kcols)
+		}
+		seen := make(map[string]bool, changed)
+		for i, row := range added {
+			if i < len(o.added) && !rewrite[i] {
+				continue
+			}
+			kt := tuple(row)
+			if seen[kt] {
+				return nil, 0, keyErr()
+			}
+			seen[kt] = true
+			inBase, err := o.baseKeyMatch(kcols, row, deleted)
+			if err != nil {
+				return nil, 0, err
+			}
+			if inBase {
+				return nil, 0, keyErr()
+			}
+		}
+		for i, row := range o.added {
+			if !rewrite[i] && seen[tuple(row)] {
+				return nil, 0, keyErr()
+			}
+		}
+	}
+	return o.derive(added, deleted), changed, nil
+}
+
+// Count returns the number of merged rows satisfying pred (nil = all)
+// without materializing them: a compressed popcount over the base plus a
+// row-wise scan of the appended tail. Callers own the parse (the facade
+// parses each condition exactly once).
+func (o *Overlay) Count(pred expr.Node) (uint64, error) {
+	live, err := o.liveBaseMatches(pred)
+	if err != nil {
+		return 0, err
+	}
+	addedHit, err := o.matchAdded(pred)
+	if err != nil {
+		return 0, err
+	}
+	return live.Count() + uint64(len(addedHit)), nil
+}
+
+// Query returns the merged rows satisfying pred (nil = all): base
+// matches via bitmap filtering (deleted rows masked out), then matching
+// appended rows in insertion order.
+func (o *Overlay) Query(pred expr.Node) ([][]string, error) {
+	live, err := o.liveBaseMatches(pred)
+	if err != nil {
+		return nil, err
+	}
+	filtered, err := o.base.FilterRowsP(o.Name(), live, o.parallelism)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := filtered.Rows(0, 0)
+	if err != nil {
+		return nil, err
+	}
+	addedHit, err := o.matchAdded(pred)
+	if err != nil {
+		return nil, err
+	}
+	for _, i := range addedHit {
+		// Copy: result rows are the caller's to mutate, overlay rows are
+		// shared by every snapshot holding this version.
+		rows = append(rows, append([]string(nil), o.added[i]...))
+	}
+	return rows, nil
+}
+
+// Rows materializes up to limit merged rows starting at offset (0 = all
+// remaining) without flushing: surviving base rows in base order, then
+// the appended tail in insertion order — the same order a flush
+// produces, so paging is stable across calls and across compaction.
+// With deletions, the requested page of base positions is turned into a
+// bitmap and served by the usual filter primitive; the whole-table
+// rebuild is reserved for Table.
+func (o *Overlay) Rows(offset, limit uint64) ([][]string, error) {
+	if !o.Dirty() {
+		return o.base.Rows(offset, limit)
+	}
+	total := o.NumRows()
+	if offset == 0 && (limit == 0 || limit >= total) && o.nDeleted > 0 {
+		// A whole-table read over a deletion-dirty overlay costs the same
+		// as a flush; go through Table so the work is cached and repeat
+		// full reads (exports, dumps) are free after the first.
+		t, err := o.Table()
+		if err != nil {
+			return nil, err
+		}
+		return t.Rows(0, 0)
+	}
+	if offset > total {
+		offset = total
+	}
+	end := total
+	if limit > 0 && limit < end-offset {
+		end = offset + limit
+	}
+	nLive := o.base.NumRows() - o.nDeleted
+	var out [][]string
+	if offset < nLive {
+		bEnd := min(end, nLive)
+		if o.nDeleted == 0 {
+			rows, err := o.base.Rows(offset, bEnd-offset)
+			if err != nil {
+				return nil, err
+			}
+			out = rows
+		} else {
+			// Decode only the requested page of live positions: skip the
+			// first offset set bits run-at-a-time (O(compressed words),
+			// not O(offset)), stop after the page is full — never
+			// materialize all live positions for one page.
+			positions := make([]uint64, 0, bEnd-offset)
+			skip := offset
+			o.deleted.Not().Runs(func(start, length uint64) bool {
+				if skip >= length {
+					skip -= length
+					return true
+				}
+				start, length = start+skip, length-skip
+				skip = 0
+				for i := uint64(0); i < length; i++ {
+					positions = append(positions, start+i)
+					if uint64(len(positions)) == bEnd-offset {
+						return false
+					}
+				}
+				return true
+			})
+			mask, err := wah.FromPositions(positions, o.base.NumRows())
+			if err != nil {
+				return nil, err
+			}
+			page, err := o.base.FilterRowsP(o.Name(), mask, o.parallelism)
+			if err != nil {
+				return nil, err
+			}
+			if out, err = page.Rows(0, 0); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if end > nLive {
+		start := uint64(0)
+		if offset > nLive {
+			start = offset - nLive
+		}
+		for _, row := range o.added[start : end-nLive] {
+			out = append(out, append([]string(nil), row...))
+		}
+	}
+	if out == nil {
+		// Match Table.Rows: an empty page is an empty slice, not nil.
+		out = [][]string{}
+	}
+	return out, nil
+}
+
+// Table returns the merged table: the base itself when the overlay is
+// clean, otherwise a rebuilt base with deletions applied and appended
+// rows at the tail (flush). The flush runs at most once per overlay and
+// is cached — concurrent readers share one result — so repeated heavy
+// reads, evolution operators and checkpoints pay for compaction once.
+func (o *Overlay) Table() (*colstore.Table, error) {
+	if !o.Dirty() {
+		return o.base, nil
+	}
+	o.flushOnce.Do(func() { o.flushed, o.flushErr = o.flush() })
+	return o.flushed, o.flushErr
+}
+
+// flush rebuilds the base with the overlay applied: per column, surviving
+// base rows keep their dictionary ids (no re-interning) and appended rows
+// are interned at the tail. Columns rebuild independently, fanned out
+// over the worker pool.
+func (o *Overlay) flush() (*colstore.Table, error) {
+	nbase := o.base.NumRows()
+	var dead []bool
+	if o.deleted != nil && o.deleted.Any() {
+		dead = make([]bool, nbase)
+		o.deleted.Ones(func(p uint64) bool {
+			dead[p] = true
+			return true
+		})
+	}
+	ncols := o.base.NumColumns()
+	cols := make([]*colstore.Column, ncols)
+	if err := par.ForEachErr(ncols, o.parallelism, func(ci int) error {
+		src := o.base.ColumnAt(ci).ToBitmapEncoding()
+		b := colstore.NewColumnBuilderWithDict(src.Name(), src.Dict())
+		ids := src.RowIDs()
+		for r, id := range ids {
+			if dead == nil || !dead[r] {
+				b.AppendID(id)
+			}
+		}
+		for _, row := range o.added {
+			b.Append(row[ci])
+		}
+		cols[ci] = b.Finish()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return colstore.NewTable(o.Name(), cols, o.base.Key())
+}

@@ -1,0 +1,501 @@
+package delta
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"cods/internal/colstore"
+	"cods/internal/expr"
+)
+
+func pred(t *testing.T, condition string) expr.Node {
+	t.Helper()
+	node, err := expr.Parse(condition)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return node
+}
+
+func baseTable(t *testing.T) *colstore.Table {
+	t.Helper()
+	tb, err := colstore.NewTableBuilder("emp", []string{"Name", "Skill", "City"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][]string{
+		{"jones", "typing", "sf"},
+		{"ellis", "alchemy", "la"},
+		{"smith", "typing", "sf"},
+		{"adams", "juggling", "ny"},
+	} {
+		if err := tb.AppendRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tab, err := tb.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func sorted(rows [][]string) [][]string {
+	out := append([][]string(nil), rows...)
+	sort.Slice(out, func(a, b int) bool {
+		return fmt.Sprint(out[a]) < fmt.Sprint(out[b])
+	})
+	return out
+}
+
+// assertMerged checks that the overlay's merged reads (Query, Count,
+// NumRows) and its flushed table agree on the expected tuple set — the
+// core invariant: reads through the overlay and reads of the compacted
+// base are indistinguishable.
+func assertMerged(t *testing.T, o *Overlay, want [][]string) {
+	t.Helper()
+	if n := o.NumRows(); n != uint64(len(want)) {
+		t.Fatalf("NumRows = %d, want %d", n, len(want))
+	}
+	got, err := o.Query(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sorted(got), sorted(want)) {
+		t.Fatalf("Query(all) = %v, want %v", sorted(got), sorted(want))
+	}
+	n, err := o.Count(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != uint64(len(want)) {
+		t.Fatalf("Count(all) = %d, want %d", n, len(want))
+	}
+	flushed, err := o.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flushed.NumRows() != uint64(len(want)) {
+		t.Fatalf("flushed rows = %d, want %d", flushed.NumRows(), len(want))
+	}
+	if err := flushed.Validate(); err != nil {
+		t.Fatalf("flushed table invalid: %v", err)
+	}
+	frows, err := flushed.Rows(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sorted(frows), sorted(want)) {
+		t.Fatalf("flushed rows = %v, want %v", sorted(frows), sorted(want))
+	}
+}
+
+func TestInsertDeleteUpdateMerged(t *testing.T) {
+	o := Wrap(baseTable(t), 1)
+	if o.Dirty() {
+		t.Fatal("clean overlay reports dirty")
+	}
+
+	o1, err := o.Insert([]string{"brown", "typing", "sf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMerged(t, o1, [][]string{
+		{"jones", "typing", "sf"},
+		{"ellis", "alchemy", "la"},
+		{"smith", "typing", "sf"},
+		{"adams", "juggling", "ny"},
+		{"brown", "typing", "sf"},
+	})
+
+	// Delete hits one base row and one appended row.
+	o2, n, err := o1.Delete("Name = 'smith' OR Name = 'brown'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("Delete removed %d rows, want 2", n)
+	}
+	assertMerged(t, o2, [][]string{
+		{"jones", "typing", "sf"},
+		{"ellis", "alchemy", "la"},
+		{"adams", "juggling", "ny"},
+	})
+
+	// Update hits base rows (delete+reinsert) and leaves others alone.
+	o3, n, err := o2.Update("City", "oakland", "City = 'sf' OR City = 'la'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("Update changed %d rows, want 2", n)
+	}
+	assertMerged(t, o3, [][]string{
+		{"jones", "typing", "oakland"},
+		{"ellis", "alchemy", "oakland"},
+		{"adams", "juggling", "ny"},
+	})
+
+	// Update of an appended row rewrites it in place.
+	o4, err := o3.Insert([]string{"kim", "typing", "sf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o5, n, err := o4.Update("Skill", "editing", "Name = 'kim'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("Update changed %d rows, want 1", n)
+	}
+	assertMerged(t, o5, [][]string{
+		{"jones", "typing", "oakland"},
+		{"ellis", "alchemy", "oakland"},
+		{"adams", "juggling", "ny"},
+		{"kim", "editing", "sf"},
+	})
+
+	// Filtered merged reads see base and tail consistently.
+	cnt, err := o5.Count(pred(t, "Skill = 'editing' OR City = 'oakland'"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt != 3 {
+		t.Fatalf("filtered Count = %d, want 3", cnt)
+	}
+}
+
+// Copy-on-write: DML on a derived overlay must never change what an
+// earlier overlay (a published snapshot) observes.
+func TestOverlayCopyOnWrite(t *testing.T) {
+	o0 := Wrap(baseTable(t), 1)
+	o1, err := o0.Insert([]string{"brown", "typing", "sf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := o1.Delete(""); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err = o1.Update("City", "x", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o1.Insert([]string{"pena", "ops", "ny"}); err != nil {
+		t.Fatal(err)
+	}
+	// o0 and o1 are unchanged by everything derived from them.
+	if n := o0.NumRows(); n != 4 {
+		t.Fatalf("o0.NumRows = %d after derived DML, want 4", n)
+	}
+	if n := o1.NumRows(); n != 5 {
+		t.Fatalf("o1.NumRows = %d after derived DML, want 5", n)
+	}
+	rows, err := o1.Query(pred(t, "Name = 'brown'"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][2] != "sf" {
+		t.Fatalf("o1 brown row = %v, want [brown typing sf]", rows)
+	}
+	// Mutating a Query result must not leak into the overlay.
+	rows[0][2] = "corrupted"
+	again, err := o1.Query(pred(t, "Name = 'brown'"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0][2] != "sf" {
+		t.Fatal("mutating a Query result corrupted the overlay")
+	}
+}
+
+// Two lineages branching off one overlay (the shape a rollback produces)
+// must not share appended slots: the arena lets only the tip extend the
+// backing array in place; the branch copies.
+func TestInsertBranchingLineages(t *testing.T) {
+	o0 := Wrap(baseTable(t), 1)
+	parent, err := o0.Insert([]string{"p", "s", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := parent.Insert([]string{"branchA", "s", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parent.Insert([]string{"branchB", "s", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, o := range map[string]*Overlay{"A": a, "B": b} {
+		own, other := "branchA", "branchB"
+		if name == "B" {
+			own, other = other, own
+		}
+		if n, err := o.Count(pred(t, fmt.Sprintf("Name = '%s'", own))); err != nil || n != 1 {
+			t.Fatalf("branch %s misses its own row: %d (%v)", name, n, err)
+		}
+		if n, err := o.Count(pred(t, fmt.Sprintf("Name = '%s'", other))); err != nil || n != 0 {
+			t.Fatalf("branch %s sees the other branch's row: %d (%v)", name, n, err)
+		}
+		if n := o.NumRows(); n != 6 {
+			t.Fatalf("branch %s NumRows = %d, want 6", name, n)
+		}
+	}
+	if n := parent.NumRows(); n != 5 {
+		t.Fatalf("parent NumRows = %d after branch inserts, want 5", n)
+	}
+
+	// A derived (Delete/Update) overlay over a shared backing array must
+	// also be insulated: inserts after a no-op delete cannot collide with
+	// the original lineage's next insert.
+	noop, _, err := parent.Delete("Name = 'nobody'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := noop.Insert([]string{"branchC", "s", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := a.Count(pred(t, "Name = 'branchC'")); err != nil || n != 0 {
+		t.Fatalf("derived-branch insert leaked into lineage A: %d (%v)", n, err)
+	}
+	if n, err := c.Count(pred(t, "Name = 'branchA'")); err != nil || n != 0 {
+		t.Fatalf("lineage A's insert leaked into derived branch: %d (%v)", n, err)
+	}
+}
+
+// A long linear chain of inserts (the common DML shape) stays correct
+// while extending the shared backing array in place.
+func TestInsertLinearChain(t *testing.T) {
+	o := Wrap(baseTable(t), 1)
+	var err error
+	for i := 0; i < 500; i++ {
+		if o, err = o.Insert([]string{fmt.Sprintf("n%03d", i), "s", "c"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := o.NumRows(); n != 504 {
+		t.Fatalf("NumRows = %d, want 504", n)
+	}
+	if n, err := o.Count(pred(t, "Name = 'n037'")); err != nil || n != 1 {
+		t.Fatalf("Count(n037) = %d (%v), want 1", n, err)
+	}
+	flushed, err := o.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flushed.NumRows() != 504 {
+		t.Fatalf("flushed rows = %d, want 504", flushed.NumRows())
+	}
+	if err := flushed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteAllAndEmptyTable(t *testing.T) {
+	o := Wrap(baseTable(t), 1)
+	o1, n, err := o.Delete("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("Delete(all) removed %d, want 4", n)
+	}
+	assertMerged(t, o1, nil)
+	// Inserting into the emptied table works and flushes.
+	o2, err := o1.Insert([]string{"new", "skill", "city"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMerged(t, o2, [][]string{{"new", "skill", "city"}})
+}
+
+func TestInsertArityAndUnknownColumn(t *testing.T) {
+	o := Wrap(baseTable(t), 1)
+	if _, err := o.Insert([]string{"too", "few"}); err == nil {
+		t.Fatal("short INSERT accepted")
+	}
+	if _, _, err := o.Update("Ghost", "v", ""); err == nil {
+		t.Fatal("UPDATE of unknown column accepted")
+	}
+	if _, _, err := o.Delete("Ghost = 'x'"); err == nil {
+		t.Fatal("DELETE with unknown predicate column accepted")
+	}
+}
+
+// Flushing preserves dictionary sharing semantics: surviving base values
+// keep working, vanished values are dropped, new values appear.
+func TestFlushDictionaryHygiene(t *testing.T) {
+	o := Wrap(baseTable(t), 1)
+	o1, n, err := o.Delete("Skill = 'alchemy'")
+	if err != nil || n != 1 {
+		t.Fatalf("Delete: n=%d err=%v", n, err)
+	}
+	o2, err := o1.Insert([]string{"nova", "welding", "sf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flushed, err := o2.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	skill, err := flushed.Column("Skill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// typing, juggling survive; alchemy vanished; welding is new.
+	if got := skill.DistinctCount(); got != 3 {
+		t.Fatalf("Skill distinct = %d, want 3", got)
+	}
+	if err := flushed.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// DML must respect declared keys: the evolution operators' key–FK
+// assumptions and ValidateKey depend on them being real.
+func TestDMLEnforcesDeclaredKey(t *testing.T) {
+	tb, err := colstore.NewTableBuilder("kv", []string{"K", "V"}, []string{"K"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][]string{{"a", "1"}, {"b", "2"}, {"c", "3"}} {
+		tb.AppendRow(r)
+	}
+	base, err := tb.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Wrap(base, 1)
+
+	if _, err := o.Insert([]string{"a", "9"}); err == nil {
+		t.Fatal("duplicate-key INSERT accepted")
+	}
+	o1, err := o.Insert([]string{"d", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A duplicate against the appended tail is also caught.
+	if _, err := o1.Insert([]string{"d", "5"}); err == nil {
+		t.Fatal("duplicate-key INSERT against appended row accepted")
+	}
+	// Deleting a key frees it for re-insertion.
+	o2, n, err := o1.Delete("K = 'a'")
+	if err != nil || n != 1 {
+		t.Fatalf("Delete: n=%d err=%v", n, err)
+	}
+	o3, err := o2.Insert([]string{"a", "10"})
+	if err != nil {
+		t.Fatalf("re-insert of deleted key rejected: %v", err)
+	}
+
+	// UPDATE of the key column to a colliding value is rejected; to a
+	// fresh value it passes.
+	if _, _, err := o3.Update("K", "b", "V = '3'"); err == nil {
+		t.Fatal("key-colliding UPDATE accepted")
+	}
+	o4, n, err := o3.Update("K", "z", "V = '3'")
+	if err != nil || n != 1 {
+		t.Fatalf("key UPDATE to fresh value: n=%d err=%v", n, err)
+	}
+	flushed, err := o4.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flushed.ValidateKey(); err != nil {
+		t.Fatal(err)
+	}
+	// Two matched rows collapsing onto one key value collide with each
+	// other, and a rewritten key colliding with an appended row is caught
+	// too. (o4 holds {b:2, z:3, d:4, a:10}.)
+	if _, _, err := o4.Update("K", "w", "V = '2' OR V = '3'"); err == nil {
+		t.Fatal("key UPDATE collapsing two rows accepted")
+	}
+	if _, _, err := o4.Update("K", "d", "V = '2'"); err == nil {
+		t.Fatal("key UPDATE colliding with an appended row accepted")
+	}
+	// Non-key updates are never key-checked (same value on many rows).
+	if _, n, err := o4.Update("V", "0", ""); err != nil || n != 4 {
+		t.Fatalf("non-key UPDATE: n=%d err=%v", n, err)
+	}
+}
+
+// Paged merged reads must agree exactly with paging the flushed table —
+// same rows, same order, every offset/limit — without flushing.
+func TestRowsPagingMatchesFlush(t *testing.T) {
+	o := Wrap(baseTable(t), 1)
+	var err error
+	for i := 0; i < 7; i++ {
+		if o, err = o.Insert([]string{fmt.Sprintf("n%d", i), "s", "c"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var n uint64
+	if o, n, err = o.Delete("Name = 'ellis' OR Name = 'n3'"); err != nil || n != 2 {
+		t.Fatalf("Delete: n=%d err=%v", n, err)
+	}
+	if o, n, err = o.Update("City", "zz", "Name = 'jones'"); err != nil || n != 1 {
+		t.Fatalf("Update: n=%d err=%v", n, err)
+	}
+	flushed, err := o.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := o.NumRows()
+	if flushed.NumRows() != total {
+		t.Fatalf("flushed %d rows, overlay %d", flushed.NumRows(), total)
+	}
+	for offset := uint64(0); offset <= total+1; offset++ {
+		for _, limit := range []uint64{0, 1, 2, 3, total, total + 5} {
+			got, err := o.Rows(offset, limit)
+			if err != nil {
+				t.Fatalf("Rows(%d, %d): %v", offset, limit, err)
+			}
+			want, err := flushed.Rows(offset, limit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("Rows(%d, %d) = %v, want %v", offset, limit, got, want)
+			}
+		}
+	}
+}
+
+// RENAME carries the overlay: same pending DML, new name, no flush.
+func TestWithNamePreservesDelta(t *testing.T) {
+	o := Wrap(baseTable(t), 1)
+	o1, err := o.Insert([]string{"kim", "editing", "ny"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, n, err := o1.Delete("Name = 'adams'")
+	if err != nil || n != 1 {
+		t.Fatalf("Delete: n=%d err=%v", n, err)
+	}
+	r := o2.WithName("emp2")
+	if r.Name() != "emp2" {
+		t.Fatalf("Name = %q", r.Name())
+	}
+	if !r.Dirty() || r.PendingAdded() != 1 || r.PendingDeleted() != 1 {
+		t.Fatalf("rename dropped overlay state: added=%d deleted=%d", r.PendingAdded(), r.PendingDeleted())
+	}
+	if n := r.NumRows(); n != 4 {
+		t.Fatalf("NumRows = %d, want 4", n)
+	}
+	// The renamed lineage keeps inserting through the shared arena.
+	r2, err := r.Insert([]string{"lee", "ops", "sf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt, err := r2.Count(pred(t, "Name = 'lee'")); err != nil || cnt != 1 {
+		t.Fatalf("post-rename insert: %d (%v)", cnt, err)
+	}
+	tab, err := r2.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Name() != "emp2" || tab.NumRows() != 5 {
+		t.Fatalf("flushed renamed table = %s/%d rows", tab.Name(), tab.NumRows())
+	}
+}

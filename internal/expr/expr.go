@@ -8,8 +8,11 @@
 //	op        := = | != | <> | < | <= | > | >=
 //
 // Column names are bare identifiers; literals are single-quoted strings or
-// bare numbers/identifiers. Comparisons are numeric when both operands
-// parse as 64-bit integers, lexicographic otherwise.
+// bare numbers/identifiers. Comparisons follow one total order over all
+// values (see Compare): 64-bit integers order numerically and before
+// every non-integer value; non-integers order lexicographically. The same
+// order drives ORDER BY and MIN/MAX in the query layer, so predicates and
+// sorting can never disagree about which of two values is smaller.
 //
 // Predicates evaluate to WAH bitmaps over a table's rows. Evaluation
 // visits each distinct value once per referenced column (a bitmap-index
@@ -18,7 +21,6 @@ package expr
 
 import (
 	"fmt"
-	"strconv"
 	"strings"
 	"unicode"
 
@@ -36,6 +38,11 @@ type Node interface {
 	// predicate calls and OR accumulation out over a worker pool).
 	// parallelism <= 0 means GOMAXPROCS.
 	EvalP(t *colstore.Table, parallelism int) (*wah.Bitmap, error)
+	// EvalRow evaluates the predicate against a single row presented as a
+	// column lookup (value, ok). It exists for data that has no bitmap
+	// index yet — the DML delta overlay's appended rows — and agrees
+	// exactly with the bitmap evaluation. An unknown column is an error.
+	EvalRow(get func(column string) (string, bool)) (bool, error)
 	// Columns appends the referenced column names to dst.
 	Columns(dst []string) []string
 	String() string
@@ -58,23 +65,24 @@ var opNames = map[Op]string{OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: 
 
 func (o Op) String() string { return opNames[o] }
 
-// Compare applies the operator to a column value and a literal, numeric
-// when both sides parse as integers.
+// Compare totally orders two values: -1, 0 or 1 as a sorts before, equal
+// to, or after b. Values that parse as 64-bit integers order numerically
+// and sort before every non-integer value; non-integers order
+// lexicographically. Ranking integers as a block (instead of comparing a
+// number lexicographically against a non-number) is what makes the order
+// transitive — "9" < "10" numeric, "10" < "10x", and also "9" < "10x" —
+// so it is a strict weak ordering fit for sorting. Every comparison in
+// the system goes through this one order: predicates here, ORDER BY and
+// MIN/MAX in colquery, RangeScan in the storage layer (which hosts the
+// implementation — see colstore.CompareValues).
+func Compare(a, b string) int {
+	return colstore.CompareValues(a, b)
+}
+
+// Compare applies the operator to a column value and a literal under the
+// package's total order (see the Compare function).
 func (o Op) Compare(value, literal string) bool {
-	var c int
-	if a, errA := strconv.ParseInt(value, 10, 64); errA == nil {
-		if b, errB := strconv.ParseInt(literal, 10, 64); errB == nil {
-			switch {
-			case a < b:
-				c = -1
-			case a > b:
-				c = 1
-			}
-			return o.holds(c)
-		}
-	}
-	c = strings.Compare(value, literal)
-	return o.holds(c)
+	return o.holds(Compare(value, literal))
 }
 
 func (o Op) holds(c int) bool {
@@ -116,6 +124,15 @@ func (c *Comparison) EvalP(t *colstore.Table, parallelism int) (*wah.Bitmap, err
 	return col.ScanWhereP(func(v string) bool { return c.Op.Compare(v, c.Literal) }, parallelism), nil
 }
 
+// EvalRow implements Node.
+func (c *Comparison) EvalRow(get func(string) (string, bool)) (bool, error) {
+	v, ok := get(c.Column)
+	if !ok {
+		return false, fmt.Errorf("expr: no column %q", c.Column)
+	}
+	return c.Op.Compare(v, c.Literal), nil
+}
+
 // Columns implements Node.
 func (c *Comparison) Columns(dst []string) []string { return append(dst, c.Column) }
 
@@ -152,6 +169,25 @@ func (l *Logical) EvalP(t *colstore.Table, parallelism int) (*wah.Bitmap, error)
 	return wah.Or(lb, rb), nil
 }
 
+// EvalRow implements Node. Both sides evaluate even when the left one
+// already decides the result, so an unknown column in either operand
+// surfaces as an error regardless of the row's values — matching the
+// bitmap evaluation, which always resolves every referenced column.
+func (l *Logical) EvalRow(get func(string) (string, bool)) (bool, error) {
+	lv, err := l.L.EvalRow(get)
+	if err != nil {
+		return false, err
+	}
+	rv, err := l.R.EvalRow(get)
+	if err != nil {
+		return false, err
+	}
+	if l.IsAnd {
+		return lv && rv, nil
+	}
+	return lv || rv, nil
+}
+
 // Columns implements Node.
 func (l *Logical) Columns(dst []string) []string { return l.R.Columns(l.L.Columns(dst)) }
 
@@ -178,6 +214,15 @@ func (n *Not) EvalP(t *colstore.Table, parallelism int) (*wah.Bitmap, error) {
 		return nil, err
 	}
 	return b.Not(), nil
+}
+
+// EvalRow implements Node.
+func (n *Not) EvalRow(get func(string) (string, bool)) (bool, error) {
+	v, err := n.X.EvalRow(get)
+	if err != nil {
+		return false, err
+	}
+	return !v, nil
 }
 
 // Columns implements Node.

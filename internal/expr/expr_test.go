@@ -77,7 +77,95 @@ func TestNumericVsLexicographic(t *testing.T) {
 		t.Fatal("7 < 30 should hold numerically")
 	}
 	if OpLt.Compare("7a", "30") {
-		t.Fatal("non-numeric falls back to lexicographic: '7a' > '30'")
+		t.Fatal("non-integers sort after all integers: '7a' > '30'")
+	}
+}
+
+// Compare must be one total order — integers numerically, before every
+// non-integer; non-integers lexicographically — with antisymmetry and
+// transitivity over mixed values.
+func TestCompareTotalOrder(t *testing.T) {
+	ordered := []string{"-12", "-1", "0", "7", "9", "10", "123", "", " 3", "10x", "7a", "abc"}
+	for i, a := range ordered {
+		if Compare(a, a) != 0 {
+			t.Errorf("Compare(%q, %q) = %d, want 0", a, a, Compare(a, a))
+		}
+		for _, b := range ordered[i+1:] {
+			if Compare(a, b) >= 0 {
+				t.Errorf("Compare(%q, %q) = %d, want < 0", a, b, Compare(a, b))
+			}
+			if Compare(b, a) <= 0 {
+				t.Errorf("Compare(%q, %q) = %d, want > 0", b, a, Compare(b, a))
+			}
+		}
+	}
+	// Transitivity over every triple of the (distinct-valued) pool.
+	for _, a := range ordered {
+		for _, b := range ordered {
+			for _, c := range ordered {
+				if Compare(a, b) < 0 && Compare(b, c) < 0 && Compare(a, c) >= 0 {
+					t.Errorf("transitivity violated: %q < %q < %q but Compare(%q, %q) = %d",
+						a, b, c, a, c, Compare(a, c))
+				}
+			}
+		}
+	}
+}
+
+func TestEvalRowMatchesBitmapEval(t *testing.T) {
+	tab := sampleTable(t)
+	rows, err := tab.Rows(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := tab.ColumnNames()
+	for _, pred := range []string{
+		"city = 'sf' AND age > 30",
+		"NOT (name >= 'carol' OR age < 30)",
+		"age <= 30 AND city != 'la'",
+	} {
+		node, err := Parse(pred)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bm, err := node.Eval(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, row := range rows {
+			get := func(col string) (string, bool) {
+				for ci, cn := range cols {
+					if cn == col {
+						return row[ci], true
+					}
+				}
+				return "", false
+			}
+			got, err := node.EvalRow(get)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := bm.Get(uint64(i)); got != want {
+				t.Errorf("%q row %d: EvalRow=%v, bitmap=%v", pred, i, got, want)
+			}
+		}
+	}
+}
+
+func TestEvalRowUnknownColumn(t *testing.T) {
+	node, err := Parse("age > 30 OR ghost = 'x'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even when the known side alone decides the result, the unknown
+	// column must surface.
+	if _, err := node.EvalRow(func(col string) (string, bool) {
+		if col == "age" {
+			return "99", true
+		}
+		return "", false
+	}); err == nil {
+		t.Fatal("EvalRow with unknown column returned no error")
 	}
 }
 

@@ -77,7 +77,9 @@ const helpText = `meta commands:
   \advise <table>             discover FDs and suggest decompositions
   \quit                       exit
 operators: CREATE/DROP/RENAME/COPY TABLE, UNION TABLES, PARTITION TABLE,
-DECOMPOSE TABLE, MERGE TABLES, ADD/DROP/RENAME COLUMN`
+DECOMPOSE TABLE, MERGE TABLES, ADD/DROP/RENAME COLUMN
+DML: INSERT INTO t VALUES (...), DELETE FROM t [WHERE ...],
+UPDATE t SET c = 'v' [WHERE ...]`
 
 func (rp *Repl) meta(line string) (quit bool) {
 	db, out := rp.DB, rp.Out

@@ -11,7 +11,7 @@
 // Endpoints (all JSON; errors are {"error": "..."} with a 4xx/5xx status):
 //
 //	POST /query      run a query (filter/group/aggregate/order/limit)
-//	POST /exec       execute SMO statements (one op or a script)
+//	POST /exec       execute SMO or DML statements (one op or a script)
 //	POST /checkpoint snapshot a durable catalog and truncate its WAL
 //	GET  /schema     catalog: schema version + every table's shape
 //	GET  /healthz    liveness probe

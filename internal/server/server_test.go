@@ -716,3 +716,70 @@ func TestQueryErrorClassification(t *testing.T) {
 		t.Fatalf("bad order-by status = %d (%s), want 400", resp.StatusCode, raw)
 	}
 }
+
+// TestExecDML drives INSERT/UPDATE/DELETE through POST /exec and checks
+// /query sees the merged delta overlay — the HTTP face of the DML
+// subsystem.
+func TestExecDML(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, raw := postJSON(t, ts.URL+"/exec", ExecRequest{
+		Op: "INSERT INTO emp VALUES ('dave', 'go', '4 Elm St')",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status = %d (%s)", resp.StatusCode, raw)
+	}
+	var er ExecResponse
+	if err := json.Unmarshal(raw, &er); err != nil {
+		t.Fatal(err)
+	}
+	if len(er.Results) != 1 || er.Results[0].Kind != "INSERT" {
+		t.Fatalf("insert results = %+v", er.Results)
+	}
+	if len(er.Results[0].Created) != 0 || len(er.Results[0].Dropped) != 0 {
+		t.Fatalf("DML reported catalog changes: %+v", er.Results[0])
+	}
+
+	resp, raw = postJSON(t, ts.URL+"/exec", ExecRequest{
+		Script: "UPDATE emp SET Skill = 'rust' WHERE Employee = 'dave'\nDELETE FROM emp WHERE Employee = 'bob'",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dml script status = %d (%s)", resp.StatusCode, raw)
+	}
+
+	resp, raw = postJSON(t, ts.URL+"/query", QueryRequest{Table: "emp", Where: "Skill = 'rust'"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status = %d (%s)", resp.StatusCode, raw)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(raw, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.RowCount != 1 || qr.Rows[0][0] != "dave" {
+		t.Fatalf("query rows = %v, want dave's updated row", qr.Rows)
+	}
+
+	// Aggregates run over the merged table too.
+	resp, raw = postJSON(t, ts.URL+"/query", QueryRequest{
+		Table:      "emp",
+		Aggregates: []AggSpec{{Func: "count"}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("count status = %d (%s)", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Rows[0][0] != "3" {
+		t.Fatalf("count = %v, want 3 (3 seed + 1 insert - 1 delete)", qr.Rows)
+	}
+
+	// A DML statement the catalog cannot apply is the client's error.
+	resp, raw = postJSON(t, ts.URL+"/exec", ExecRequest{Op: "INSERT INTO emp VALUES ('too', 'few')"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bad arity status = %d (%s), want 422", resp.StatusCode, raw)
+	}
+	resp, raw = postJSON(t, ts.URL+"/exec", ExecRequest{Op: "DELETE FROM ghost"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown table status = %d (%s), want 422", resp.StatusCode, raw)
+	}
+}

@@ -22,6 +22,12 @@ import (
 //	DROP COLUMN c FROM t
 //	RENAME COLUMN old TO new IN t
 //
+// and the DML statements:
+//
+//	INSERT INTO t VALUES ('v1', 'v2', ...)
+//	DELETE FROM t [WHERE <condition>]
+//	UPDATE t SET c = 'v' [WHERE <condition>]
+//
 // Keywords are case-insensitive; identifiers are case-sensitive.
 func Parse(input string) (Op, error) {
 	p := &opParser{toks: lexOp(input), input: input}
@@ -34,21 +40,57 @@ func Parse(input string) (Op, error) {
 
 // ParseScript parses a sequence of operators, one per line or separated by
 // semicolons. Blank lines and lines starting with "--" or "#" are
-// comments.
+// comments. Separators inside single-quoted string literals are part of
+// the literal, not statement boundaries — ADD COLUMN c TO t DEFAULT 'a;b'
+// is one statement — so any op.String() is a valid one-statement script
+// (the Parse(op.String()) round trip the WAL relies on).
 func ParseScript(input string) ([]Op, error) {
 	var ops []Op
-	for _, line := range strings.FieldsFunc(input, func(r rune) bool { return r == '\n' || r == ';' }) {
-		line = strings.TrimSpace(line)
-		if line == "" || strings.HasPrefix(line, "--") || strings.HasPrefix(line, "#") {
+	for _, stmt := range splitStatements(input) {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" || strings.HasPrefix(stmt, "--") || strings.HasPrefix(stmt, "#") {
 			continue
 		}
-		op, err := Parse(line)
+		op, err := Parse(stmt)
 		if err != nil {
 			return nil, err
 		}
 		ops = append(ops, op)
 	}
 	return ops, nil
+}
+
+// splitStatements cuts a script at ';' and '\n' outside single-quoted
+// strings. The ” quote escape needs no special casing: it reads as two
+// quote toggles and the scanner is back outside the literal either way by
+// its end. A comment segment ("--" or "#" after leading blanks) runs to
+// its newline with quotes and semicolons inert, so an apostrophe in a
+// comment cannot swallow the statements after it.
+func splitStatements(input string) []string {
+	var out []string
+	for i := 0; ; {
+		k := i
+		for k < len(input) && (input[k] == ' ' || input[k] == '\t' || input[k] == '\r') {
+			k++
+		}
+		comment := strings.HasPrefix(input[k:], "--") || strings.HasPrefix(input[k:], "#")
+		j, inQuote := i, false
+		for j < len(input) {
+			c := input[j]
+			if c == '\'' && !comment {
+				inQuote = !inQuote
+			}
+			if c == '\n' && !inQuote || c == ';' && !inQuote && !comment {
+				break
+			}
+			j++
+		}
+		out = append(out, input[i:j])
+		if j >= len(input) {
+			return out
+		}
+		i = j + 1
+	}
 }
 
 type opParser struct {
@@ -146,6 +188,57 @@ func (p *opParser) stringLit(what string) (string, error) {
 		return "", fmt.Errorf("expected %s", what)
 	}
 	return strings.TrimPrefix(t, "\x01"), nil
+}
+
+// condition consumes a predicate's tokens — until the terminating keyword
+// when until is non-empty, to the end of input otherwise — re-quoting
+// string tokens for the expr parser.
+func (p *opParser) condition(until string) (string, error) {
+	var cond []string
+	for {
+		if until != "" && strings.EqualFold(p.peek(), until) {
+			break
+		}
+		t := p.next()
+		if t == "" {
+			if until != "" {
+				return "", fmt.Errorf("missing %s after condition", until)
+			}
+			break
+		}
+		if strings.HasPrefix(t, "\x01") {
+			t = "'" + strings.ReplaceAll(t[1:], "'", "''") + "'"
+		}
+		cond = append(cond, t)
+	}
+	if len(cond) == 0 {
+		return "", fmt.Errorf("expected condition")
+	}
+	return strings.Join(cond, " "), nil
+}
+
+// valueList parses a parenthesized, comma-separated list of literals
+// (quoted strings or bare words).
+func (p *opParser) valueList() ([]string, error) {
+	if err := p.expectKeyword("("); err != nil {
+		return nil, err
+	}
+	var out []string
+	for {
+		t := p.next()
+		if t == "" || t == "(" || t == ")" || t == "," {
+			return nil, fmt.Errorf("expected value, got %q", t)
+		}
+		out = append(out, strings.TrimPrefix(t, "\x01"))
+		switch p.next() {
+		case ",":
+			continue
+		case ")":
+			return out, nil
+		default:
+			return nil, fmt.Errorf("expected ',' or ')' in value list")
+		}
+	}
 }
 
 func (p *opParser) identList() ([]string, error) {
@@ -313,18 +406,9 @@ func (p *opParser) parse() (Op, error) {
 		if err := p.expectKeyword("WHERE"); err != nil {
 			return nil, err
 		}
-		// The condition runs until INTO; re-quote string tokens for the
-		// expr parser.
-		var cond []string
-		for !strings.EqualFold(p.peek(), "INTO") {
-			t := p.next()
-			if t == "" {
-				return nil, fmt.Errorf("missing INTO after condition")
-			}
-			if strings.HasPrefix(t, "\x01") {
-				t = "'" + strings.ReplaceAll(t[1:], "'", "''") + "'"
-			}
-			cond = append(cond, t)
+		cond, err := p.condition("INTO")
+		if err != nil {
+			return nil, err
 		}
 		p.pos++ // INTO
 		yes, err := p.ident("table name")
@@ -338,7 +422,7 @@ func (p *opParser) parse() (Op, error) {
 		if err != nil {
 			return nil, err
 		}
-		return p.end(PartitionTable{Table: table, Condition: strings.Join(cond, " "), OutYes: yes, OutNo: no})
+		return p.end(PartitionTable{Table: table, Condition: cond, OutYes: yes, OutNo: no})
 
 	case p.keyword("DECOMPOSE"):
 		if err := p.expectKeyword("TABLE"); err != nil {
@@ -423,6 +507,91 @@ func (p *opParser) parse() (Op, error) {
 			}
 		}
 		return p.end(op)
+
+	case p.keyword("INSERT"):
+		if err := p.expectKeyword("INTO"); err != nil {
+			return nil, err
+		}
+		table, err := p.ident("table name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("VALUES"); err != nil {
+			return nil, err
+		}
+		values, err := p.valueList()
+		if err != nil {
+			return nil, err
+		}
+		return p.end(Insert{Table: table, Values: values})
+
+	case p.keyword("DELETE"):
+		if err := p.expectKeyword("FROM"); err != nil {
+			return nil, err
+		}
+		table, err := p.ident("table name")
+		if err != nil {
+			return nil, err
+		}
+		op := Delete{Table: table}
+		if p.keyword("WHERE") {
+			if op.Where, err = p.condition(""); err != nil {
+				return nil, err
+			}
+		}
+		return p.end(op)
+
+	case p.keyword("UPDATE"):
+		table, err := p.ident("table name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("SET"); err != nil {
+			return nil, err
+		}
+		col, value, err := p.assignment()
+		if err != nil {
+			return nil, err
+		}
+		op := Update{Table: table, Column: col, Value: value}
+		if p.keyword("WHERE") {
+			if op.Where, err = p.condition(""); err != nil {
+				return nil, err
+			}
+		}
+		return p.end(op)
 	}
 	return nil, fmt.Errorf("%w: no operator begins with %q", ErrUnknownStatement, p.peek())
+}
+
+// assignment parses `column = literal`. The lexer keeps '=' glued to
+// adjacent bare words ("c=", "c=v"), so the column token may carry the
+// '=' and even the value; all spacings of column = value parse the same.
+func (p *opParser) assignment() (column, value string, err error) {
+	tok := p.next()
+	if tok == "" || strings.HasPrefix(tok, "\x01") {
+		return "", "", fmt.Errorf("expected column name after SET")
+	}
+	col, rest, hasEq := tok, "", false
+	if i := strings.Index(tok, "="); i >= 0 {
+		col, rest, hasEq = tok[:i], tok[i+1:], true
+	}
+	if col == "" || strings.ContainsAny(col, "(),") {
+		return "", "", fmt.Errorf("expected column name after SET, got %q", tok)
+	}
+	if !hasEq {
+		eq := p.next()
+		if !strings.HasPrefix(eq, "=") {
+			return "", "", fmt.Errorf("expected '=' after SET %s", col)
+		}
+		rest = eq[1:]
+	}
+	if rest != "" {
+		return col, rest, nil
+	}
+	value, err = p.stringLit("value")
+	if err != nil {
+		return "", "", err
+	}
+	return col, value, nil
 }

@@ -25,6 +25,13 @@ func TestOpStringRoundTrip(t *testing.T) {
 		AddColumn{Table: "r", Column: "c", ValuesFile: "dir/o'brien.txt"},
 		DropColumn{Table: "r", Column: "c"},
 		RenameColumn{Table: "r", From: "a", To: "b"},
+		Insert{Table: "r", Values: []string{"x"}},
+		Insert{Table: "r", Values: []string{"plain", "it's", "", "a;b", "line1\nline2"}},
+		Delete{Table: "r"},
+		Delete{Table: "r", Where: "a = 'x' AND b != 'y''z'"},
+		Update{Table: "r", Column: "c", Value: "v", Where: "a < '10'"},
+		Update{Table: "r", Column: "c", Value: "it's; fine\nhere"},
+		Update{Table: "r", Column: "c", Value: ""},
 	}
 	for _, op := range ops {
 		text := op.String()
@@ -36,5 +43,51 @@ func TestOpStringRoundTrip(t *testing.T) {
 		if !reflect.DeepEqual(back, op) {
 			t.Errorf("round trip of %q: got %#v, want %#v", text, back, op)
 		}
+	}
+}
+
+// Statement separators inside quoted literals must not split a script:
+// ParseScript(op.String()) has to see exactly one statement, or the WAL
+// (which replays text through Parse) and user scripts disagree about
+// statement boundaries.
+func TestParseScriptQuoteAwareSplitting(t *testing.T) {
+	ops := []Op{
+		AddColumn{Table: "t", Column: "c", Default: "a;b"},
+		AddColumn{Table: "t", Column: "c", Default: "line1\nline2"},
+		AddColumn{Table: "t", Column: "c", Default: "mix;of\nboth;x"},
+		Insert{Table: "t", Values: []string{"a;b", "c\nd", "it's"}},
+		Delete{Table: "t", Where: "a = 'x;y'"},
+		Update{Table: "t", Column: "c", Value: "v;w\nz", Where: "a != 'p\nq'"},
+	}
+	for _, op := range ops {
+		got, err := ParseScript(op.String())
+		if err != nil {
+			t.Errorf("ParseScript(%q): %v", op.String(), err)
+			continue
+		}
+		if len(got) != 1 {
+			t.Errorf("ParseScript(%q) split into %d statements, want 1", op.String(), len(got))
+			continue
+		}
+		if !reflect.DeepEqual(got[0], op) {
+			t.Errorf("script round trip of %q: got %#v, want %#v", op.String(), got[0], op)
+		}
+	}
+
+	// Several statements with hostile literals in one script.
+	script := "CREATE TABLE r (a)\nADD COLUMN c TO r DEFAULT 'x;y'; DROP COLUMN c FROM r\n" +
+		"-- a comment; it isn't a statement\nADD COLUMN d TO r DEFAULT 'p\nq'"
+	parsed, err := ParseScript(script)
+	if err != nil {
+		t.Fatalf("ParseScript: %v", err)
+	}
+	want := []Op{
+		CreateTable{Table: "r", Columns: []string{"a"}},
+		AddColumn{Table: "r", Column: "c", Default: "x;y"},
+		DropColumn{Table: "r", Column: "c"},
+		AddColumn{Table: "r", Column: "d", Default: "p\nq"},
+	}
+	if !reflect.DeepEqual(parsed, want) {
+		t.Fatalf("script parsed to %#v, want %#v", parsed, want)
 	}
 }

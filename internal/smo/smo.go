@@ -1,6 +1,8 @@
 // Package smo defines the Schema Modification Operators of the paper's
-// Table 1 (after Curino et al.'s PRISM workbench) and a small text syntax
-// for specifying them, used by the CODS platform CLI.
+// Table 1 (after Curino et al.'s PRISM workbench), the DML statements
+// (INSERT, DELETE, UPDATE) that mutate tuples under those evolving
+// schemas, and a small text syntax for specifying them, used by the CODS
+// platform CLI and the write-ahead log.
 package smo
 
 import (
@@ -153,6 +155,83 @@ func (RenameColumn) Kind() string { return "RENAME COLUMN" }
 
 func (o RenameColumn) String() string {
 	return fmt.Sprintf("RENAME COLUMN %s TO %s IN %s", o.From, o.To, o.Table)
+}
+
+// Insert appends one row to a table. INSERT/DELETE/UPDATE are DML, not
+// SMOs: they change a table's tuples, not its schema, and execute against
+// the table's delta overlay (internal/delta) instead of running a data
+// evolution. They live here because they share the operators' whole
+// lifecycle — the text syntax, the Parse(op.String()) round trip, WAL
+// journaling and replay, versioned catalog publication.
+type Insert struct {
+	Table string
+	// Values holds the new row in schema order; arity is checked at
+	// execution time against the live schema, not at parse time.
+	Values []string
+}
+
+// Kind implements Op.
+func (Insert) Kind() string { return "INSERT" }
+
+func (o Insert) String() string {
+	vals := make([]string, len(o.Values))
+	for i, v := range o.Values {
+		vals[i] = quoteLit(v)
+	}
+	return fmt.Sprintf("INSERT INTO %s VALUES (%s)", o.Table, strings.Join(vals, ", "))
+}
+
+// Delete removes a table's rows matching a condition (every row when
+// Where is empty). The schema is untouched.
+type Delete struct {
+	Table string
+	// Where is a predicate in the PARTITION condition syntax; empty
+	// deletes all rows.
+	Where string
+}
+
+// Kind implements Op.
+func (Delete) Kind() string { return "DELETE" }
+
+func (o Delete) String() string {
+	if o.Where == "" {
+		return fmt.Sprintf("DELETE FROM %s", o.Table)
+	}
+	return fmt.Sprintf("DELETE FROM %s WHERE %s", o.Table, o.Where)
+}
+
+// Update sets one column to a literal value on the rows matching a
+// condition (every row when Where is empty).
+type Update struct {
+	Table  string
+	Column string
+	Value  string
+	// Where is a predicate in the PARTITION condition syntax; empty
+	// updates all rows.
+	Where string
+}
+
+// Kind implements Op.
+func (Update) Kind() string { return "UPDATE" }
+
+func (o Update) String() string {
+	s := fmt.Sprintf("UPDATE %s SET %s = %s", o.Table, o.Column, quoteLit(o.Value))
+	if o.Where != "" {
+		s += " WHERE " + o.Where
+	}
+	return s
+}
+
+// IsDML reports whether op manipulates data (INSERT, DELETE, UPDATE)
+// rather than schema. The engine uses it to route execution through the
+// delta overlay and to skip created/dropped bookkeeping that only schema
+// operators produce.
+func IsDML(op Op) bool {
+	switch op.(type) {
+	case Insert, Delete, Update:
+		return true
+	}
+	return false
 }
 
 // quoteLit renders a string literal in the parseable syntax, doubling

@@ -220,6 +220,35 @@ func BuildRowstoreST(spec Spec, db *rowstore.DB, nameS, nameT string, kind rowst
 	return nil
 }
 
+// DML returns a reproducible stream of n DML statements against a table
+// generated by BuildColstore (columns A, B, C): about half INSERTs of
+// fresh rows under new keys (each new key maps to one C value, so the FD
+// A→C keeps holding and decompositions stay lossless), a quarter UPDATEs
+// of B on existing keys, and a quarter DELETEs of previously inserted
+// keys (bounding net growth). Seeded by spec.Seed; the mixed-workload
+// benchmark and tests replay the same stream.
+func DML(spec Spec, table string, n int) []string {
+	spec = spec.withDefaults()
+	rng := rand.New(rand.NewSource(spec.Seed + 1))
+	out := make([]string, 0, n)
+	inserted := 0
+	for i := 0; i < n; i++ {
+		switch {
+		case i%4 == 0 || i%4 == 2:
+			out = append(out, fmt.Sprintf("INSERT INTO %s VALUES ('n%07d', 'b%07d', 'c%07d')",
+				table, inserted, rng.Intn(spec.DistinctB), rng.Intn(spec.DistinctC)))
+			inserted++
+		case i%4 == 1:
+			out = append(out, fmt.Sprintf("UPDATE %s SET B = 'b%07d' WHERE A = 'k%07d'",
+				table, rng.Intn(spec.DistinctB), rng.Intn(spec.DistinctKeys)))
+		default:
+			out = append(out, fmt.Sprintf("DELETE FROM %s WHERE A = 'n%07d'",
+				table, rng.Intn(inserted)))
+		}
+	}
+	return out
+}
+
 // EmployeeRows returns the seven tuples of the paper's Figure 1.
 func EmployeeRows() [][]string {
 	return [][]string{
