@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench bench-smoke docs-lint serve-smoke ci
+.PHONY: all build vet fmt-check test race bench bench-smoke bench-writes docs-lint serve-smoke ci
 
 all: build test
 
@@ -43,9 +43,15 @@ bench:
 
 # Read p99 while a DECOMPOSE/MERGE loop runs (lock-free snapshot reads vs
 # the retired RWMutex design), plus the mixed DML+query+evolution workload
-# over the delta overlay, so the perf trajectory covers writes. Enough
-# iterations to make the metrics meaningful; still seconds, not minutes.
+# over the delta overlay and a short sustained keyed-write burst, so the
+# perf trajectory covers writes. Enough iterations to make the metrics
+# meaningful; still seconds, not minutes.
 bench-smoke:
-	$(GO) test -run=NONE -bench='ReadLatencyDuringEvolution|MixedWorkload' -benchtime=200x cods
+	$(GO) test -run=NONE -bench='ReadLatencyDuringEvolution|MixedWorkload|SustainedKeyedWrites' -benchtime=200x cods
 
-ci: build vet fmt-check test docs-lint serve-smoke race bench bench-smoke
+# The full 50k-statement sustained keyed-write run, recorded to
+# BENCH_writes.json (the write-path perf trajectory; ~1 min).
+bench-writes:
+	sh scripts/bench_writes.sh
+
+ci: build vet fmt-check test docs-lint serve-smoke race bench bench-smoke bench-writes

@@ -612,6 +612,49 @@ func BenchmarkMixedWorkload(b *testing.B) {
 	}
 }
 
+// BenchmarkSustainedKeyedWrites measures the hot write path the delta
+// overlay's arena key index amortizes: b.N keyed INSERTs through Exec,
+// interleaved with a DELETE of an earlier key every 100 statements, and
+// no manual compaction — the workload that was O(pending²) before the
+// key index (every INSERT scanned the appended tail for conflicts, and
+// the first INSERT after each DELETE copied the tail). Run with
+// -benchtime=50000x for the 50k-pending-rows reference point recorded in
+// BENCH_writes.json; ns/op should stay flat as b.N grows (near-linear
+// total).
+//
+// The "bounded" variant runs the same stream with the retention and
+// auto-compaction knobs on, the recommended production configuration:
+// slightly more work per statement on average (periodic flushes), but
+// memory stays O(threshold) instead of O(statements).
+func BenchmarkSustainedKeyedWrites(b *testing.B) {
+	run := func(b *testing.B, cfg cods.Config) {
+		db := cods.Open(cfg)
+		if err := db.CreateTableFromRows("kv", []string{"K", "V"}, []string{"K"},
+			[][]string{{"seed", "0"}}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Exec(fmt.Sprintf("INSERT INTO kv VALUES ('k%08d', 'v')", i)); err != nil {
+				b.Fatal(err)
+			}
+			if i%100 == 99 {
+				if _, err := db.Exec(fmt.Sprintf("DELETE FROM kv WHERE K = 'k%08d'", i-50)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		ms := db.MemStats()
+		b.ReportMetric(float64(ms.PendingRows), "pending-rows")
+		b.ReportMetric(float64(ms.RetainedVersions), "retained-versions")
+	}
+	b.Run("retain-all", func(b *testing.B) { run(b, cods.Config{}) })
+	b.Run("bounded", func(b *testing.B) {
+		run(b, cods.Config{RetainVersions: 8, AutoCompactPending: 4096})
+	})
+}
+
 // BenchmarkHarnessSmoke runs the figure harness end to end at a tiny scale
 // so `go test -bench .` exercises the exact code path codsbench uses.
 func BenchmarkHarnessSmoke(b *testing.B) {

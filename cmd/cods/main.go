@@ -6,7 +6,8 @@
 // Usage:
 //
 //	cods [-dir dbdir] [-validate] [-quiet] [script.smo ...]
-//	cods serve [-addr :8344] [-dir dbdir] [-max-inflight N] [-quiet]
+//	cods serve [-addr :8344] [-dir dbdir] [-max-inflight N]
+//	           [-retain N] [-autocompact N] [-quiet]
 //
 // With script arguments, each file is executed and the process exits;
 // otherwise an interactive prompt starts. Type \help at the prompt for the
@@ -18,8 +19,12 @@
 // durable: every executed statement is write-ahead-logged, and a restart
 // — even after a hard kill — recovers the last committed schema version
 // from snapshot plus log. Without -dir the catalog is in-memory only.
-// SIGINT/SIGTERM shut the server down gracefully, draining in-flight
-// requests.
+// -retain N bounds memory on write-heavy workloads by keeping only the
+// current schema version plus its N predecessors rollback-able, and
+// -autocompact N folds a
+// table's delta overlay into its base once N rows are pending; GET
+// /stats reports both at work. SIGINT/SIGTERM shut the server down
+// gracefully, draining in-flight requests.
 package main
 
 import (
@@ -102,13 +107,15 @@ func runServe(args []string) error {
 	dir := fs.String("dir", "", "durable database directory (in-memory when empty)")
 	maxInFlight := fs.Int("max-inflight", 0, "max concurrently served requests (0 = 4×GOMAXPROCS)")
 	parallelism := fs.Int("parallelism", 0, "per-request bitmap-work parallelism (0 = GOMAXPROCS)")
+	retain := fs.Int("retain", 0, "rollback-able previous schema versions kept after each statement (0 = all)")
+	autoCompact := fs.Int("autocompact", 0, "compact a table's delta overlay once it holds this many pending rows (0 = only at checkpoints)")
 	quiet := fs.Bool("quiet", false, "suppress the per-request log")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	logger := log.New(os.Stderr, "cods-serve ", log.LstdFlags)
-	cfg := cods.Config{Parallelism: *parallelism}
+	cfg := cods.Config{Parallelism: *parallelism, RetainVersions: *retain, AutoCompactPending: *autoCompact}
 	var db *cods.DB
 	var err error
 	if *dir != "" {

@@ -308,3 +308,91 @@ func TestServeInMemory(t *testing.T) {
 		t.Fatalf("version = %d, tables = %v", v, tables)
 	}
 }
+
+// getMemStats reads GET /stats's memory gauges.
+func getMemStats(t *testing.T, base string) (retained int, pending, compactions uint64) {
+	t.Helper()
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr struct {
+		Memory struct {
+			RetainedVersions int    `json:"retained_versions"`
+			PendingRows      uint64 `json:"pending_rows"`
+			Compactions      uint64 `json:"compactions"`
+		} `json:"memory"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr.Memory.RetainedVersions, sr.Memory.PendingRows, sr.Memory.Compactions
+}
+
+// TestServeSIGKILLRecoveryWithRetention runs the durable server with the
+// bounded-memory knobs on (-retain, -autocompact), drives a keyed write
+// stream through them — auto-compaction and pruning both fire — kills it
+// hard, and requires a restart with the same flags to recover every
+// committed row while keeping the bounds.
+func TestServeSIGKILLRecoveryWithRetention(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	dbdir := filepath.Join(t.TempDir(), "db")
+	flags := []string{"-dir", dbdir, "-retain", "2", "-autocompact", "3"}
+
+	p := startServe(t, flags...)
+	execOp(t, p.base, "CREATE TABLE kv (K, V) KEY (K)")
+	for i := 0; i < 10; i++ {
+		execOp(t, p.base, fmt.Sprintf("INSERT INTO kv VALUES ('k%02d', 'v%d')", i, i))
+	}
+	execOp(t, p.base, "UPDATE kv SET V = 'changed' WHERE K = 'k03'")
+	execOp(t, p.base, "DELETE FROM kv WHERE K = 'k07'")
+	execOp(t, p.base, "PRUNE KEEP 2") // the statement form rides the WAL too
+
+	retained, pending, compactions := getMemStats(t, p.base)
+	if retained > 3 {
+		t.Errorf("retained_versions = %d, want <= 3 with -retain 2", retained)
+	}
+	if pending >= 3 {
+		t.Errorf("pending_rows = %d, want < 3 with -autocompact 3", pending)
+	}
+	if compactions == 0 {
+		t.Error("compactions = 0, auto-compaction never fired")
+	}
+
+	// Die hard: no shutdown, no checkpoint call.
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	p.cmd.Wait()
+
+	re := startServe(t, flags...)
+	if rows := queryRows(t, re.base, "kv", "K != ''"); len(rows) != 9 {
+		t.Fatalf("recovered %d rows, want 9 (10 inserts - 1 delete)", len(rows))
+	}
+	if rows := queryRows(t, re.base, "kv", "K = 'k03'"); len(rows) != 1 || rows[0][1] != "changed" {
+		t.Errorf("recovered k03 = %v, want updated value", rows)
+	}
+	if rows := queryRows(t, re.base, "kv", "K = 'k07'"); len(rows) != 0 {
+		t.Errorf("deleted k07 survived recovery: %v", rows)
+	}
+	// The key is still enforced after replay + auto-compaction.
+	resp, _ := post(t, re.base+"/exec", map[string]any{"op": "INSERT INTO kv VALUES ('k01', 'dup')"})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("duplicate key after recovery: status %d, want 422", resp.StatusCode)
+	}
+
+	// Keep writing: the bounds hold on the recovered catalog too.
+	for i := 0; i < 8; i++ {
+		execOp(t, re.base, fmt.Sprintf("INSERT INTO kv VALUES ('r%02d', 'v')", i))
+	}
+	retained, pending, _ = getMemStats(t, re.base)
+	if retained > 3 {
+		t.Errorf("post-recovery retained_versions = %d, want <= 3", retained)
+	}
+	if pending >= 3 {
+		t.Errorf("post-recovery pending_rows = %d, want < 3", pending)
+	}
+}

@@ -43,6 +43,19 @@ var ErrNotDurable = errors.New("durability failure")
 // rather than "bad request".
 var ErrNoTable = core.ErrNoTable
 
+// ErrVersionPruned matches (via errors.Is) Rollback failures against a
+// schema version the retention policy (Config.RetainVersions, Prune, or
+// the PRUNE statement) already retired. The concrete error is a
+// *VersionPrunedError naming the retained rollback window — distinct
+// from the plain "no schema version" error a version that never existed
+// produces.
+var ErrVersionPruned = core.ErrVersionPruned
+
+// VersionPrunedError is the concrete error behind ErrVersionPruned: the
+// requested version plus the inclusive [OldestRetained, Newest] window
+// Rollback can still reach.
+type VersionPrunedError = core.VersionPrunedError
+
 // Config parameterizes a DB.
 type Config struct {
 	// Parallelism bounds the worker pool for per-value bitmap work; 0
@@ -54,6 +67,24 @@ type Config struct {
 	// Status, when non-nil, receives live data-evolution progress events
 	// ("distinction", "bitmap filtering", ...) as operators execute.
 	Status func(step string)
+	// RetainVersions bounds how many previous schema versions stay
+	// rollback-able: after every committed statement the catalog's
+	// snapshot history is pruned to the current version plus its
+	// RetainVersions predecessors, so memory no longer grows with
+	// statement count (each DML statement is a version). Rollback to a
+	// pruned version fails with ErrVersionPruned naming the retained
+	// window. 0 (the default) keeps every version — the original
+	// contract.
+	RetainVersions int
+	// AutoCompactPending, when positive, compacts a table's delta
+	// overlay as soon as a DML statement leaves it with at least this
+	// many pending rows (appended plus deletion marks): the overlay is
+	// flushed into a rebuilt base and the same schema version
+	// republishes, bounding overlay memory and per-read merge cost on
+	// sustained write streams without explicit Compact or Checkpoint
+	// calls. Readers are never blocked — compaction changes the physical
+	// representation, not the contents. 0 disables auto-compaction.
+	AutoCompactPending int
 }
 
 // DB is a CODS database: a catalog of bitmap-indexed column-store tables
@@ -95,9 +126,11 @@ type DB struct {
 // Open creates an empty in-memory database.
 func Open(cfg Config) *DB {
 	return &DB{engine: core.New(core.Config{
-		Parallelism: cfg.Parallelism,
-		ValidateFD:  cfg.ValidateFD,
-		Status:      cfg.Status,
+		Parallelism:        cfg.Parallelism,
+		ValidateFD:         cfg.ValidateFD,
+		Status:             cfg.Status,
+		RetainVersions:     cfg.RetainVersions,
+		AutoCompactPending: cfg.AutoCompactPending,
 	}), cfg: cfg}
 }
 
@@ -285,6 +318,51 @@ func (db *DB) Compact() error {
 	return db.engine.Compact()
 }
 
+// Prune retires rollback snapshots, keeping the current schema version
+// plus its keepLast predecessors, and returns how many versions it
+// retired. It is the explicit form of Config.RetainVersions (which
+// enforces the same window automatically after every statement) and of
+// the PRUNE KEEP n statement. Rollback to a retired version fails with
+// ErrVersionPruned from then on; published snapshots, running readers
+// and the history log are unaffected. Pruning is in-memory bookkeeping:
+// on a durable database it is not journaled — recovery rebuilds the
+// version sequence from snapshot plus log anyway.
+func (db *DB) Prune(keepLast int) int {
+	return db.engine.Prune(keepLast)
+}
+
+// MemStats reports the memory-pressure gauges of the write path: how
+// many schema versions are retained for Rollback, how many delta-overlay
+// rows are pending compaction, and how many compactions have run. It is
+// lock-free — it answers even while an evolution or checkpoint holds the
+// write path — so operators can poll it (GET /stats serves it) to watch
+// retention and auto-compaction work.
+type MemStats struct {
+	// RetainedVersions counts catalog snapshots kept for Rollback,
+	// current version included.
+	RetainedVersions int
+	// OldestRetainedVersion is the oldest schema version Rollback can
+	// restore.
+	OldestRetainedVersion int
+	// PendingRows totals appended rows plus deletion marks across every
+	// table's delta overlay.
+	PendingRows uint64
+	// Compactions counts overlay compactions (explicit, checkpoint, or
+	// automatic) since the database opened.
+	Compactions uint64
+}
+
+// MemStats returns the current memory-pressure gauges, lock-free.
+func (db *DB) MemStats() MemStats {
+	ms := db.engine.MemStats()
+	return MemStats{
+		RetainedVersions:      ms.RetainedVersions,
+		OldestRetainedVersion: ms.OldestRetained,
+		PendingRows:           ms.PendingRows,
+		Compactions:           ms.Compactions,
+	}
+}
+
 // Close releases a durable database's write-ahead log. Further
 // catalog-changing calls fail with ErrClosed; reads keep working on the
 // in-memory catalog. Close on an in-memory database is a no-op.
@@ -443,6 +521,8 @@ func (s *Snapshot) RunQuery(table string, q TableQuery) (*ResultSet, error) {
 }
 
 // History returns the executed-operator log up to the snapshot's version.
+// The copy is O(statements) — and DML creates a version per statement —
+// so polling paths should use HistoryTail.
 func (s *Snapshot) History() []HistoryEntry {
 	var out []HistoryEntry
 	for _, h := range s.cat.History() {
@@ -450,6 +530,24 @@ func (s *Snapshot) History() []HistoryEntry {
 	}
 	return out
 }
+
+// HistoryTail returns the most recent limit executed-operator entries
+// (all of them when limit <= 0), oldest first. Cost is O(limit), not
+// O(statements): the underlying log is append-only, so the tail is a
+// view conversion, which keeps REPL history display and HTTP history
+// endpoints cheap under sustained write streams.
+func (s *Snapshot) HistoryTail(limit int) []HistoryEntry {
+	tail := s.cat.HistoryTail(limit)
+	out := make([]HistoryEntry, 0, len(tail))
+	for _, h := range tail {
+		out = append(out, HistoryEntry{Version: h.Version, Op: h.Op, Kind: h.Kind, Elapsed: h.Elapsed, Steps: h.Steps})
+	}
+	return out
+}
+
+// HistoryLen returns the total number of executed-operator entries
+// without copying the log.
+func (s *Snapshot) HistoryLen() int { return s.cat.HistoryLen() }
 
 // Save persists the snapshot's tables to a directory in compressed binary
 // form.
@@ -558,6 +656,10 @@ func toResult(r *core.Result) *Result {
 //	INSERT INTO t VALUES ('v1', 'v2', ...)
 //	DELETE FROM t [WHERE <condition>]
 //	UPDATE t SET c = 'v' [WHERE <condition>]
+//
+// plus the retention statement PRUNE KEEP n, which retires rollback
+// snapshots older than the last n versions (the statement form of
+// DB.Prune; it produces no new schema version).
 //
 // DML executes against a per-table delta overlay (appended rows plus a
 // deletion bitmap over the immutable base), published copy-on-write like
@@ -810,6 +912,12 @@ func (db *DB) Version() int {
 // Rollback restores the catalog to an earlier schema version. Versioned
 // catalogs share immutable column data, so keeping and restoring versions
 // is nearly free. The rollback is itself recorded as a new version.
+//
+// Retention bounds how far back Rollback reaches: a version retired by
+// Config.RetainVersions, Prune, or PRUNE KEEP fails with an error
+// matching ErrVersionPruned that names the retained window, while a
+// version that never existed fails with a plain "no schema version"
+// error.
 func (db *DB) Rollback(version int) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -899,9 +1007,16 @@ type HistoryEntry struct {
 	Steps   []string
 }
 
-// History returns the executed-operator log in order.
+// History returns the executed-operator log in order. Prefer HistoryTail
+// on polling paths: the full copy is O(statements).
 func (db *DB) History() []HistoryEntry {
 	return db.Snapshot().History()
+}
+
+// HistoryTail returns the most recent limit executed-operator entries
+// (all when limit <= 0), oldest first, at O(limit) cost.
+func (db *DB) HistoryTail(limit int) []HistoryEntry {
+	return db.Snapshot().HistoryTail(limit)
 }
 
 // FDSuggestion is a decomposition opportunity discovered from the data: a

@@ -44,7 +44,27 @@
 // change. Reads merge base and delta transparently; an evolution
 // operator over a table with pending DML flushes the delta into the base
 // first; Checkpoint compacts overlays into rebuilt bases. DML statements
-// are WAL-journaled as text and replayed on recovery like SMOs.
+// are WAL-journaled as text and replayed on recovery like SMOs. The
+// write path is amortized O(1) per keyed statement: a per-lineage key
+// index of the appended tail answers INSERT conflicts and point
+// DELETE/UPDATE matches without scanning pending rows.
+//
+// # Bounded memory: retention and auto-compaction
+//
+// Every statement produces a rollback-able catalog version, so on
+// write-heavy workloads memory grows with statement count unless
+// bounded. Config.RetainVersions prunes the version history after every
+// commit to the current version plus N predecessors (Prune and the
+// PRUNE KEEP n statement are the explicit forms); Rollback to a pruned
+// version fails with an error matching ErrVersionPruned that names the
+// retained window, while a version that never existed keeps the plain
+// "no schema version" error. Config.AutoCompactPending compacts a
+// table's overlay as soon as a DML statement leaves it with that many
+// pending rows — contents and version unchanged, readers never blocked.
+// Both default off (keep-everything, compact-at-checkpoint). MemStats
+// reports the gauges (retained versions, pending overlay rows,
+// compaction count) lock-free; HistoryTail pages the operator log at
+// O(limit).
 //
 // # Parallelism
 //

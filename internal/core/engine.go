@@ -39,6 +39,17 @@ type Config struct {
 	// ValuesLoader resolves ADD COLUMN ... FROM 'file' into per-row
 	// values. The default reads the file as one value per line.
 	ValuesLoader func(path string) ([]string, error)
+	// RetainVersions bounds how many previous schema versions stay
+	// rollback-able: after every committed change the snapshot history is
+	// pruned to the current version plus its RetainVersions predecessors.
+	// 0 (the default) keeps every version — the pre-retention contract.
+	RetainVersions int
+	// AutoCompactPending, when positive, compacts delta overlays as soon
+	// as a DML statement leaves a table with at least this many pending
+	// rows (appended plus deletion marks), bounding overlay memory and
+	// per-read merge cost on sustained write streams without an explicit
+	// Compact or Checkpoint. 0 disables auto-compaction.
+	AutoCompactPending int
 }
 
 // Engine is the CODS platform: it owns the table catalog and executes
@@ -72,7 +83,15 @@ type Engine struct {
 	// counter, not a bool, so overlapping deferred spans compose: only
 	// the outermost release publishes.
 	deferPublish int
-	cfg          Config
+	// oldestRetained is the oldest schema version Rollback can restore;
+	// pruning advances it and never moves it back. Guarded by mu; the
+	// atomic gauges below mirror it (and the snapshot count and
+	// compaction count) for lock-free MemStats.
+	oldestRetained int
+	retained       atomic.Int64
+	oldestGauge    atomic.Int64
+	compactions    atomic.Uint64
+	cfg            Config
 }
 
 // Catalog is an immutable view of the engine at one schema version: the
@@ -122,9 +141,28 @@ func (c *Catalog) Tables() []string {
 // Version returns the catalog's schema version.
 func (c *Catalog) Version() int { return c.version }
 
-// History returns the executed-operator log up to this version.
+// History returns the executed-operator log up to this version as a
+// fresh copy the caller may keep or mutate. O(statements) — use
+// HistoryTail for polling paths (servers, REPL display) now that DML
+// creates a version per statement.
 func (c *Catalog) History() []HistoryEntry {
 	return append([]HistoryEntry(nil), c.history...)
+}
+
+// HistoryLen returns the number of executed-operator log entries without
+// copying the log.
+func (c *Catalog) HistoryLen() int { return len(c.history) }
+
+// HistoryTail returns the most recent limit entries (all of them when
+// limit <= 0 or exceeds the log length) as a shared read-only view: the
+// log is append-only and entries are never mutated after commit, so the
+// tail costs O(1) regardless of how many statements ran. Callers must
+// not modify the returned entries.
+func (c *Catalog) HistoryTail(limit int) []HistoryEntry {
+	if limit <= 0 || limit > len(c.history) {
+		limit = len(c.history)
+	}
+	return c.history[len(c.history)-limit:]
 }
 
 // HistoryEntry records one executed operator.
@@ -155,6 +193,7 @@ func New(cfg Config) *Engine {
 	}
 	e := &Engine{tables: make(map[string]*delta.Overlay), snapshots: make(map[int]map[string]*delta.Overlay), cfg: cfg}
 	e.snapshots[0] = map[string]*delta.Overlay{}
+	e.retained.Store(1)
 	e.publish()
 	return e
 }
@@ -169,6 +208,7 @@ func (e *Engine) snapshot() {
 		copied[k] = v
 	}
 	e.snapshots[e.version] = copied
+	e.retained.Store(int64(len(e.snapshots)))
 	e.publish()
 }
 
@@ -283,6 +323,21 @@ func (e *Engine) Apply(op smo.Op) (*Result, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 
+	if p, ok := op.(smo.Prune); ok {
+		// PRUNE is catalog bookkeeping, not a catalog change: it retires
+		// rollback snapshots without producing a new schema version or a
+		// history entry, so it flows through Exec/scripts/WAL replay like
+		// any statement but leaves the version sequence untouched.
+		res := &Result{Op: op, Version: e.version}
+		n := e.pruneLocked(p.Keep)
+		step := fmt.Sprintf("prune: %d versions retired; rollback window [%d, %d]", n, e.oldestRetained, e.version)
+		res.Steps = append(res.Steps, step)
+		if e.cfg.Status != nil {
+			e.cfg.Status(step)
+		}
+		return res, nil
+	}
+
 	res := &Result{Op: op}
 	opts := evolve.Options{
 		Parallelism: e.cfg.Parallelism,
@@ -325,16 +380,46 @@ func (e *Engine) Apply(op smo.Op) (*Result, error) {
 		Steps:   res.Steps,
 	})
 	e.snapshot()
+	// Bounded-memory write path: a DML statement that left an overlay
+	// past the pending-rows threshold triggers compaction now (readers
+	// are unaffected — the same version republishes with the flushed
+	// base), and the retention window is enforced after every commit, so
+	// neither overlays nor rollback snapshots grow with statement count.
+	if dml && e.cfg.AutoCompactPending > 0 {
+		for _, ov := range add {
+			pending := ov.PendingAdded() + int(ov.PendingDeleted())
+			if pending < e.cfg.AutoCompactPending {
+				continue
+			}
+			opts.Status(fmt.Sprintf("auto-compact: %s at %d pending rows (threshold %d)", ov.Name(), pending, e.cfg.AutoCompactPending))
+			if err := e.compactTableLocked(ov.Name()); err != nil {
+				// The statement is committed either way; a failed flush
+				// just leaves the overlay pending for the next attempt.
+				opts.Status(fmt.Sprintf("auto-compact failed (overlay stays pending): %v", err))
+			}
+			break
+		}
+	}
+	if e.cfg.RetainVersions > 0 {
+		e.pruneLocked(e.cfg.RetainVersions)
+	}
 	return res, nil
 }
 
 // Rollback restores the catalog to a previous schema version. The
 // rollback itself is recorded as a new version; history is append-only.
+// A version retired by the retention policy fails with a
+// *VersionPrunedError naming the retained window; a version that never
+// existed fails with a plain "no schema version" error — operators can
+// tell a too-old target from a typo.
 func (e *Engine) Rollback(version int) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	snap, ok := e.snapshots[version]
 	if !ok {
+		if version >= 0 && version < e.oldestRetained {
+			return &VersionPrunedError{Version: version, OldestRetained: e.oldestRetained, Newest: e.version}
+		}
 		return fmt.Errorf("core: no schema version %d (current: %d)", version, e.version)
 	}
 	restored := make(map[string]*delta.Overlay, len(snap))
@@ -349,6 +434,9 @@ func (e *Engine) Rollback(version int) error {
 		Kind:    "ROLLBACK",
 	})
 	e.snapshot()
+	if e.cfg.RetainVersions > 0 {
+		e.pruneLocked(e.cfg.RetainVersions)
+	}
 	return nil
 }
 
@@ -386,13 +474,43 @@ func (e *Engine) wrap(ts ...*colstore.Table) []*delta.Overlay {
 
 // Compact replaces every dirty overlay of the current version with its
 // flushed base, republishing the same schema version (the tuple sets are
-// identical — only the physical representation changes). Checkpoint
-// calls it after persisting a snapshot: the snapshot wrote the flushed
-// tables, so keeping the in-memory deltas would let them grow without
-// bound across truncations of the WAL that journaled them.
+// identical — only the physical representation changes), and enforces
+// the configured retention window. Checkpoint calls it after persisting
+// a snapshot: the snapshot wrote the flushed tables, so keeping the
+// in-memory deltas would let them grow without bound across truncations
+// of the WAL that journaled them.
 func (e *Engine) Compact() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.cfg.RetainVersions > 0 {
+		e.pruneLocked(e.cfg.RetainVersions)
+	}
+	return e.compactLocked()
+}
+
+// compactTableLocked retires one table's overlay, republishing the same
+// version. Auto-compaction uses it instead of compactLocked so a hot
+// table crossing the threshold never drags an unrelated table's (large,
+// barely dirty) rebuild along — flush-everything is a checkpoint
+// concern. e.tables is the writer-private working map (snapshots store
+// copies), so the in-place entry swap is safe under the mutex.
+func (e *Engine) compactTableLocked(name string) error {
+	ov, ok := e.tables[name]
+	if !ok || !ov.Dirty() {
+		return nil
+	}
+	t, err := ov.Table()
+	if err != nil {
+		return err
+	}
+	e.tables[name] = delta.Wrap(t, e.cfg.Parallelism)
+	e.compactions.Add(1)
+	e.snapshot()
+	return nil
+}
+
+// compactLocked implements Compact under the writer mutex.
+func (e *Engine) compactLocked() error {
 	dirty := false
 	for _, ov := range e.tables {
 		if ov.Dirty() {
@@ -416,6 +534,7 @@ func (e *Engine) Compact() error {
 		compacted[name] = delta.Wrap(t, e.cfg.Parallelism)
 	}
 	e.tables = compacted
+	e.compactions.Add(1)
 	// snapshot() re-freezes the working set under the current version
 	// and republishes — same code path as a commit, so the "stored maps
 	// are distinct from the writer working set" invariant lives in one

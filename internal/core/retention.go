@@ -1,0 +1,102 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrVersionPruned matches (via errors.Is) Rollback failures against a
+// schema version that existed but was retired by the retention policy —
+// distinct from a version that never existed. The concrete error is a
+// *VersionPrunedError naming the retained window.
+var ErrVersionPruned = errors.New("schema version pruned by retention")
+
+// VersionPrunedError reports a Rollback to a version the retention
+// policy already retired, naming the window that is still available. It
+// matches ErrVersionPruned via errors.Is.
+type VersionPrunedError struct {
+	// Version is the requested (pruned) schema version.
+	Version int
+	// OldestRetained and Newest bound the retained rollback window,
+	// inclusive.
+	OldestRetained int
+	Newest         int
+}
+
+func (e *VersionPrunedError) Error() string {
+	return fmt.Sprintf("core: schema version %d pruned by retention; retained rollback window is [%d, %d]",
+		e.Version, e.OldestRetained, e.Newest)
+}
+
+// Is makes errors.Is(err, ErrVersionPruned) match.
+func (e *VersionPrunedError) Is(target error) bool { return target == ErrVersionPruned }
+
+// Prune retires catalog snapshots older than the last keepLast versions,
+// shrinking the retained rollback window to [version-keepLast, version]
+// (the current version plus keepLast predecessors). It returns how many
+// snapshots were retired. Rollback to a retired version fails with a
+// *VersionPrunedError from then on — pruning is deliberate forgetting,
+// never undone by a later wider setting. Published catalogs, running
+// readers and the history log are unaffected: pruning frees the table
+// maps (and the flushed tables and overlays only those versions pinned),
+// not the operator record.
+func (e *Engine) Prune(keepLast int) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.pruneLocked(keepLast)
+}
+
+// pruneLocked implements Prune under the writer mutex.
+func (e *Engine) pruneLocked(keepLast int) int {
+	if keepLast < 0 {
+		keepLast = 0
+	}
+	oldest := e.version - keepLast
+	if oldest <= e.oldestRetained {
+		return 0
+	}
+	pruned := 0
+	for v := e.oldestRetained; v < oldest; v++ {
+		if _, ok := e.snapshots[v]; ok {
+			delete(e.snapshots, v)
+			pruned++
+		}
+	}
+	e.oldestRetained = oldest
+	e.retained.Store(int64(len(e.snapshots)))
+	e.oldestGauge.Store(int64(oldest))
+	return pruned
+}
+
+// MemStats is a lock-free gauge snapshot of the engine's memory-pressure
+// sources: how many catalog versions are retained for Rollback, how many
+// delta-overlay rows are pending compaction in the published catalog,
+// and how many compactions have run (manual, checkpoint-driven, or
+// automatic). Safe to call at any time — it never takes the writer
+// mutex, so /stats answers even while an evolution is mid-operator.
+type MemStats struct {
+	// RetainedVersions counts catalog snapshots currently kept for
+	// Rollback (the current version included).
+	RetainedVersions int
+	// OldestRetained is the oldest schema version Rollback can restore.
+	OldestRetained int
+	// PendingRows totals appended rows plus deletion marks across every
+	// table's delta overlay in the published catalog.
+	PendingRows uint64
+	// Compactions counts overlay compactions since the engine started.
+	Compactions uint64
+}
+
+// MemStats returns the current memory-pressure gauges, lock-free.
+func (e *Engine) MemStats() MemStats {
+	ms := MemStats{
+		RetainedVersions: int(e.retained.Load()),
+		OldestRetained:   int(e.oldestGauge.Load()),
+		Compactions:      e.compactions.Load(),
+	}
+	cat := e.Catalog()
+	for _, ov := range cat.tables {
+		ms.PendingRows += uint64(ov.PendingAdded()) + ov.PendingDeleted()
+	}
+	return ms
+}

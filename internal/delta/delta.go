@@ -22,6 +22,8 @@ package delta
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -41,9 +43,29 @@ import (
 // branch (e.g. DML after a rollback to an older version) safely copies.
 // Readers never touch slots beyond their own view length, so claimed
 // slots racing reads of older views is not possible.
+//
+// Alongside the rows, the arena carries the key index of the tail: the
+// declared-key tuple of each appended row mapped to its slot. It shares
+// the backing array's protocol exactly — entries are written only when a
+// slot is claimed, slots are claimed in order, and a view of length L
+// ignores entries at index >= L — so keyConflict is one map lookup
+// instead of a scan of the pending tail, and branches copy the index
+// when (and only when) they copy the rows. Within one arena no live
+// tuple repeats: a claim is made only by the tip view, which checked the
+// tuple against every slot below the tip first.
 type arena struct {
 	mu  sync.Mutex
 	tip int
+	// keys maps each appended row's key tuple (see appendKeySegment) to
+	// its slot in the shared backing array; nil when the table declares
+	// no key (the field itself is set at arena construction and never
+	// reassigned). Guarded by mu together with tip: claims write it and
+	// lock-free snapshot readers probe it through tailKeyAt (point
+	// Count/Query), so every access to the map contents holds mu. Bulk
+	// iteration (shiftedKeys, the non-key UPDATE carry-over) runs only on
+	// the write path, where the engine's writer mutex already excludes
+	// the claims that mutate it.
+	keys map[string]int
 }
 
 // Overlay is an immutable view of one table: a base column-store table
@@ -126,20 +148,96 @@ func (o *Overlay) NumRows() uint64 {
 	return o.base.NumRows() - o.nDeleted + uint64(len(o.added))
 }
 
-// derive copies the overlay's DML state for a new version (Delete and
-// Update). The capacity clamp severs the result from the arena protocol:
-// with no spare capacity and no arena, the next Insert of this lineage
-// must copy into a fresh array — so a derive over a shared backing array
-// (e.g. Update matching nothing returns o.added unchanged) can never
-// hand out a second claim on slots another lineage extends into. The
-// flush cache is deliberately not carried over.
-func (o *Overlay) derive(added [][]string, deleted *wah.Bitmap) *Overlay {
-	added = added[:len(added):len(added)]
-	n := &Overlay{base: o.base, byName: o.byName, added: added, deleted: deleted, parallelism: o.parallelism}
+// derive carries the overlay's DML state forward for a new version with
+// the appended tail unchanged (Delete and Update when no appended row is
+// touched). The arena comes along with the backing array: the derived
+// overlay still views the arena tip, so a later INSERT extends in place
+// instead of copying the tail — the old pre-derive version and the new
+// one race for the next slot through the arena protocol, and whichever
+// claims second copies, exactly the branch semantics. The flush cache is
+// deliberately not carried over.
+func (o *Overlay) derive(deleted *wah.Bitmap) *Overlay {
+	n := &Overlay{base: o.base, byName: o.byName, added: o.added, ar: o.ar, deleted: deleted, parallelism: o.parallelism}
 	if deleted != nil {
 		n.nDeleted = deleted.Count()
 	}
 	return n
+}
+
+// appendKeySegment renders one key-column value into a tuple being
+// built. Segments are length-prefixed, so tuples collide only when
+// their values are equal column by column — values are arbitrary
+// strings and may contain any delimiter. Every tuple in the system
+// (index entries and lookups alike) goes through this one renderer.
+func appendKeySegment(sb *strings.Builder, v string) {
+	sb.WriteString(strconv.Itoa(len(v)))
+	sb.WriteByte(':')
+	sb.WriteString(v)
+}
+
+// keyTuple renders row's declared-key values as one map key.
+func (o *Overlay) keyTuple(kcols []string, row []string) string {
+	var sb strings.Builder
+	for _, k := range kcols {
+		appendKeySegment(&sb, row[o.byName[k]])
+	}
+	return sb.String()
+}
+
+// newArena builds an arena owning added, indexing the tail by key tuple
+// when the table declares a key. O(len(added)) — paid on branch and
+// rebuild, never on the linear insert chain.
+func (o *Overlay) newArena(added [][]string) *arena {
+	ar := &arena{tip: len(added)}
+	if kcols := o.base.Key(); len(kcols) > 0 {
+		ar.keys = make(map[string]int, len(added))
+		for i, row := range added {
+			ar.keys[o.keyTuple(kcols, row)] = i
+		}
+	}
+	return ar
+}
+
+// shiftedKeys derives the key index for a tail rebuilt by dropping the
+// slots listed in di (sorted ascending; drop is the same set as a map)
+// from this overlay's view: surviving entries keep their interned tuple
+// strings and shift down past the dropped slots. One pass of re-hashing
+// instead of re-rendering every tuple — the difference between a point
+// DELETE costing one map pass and one string build per pending row.
+func (o *Overlay) shiftedKeys(drop map[int]bool, di []int) map[string]int {
+	if o.ar == nil || o.ar.keys == nil {
+		return nil
+	}
+	keys := make(map[string]int, len(o.ar.keys))
+	for kt, slot := range o.ar.keys {
+		if slot >= len(o.added) || drop[slot] {
+			continue
+		}
+		keys[kt] = slot - sort.SearchInts(di, slot)
+	}
+	return keys
+}
+
+// tailKeyAt returns the slot of the live appended row holding the key
+// tuple kt, or -1. A view of length len(o.added) ignores arena entries
+// claimed beyond it (newer versions of the lineage). The lookup takes
+// the arena mutex: lock-free snapshot readers reach it through
+// matchAdded (point Count/Query) while the lineage tip may be claiming
+// a slot — and a claim writes the shared map, so an unguarded read
+// would be a map race, not just a stale value. The critical section is
+// one map probe; readers still never wait on a statement, only on
+// another O(1) lookup or claim.
+func (o *Overlay) tailKeyAt(kt string) int {
+	if o.ar == nil || o.ar.keys == nil {
+		return -1
+	}
+	o.ar.mu.Lock()
+	idx, ok := o.ar.keys[kt]
+	o.ar.mu.Unlock()
+	if ok && idx < len(o.added) {
+		return idx
+	}
+	return -1
 }
 
 // keyConflict reports whether row's values in the declared key columns
@@ -147,7 +245,9 @@ func (o *Overlay) derive(added [][]string, deleted *wah.Bitmap) *Overlay {
 // key–FK join in particular) and ValidateKey rely on declared keys being
 // real, so the DML write path must not be a hole that lets duplicates
 // in. Cost per call: one dictionary EqScan + compressed AND per key
-// column, plus a scan of the appended tail.
+// column, plus one lookup in the arena's key index of the appended tail
+// — independent of how many rows are pending, which is what keeps a
+// sustained keyed-INSERT stream amortized O(1) per statement.
 func (o *Overlay) keyConflict(row []string) (bool, error) {
 	key := o.base.Key()
 	if len(key) == 0 {
@@ -160,19 +260,7 @@ func (o *Overlay) keyConflict(row []string) (bool, error) {
 	if hit {
 		return true, nil
 	}
-	for _, a := range o.added {
-		same := true
-		for _, k := range key {
-			if a[o.byName[k]] != row[o.byName[k]] {
-				same = false
-				break
-			}
-		}
-		if same {
-			return true, nil
-		}
-	}
-	return false, nil
+	return o.tailKeyAt(o.keyTuple(key, row)) >= 0, nil
 }
 
 // baseKeyMatch reports whether any base row not masked out by del holds
@@ -220,11 +308,14 @@ func (o *Overlay) Insert(row []string) (*Overlay, error) {
 		o.ar.mu.Lock()
 		if o.ar.tip == len(o.added) && cap(o.added) > len(o.added) {
 			// This overlay is the tip of its lineage and the backing array
-			// has room: claim the next slot in place. Older views never
-			// read past their own length, so the write is invisible to
-			// them.
+			// has room: claim the next slot in place, recording the row's
+			// key tuple in the shared index. Older views never read past
+			// their own length, so both writes are invisible to them.
 			n.added = append(o.added, row)
 			n.ar = o.ar
+			if o.ar.keys != nil {
+				o.ar.keys[o.keyTuple(o.base.Key(), row)] = len(o.added)
+			}
 			o.ar.tip++
 			o.ar.mu.Unlock()
 			return n, nil
@@ -233,11 +324,12 @@ func (o *Overlay) Insert(row []string) (*Overlay, error) {
 	}
 	// First insert of a lineage, a full backing array, or a branch (DML
 	// deriving from a non-tip version, e.g. after rollback): copy into a
-	// fresh array with doubling headroom, owned by a new arena.
+	// fresh array with doubling headroom, owned by a new arena with a
+	// rebuilt key index.
 	n.added = make([][]string, len(o.added), 2*(len(o.added)+1))
 	copy(n.added, o.added)
 	n.added = append(n.added, row)
-	n.ar = &arena{tip: len(n.added)}
+	n.ar = o.newArena(n.added)
 	return n, nil
 }
 
@@ -268,9 +360,69 @@ func (o *Overlay) liveBaseMatches(pred expr.Node) (*wah.Bitmap, error) {
 	return wah.AndNot(mask, o.deleted), nil
 }
 
+// pointKeyTuple reports whether pred is a point predicate on the
+// declared key — a conjunction of exact-match equality comparisons, one
+// per key column and nothing else — and if so returns the key tuple it
+// pins. A literal that parses as an integer disqualifies its comparison:
+// predicate equality is numeric there ('07' matches '7'), wider than the
+// exact string identity the key index stores.
+func (o *Overlay) pointKeyTuple(pred expr.Node) (string, bool) {
+	kcols := o.base.Key()
+	if pred == nil || len(kcols) == 0 || o.ar == nil || o.ar.keys == nil {
+		return "", false
+	}
+	eqs := make(map[string]string, len(kcols))
+	if !collectExactEqs(pred, eqs) || len(eqs) != len(kcols) {
+		return "", false
+	}
+	var sb strings.Builder
+	for _, k := range kcols {
+		v, ok := eqs[k]
+		if !ok {
+			return "", false
+		}
+		appendKeySegment(&sb, v)
+	}
+	return sb.String(), true
+}
+
+// collectExactEqs walks an AND-only tree of exact-match equality leaves
+// into out (column -> literal), reporting false on any other shape.
+func collectExactEqs(n expr.Node, out map[string]string) bool {
+	switch x := n.(type) {
+	case *expr.Comparison:
+		if x.Op != expr.OpEq {
+			return false
+		}
+		if _, err := strconv.ParseInt(x.Literal, 10, 64); err == nil {
+			// Numeric equality: '7' also matches '07'; the index cannot
+			// answer that.
+			return false
+		}
+		if _, dup := out[x.Column]; dup {
+			return false
+		}
+		out[x.Column] = x.Literal
+		return true
+	case *expr.Logical:
+		return x.IsAnd && collectExactEqs(x.L, out) && collectExactEqs(x.R, out)
+	}
+	return false
+}
+
 // matchAdded evaluates pred row-wise over the appended tail, returning
-// matching indices (all indices for nil pred).
+// matching indices (all indices for nil pred). A point predicate on the
+// declared key short-circuits to one lookup in the arena's key index —
+// the shape a sustained keyed write stream's DELETEs and UPDATEs take —
+// so those statements stay amortized O(1) instead of rescanning the
+// pending tail.
 func (o *Overlay) matchAdded(pred expr.Node) ([]int, error) {
+	if kt, ok := o.pointKeyTuple(pred); ok {
+		if idx := o.tailKeyAt(kt); idx >= 0 {
+			return []int{idx}, nil
+		}
+		return nil, nil
+	}
 	idx := make([]int, 0, len(o.added))
 	for i, row := range o.added {
 		if pred == nil {
@@ -318,21 +470,33 @@ func (o *Overlay) Delete(condition string) (*Overlay, uint64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	added := o.added
-	if len(addedHit) > 0 {
-		removed += uint64(len(addedHit))
-		added = make([][]string, 0, len(o.added)-len(addedHit))
-		drop := make(map[int]bool, len(addedHit))
-		for _, i := range addedHit {
-			drop[i] = true
-		}
-		for i, row := range o.added {
-			if !drop[i] {
-				added = append(added, row)
-			}
+	if len(addedHit) == 0 {
+		// The appended tail is untouched: carry the arena forward so the
+		// lineage's next INSERT still extends in place.
+		return o.derive(deleted), removed, nil
+	}
+	// Dropped appended rows force a tail rebuild (views are prefixes of a
+	// shared array, so a gap cannot be represented in place). Built with
+	// doubling headroom and a shifted — not re-rendered — key index, the
+	// rebuild is one pass over the tail.
+	removed += uint64(len(addedHit))
+	drop := make(map[int]bool, len(addedHit))
+	for _, i := range addedHit {
+		drop[i] = true
+	}
+	keep := len(o.added) - len(addedHit)
+	added := make([][]string, 0, 2*(keep+1))
+	for i, row := range o.added {
+		if !drop[i] {
+			added = append(added, row)
 		}
 	}
-	return o.derive(added, deleted), removed, nil
+	n := &Overlay{base: o.base, byName: o.byName, added: added, deleted: deleted, parallelism: o.parallelism}
+	n.ar = &arena{tip: len(added), keys: o.shiftedKeys(drop, addedHit)}
+	if deleted != nil {
+		n.nDeleted = deleted.Count()
+	}
+	return n, removed, nil
 }
 
 // Update returns an overlay with column set to value on every row
@@ -359,10 +523,10 @@ func (o *Overlay) Update(column, value, condition string) (*Overlay, uint64, err
 	}
 	changed := hit.Count() + uint64(len(addedHit))
 	if changed == 0 {
-		return o.derive(o.added, o.deleted), 0, nil
+		return o.derive(o.deleted), 0, nil
 	}
 
-	added := make([][]string, 0, len(o.added)+int(hit.Count()))
+	added := make([][]string, 0, 2*(len(o.added)+int(hit.Count())+1))
 	rewrite := make(map[int]bool, len(addedHit))
 	for _, i := range addedHit {
 		rewrite[i] = true
@@ -401,8 +565,9 @@ func (o *Overlay) Update(column, value, condition string) (*Overlay, uint64, err
 	// with untouched rows. Check each rewritten row's new key tuple —
 	// against the other rewritten rows, the surviving base (the rewritten
 	// base rows' old selves are excluded via the deletion mask), and the
-	// unchanged tail — at O(changed × key columns) like INSERT's check,
-	// instead of rebuilding and re-validating the whole table.
+	// unchanged tail via the arena's key index — at O(changed × key
+	// columns) like INSERT's check, instead of rebuilding and
+	// re-validating the whole table.
 	isKey := false
 	for _, k := range o.base.Key() {
 		if k == column {
@@ -412,14 +577,6 @@ func (o *Overlay) Update(column, value, condition string) (*Overlay, uint64, err
 	}
 	if isKey && changed > 0 {
 		kcols := o.base.Key()
-		tuple := func(row []string) string {
-			var sb strings.Builder
-			for _, k := range kcols {
-				sb.WriteString(row[o.byName[k]])
-				sb.WriteByte(0)
-			}
-			return sb.String()
-		}
 		keyErr := func() error {
 			return fmt.Errorf("delta: UPDATE %s violates key %v", o.Name(), kcols)
 		}
@@ -428,11 +585,15 @@ func (o *Overlay) Update(column, value, condition string) (*Overlay, uint64, err
 			if i < len(o.added) && !rewrite[i] {
 				continue
 			}
-			kt := tuple(row)
+			kt := o.keyTuple(kcols, row)
 			if seen[kt] {
 				return nil, 0, keyErr()
 			}
 			seen[kt] = true
+			if idx := o.tailKeyAt(kt); idx >= 0 && !rewrite[idx] {
+				// An untouched appended row already holds this tuple.
+				return nil, 0, keyErr()
+			}
 			inBase, err := o.baseKeyMatch(kcols, row, deleted)
 			if err != nil {
 				return nil, 0, err
@@ -441,13 +602,36 @@ func (o *Overlay) Update(column, value, condition string) (*Overlay, uint64, err
 				return nil, 0, keyErr()
 			}
 		}
-		for i, row := range o.added {
-			if !rewrite[i] && seen[tuple(row)] {
-				return nil, 0, keyErr()
+	}
+	n := &Overlay{base: o.base, byName: o.byName, added: added, deleted: deleted, parallelism: o.parallelism}
+	if deleted != nil {
+		n.nDeleted = deleted.Count()
+	}
+	if isKey {
+		// Rewritten tuples changed: re-render the whole index.
+		n.ar = o.newArena(added)
+		return n, changed, nil
+	}
+	// A non-key UPDATE leaves every row's key tuple and slot unchanged
+	// (rewrites are in place, re-appended base rows extend the tail), so
+	// the index carries over with only the new tail entries rendered.
+	ar := &arena{tip: len(added)}
+	if kcols := o.base.Key(); len(kcols) > 0 {
+		keys := make(map[string]int, len(added))
+		if o.ar != nil && o.ar.keys != nil {
+			for kt, slot := range o.ar.keys {
+				if slot < len(o.added) {
+					keys[kt] = slot
+				}
 			}
 		}
+		for i := len(o.added); i < len(added); i++ {
+			keys[o.keyTuple(kcols, added[i])] = i
+		}
+		ar.keys = keys
 	}
-	return o.derive(added, deleted), changed, nil
+	n.ar = ar
+	return n, changed, nil
 }
 
 // Count returns the number of merged rows satisfying pred (nil = all)

@@ -499,3 +499,126 @@ func TestWithNamePreservesDelta(t *testing.T) {
 		t.Fatalf("flushed renamed table = %s/%d rows", tab.Name(), tab.NumRows())
 	}
 }
+
+// keyedBase builds a keyed K,V table with rows a..c for key-index tests.
+func keyedBase(t *testing.T) *colstore.Table {
+	t.Helper()
+	tb, err := colstore.NewTableBuilder("kv", []string{"K", "V"}, []string{"K"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][]string{{"a", "1"}, {"b", "2"}, {"c", "3"}} {
+		tb.AppendRow(r)
+	}
+	base, err := tb.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+// The arena's key index must honor view lengths across branches: after a
+// rollback to an older version, keys claimed only by the abandoned newer
+// versions are free again, while keys within the rolled-back view still
+// conflict. This is the branch-after-rollback contract of the amortized
+// keyConflict.
+func TestKeyIndexBranchAfterRollback(t *testing.T) {
+	o := Wrap(keyedBase(t), 1)
+	v1, err := o.Insert([]string{"d", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := v1.Insert([]string{"e", "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "Rollback" to v1: v2's key 'e' lives only beyond v1's view of the
+	// shared arena and must not conflict there.
+	branch, err := v1.Insert([]string{"e", "50"})
+	if err != nil {
+		t.Fatalf("key abandoned by rollback still conflicts: %v", err)
+	}
+	// Keys within the rolled-back view still conflict on the branch.
+	if _, err := branch.Insert([]string{"d", "40"}); err == nil {
+		t.Fatal("duplicate of retained key accepted on branch")
+	}
+	if _, err := branch.Insert([]string{"a", "9"}); err == nil {
+		t.Fatal("duplicate of base key accepted on branch")
+	}
+	// Both lineages stay internally consistent and flush to valid keys.
+	for name, ov := range map[string]*Overlay{"abandoned": v2, "branch": branch} {
+		tab, err := ov.Table()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := tab.ValidateKey(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if tab.NumRows() != 5 {
+			t.Fatalf("%s: rows = %d, want 5", name, tab.NumRows())
+		}
+	}
+	// The abandoned tip's own view still sees its key.
+	if _, err := v2.Insert([]string{"e", "51"}); err == nil {
+		t.Fatal("duplicate key accepted on abandoned tip")
+	}
+}
+
+// A base-only DELETE (or no-op UPDATE) carries the append arena forward:
+// the next INSERT of the lineage extends the shared backing array in
+// place instead of copying the pending tail.
+func TestDeriveCarriesArena(t *testing.T) {
+	o := Wrap(keyedBase(t), 1)
+	var err error
+	for i := 0; i < 10; i++ {
+		if o, err = o.Insert([]string{fmt.Sprintf("n%02d", i), "v"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	del, n, err := o.Delete("K = 'a'")
+	if err != nil || n != 1 {
+		t.Fatalf("Delete: n=%d err=%v", n, err)
+	}
+	if del.ar != o.ar {
+		t.Fatal("base-only Delete severed the append arena")
+	}
+	ins, err := del.Insert([]string{"x", "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.ar != o.ar {
+		t.Fatal("insert after base-only Delete copied the tail (new arena)")
+	}
+	if &ins.added[0] != &o.added[0] {
+		t.Fatal("insert after base-only Delete reallocated the backing array")
+	}
+	// A key freed by the DELETE is insertable, and lands in the index.
+	re, err := ins.Insert([]string{"a", "back"})
+	if err != nil {
+		t.Fatalf("re-insert of base-deleted key rejected: %v", err)
+	}
+	if _, err := re.Insert([]string{"a", "again"}); err == nil {
+		t.Fatal("duplicate of re-inserted key accepted")
+	}
+	// Deleting an appended row rebuilds the tail with a fresh arena and a
+	// rebuilt index: its key frees, the others still conflict.
+	cut, n, err := re.Delete("K = 'n03'")
+	if err != nil || n != 1 {
+		t.Fatalf("Delete appended: n=%d err=%v", n, err)
+	}
+	if cut.ar == re.ar {
+		t.Fatal("appended-row Delete must own a fresh arena")
+	}
+	if _, err := cut.Insert([]string{"n03", "v2"}); err != nil {
+		t.Fatalf("re-insert of tail-deleted key rejected: %v", err)
+	}
+	if _, err := cut.Insert([]string{"n04", "v2"}); err == nil {
+		t.Fatal("duplicate of surviving tail key accepted after rebuild")
+	}
+	assertMerged(t, cut, [][]string{
+		{"b", "2"}, {"c", "3"},
+		{"n00", "v"}, {"n01", "v"}, {"n02", "v"}, {"n04", "v"},
+		{"n05", "v"}, {"n06", "v"}, {"n07", "v"}, {"n08", "v"}, {"n09", "v"},
+		{"x", "v"}, {"a", "back"},
+	})
+}

@@ -6,6 +6,7 @@ package repl
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -71,15 +72,18 @@ const helpText = `meta commands:
   \load <file.csv> <table>    load a CSV file
   \export <table> <file.csv>  write a table as CSV
   \save <dir>                 persist the database
-  \history                    executed-operator log
+  \history [n]                last n executed operators (default 20, 0 = all)
   \rollback <version>         restore an earlier schema version
+  \memstats                   retention / delta-overlay memory gauges
   \validate                   check table invariants
   \advise <table>             discover FDs and suggest decompositions
   \quit                       exit
 operators: CREATE/DROP/RENAME/COPY TABLE, UNION TABLES, PARTITION TABLE,
 DECOMPOSE TABLE, MERGE TABLES, ADD/DROP/RENAME COLUMN
 DML: INSERT INTO t VALUES (...), DELETE FROM t [WHERE ...],
-UPDATE t SET c = 'v' [WHERE ...]`
+UPDATE t SET c = 'v' [WHERE ...]
+retention: PRUNE KEEP n retires all but the current version's n
+predecessors (n+1 versions stay rollback-able)`
 
 func (rp *Repl) meta(line string) (quit bool) {
 	db, out := rp.DB, rp.Out
@@ -192,7 +196,24 @@ func (rp *Repl) meta(line string) (quit bool) {
 			fmt.Fprintln(out, "saved to", fields[1])
 		}
 	case `\history`:
-		for _, h := range db.History() {
+		// Paged by default: with DML journaled per statement the full log
+		// is O(statements), far too long (and too slow to copy) to dump
+		// on a busy catalog. \history 0 still prints everything.
+		limit := 20
+		if len(fields) > 1 {
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				fmt.Fprintln(out, "usage: \\history [n]   (n = 0 shows all)")
+				return false
+			}
+			limit = n
+		}
+		snap := db.Snapshot()
+		tail := snap.HistoryTail(limit)
+		if elided := snap.HistoryLen() - len(tail); elided > 0 {
+			fmt.Fprintf(out, "  ... %d earlier entries (\\history 0 shows all)\n", elided)
+		}
+		for _, h := range tail {
 			fmt.Fprintf(out, "  v%-3d %-40s %v\n", h.Version, h.Op, h.Elapsed)
 		}
 	case `\rollback`:
@@ -206,10 +227,23 @@ func (rp *Repl) meta(line string) (quit bool) {
 			return false
 		}
 		if err := db.Rollback(v); err != nil {
+			var pe *cods.VersionPrunedError
+			if errors.As(err, &pe) {
+				// Spell the retained window out for the operator: the
+				// requested version existed but retention retired it.
+				fmt.Fprintf(out, "error: schema version %d was pruned by retention; rollback now reaches versions %d..%d\n",
+					pe.Version, pe.OldestRetained, pe.Newest)
+				return false
+			}
 			fmt.Fprintln(out, "error:", err)
 			return false
 		}
 		fmt.Fprintf(out, "rolled back to schema version %d (now at version %d)\n", v, db.Version())
+	case `\memstats`:
+		ms := db.MemStats()
+		fmt.Fprintf(out, "retained versions:  %d (oldest rollback target: v%d)\n", ms.RetainedVersions, ms.OldestRetainedVersion)
+		fmt.Fprintf(out, "pending delta rows: %d\n", ms.PendingRows)
+		fmt.Fprintf(out, "compactions:        %d\n", ms.Compactions)
 	case `\validate`:
 		if err := db.Validate(); err != nil {
 			fmt.Fprintln(out, "error:", err)

@@ -175,3 +175,59 @@ func TestRunLoopQuitAndPrompt(t *testing.T) {
 		t.Fatal("input after \\quit was executed")
 	}
 }
+
+// \history pages from the tail by default; \history 0 prints the full
+// log; a bad argument is a usage error.
+func TestHistoryPaging(t *testing.T) {
+	rp, out := newRepl(t)
+	var stmts []string
+	for i := 0; i < 25; i++ {
+		stmts = append(stmts, "COPY TABLE R TO C", "DROP TABLE C")
+	}
+	runLines(t, rp, out, stmts...)
+
+	got := runLines(t, rp, out, `\history`)
+	if !strings.Contains(got, "... 30 earlier entries") {
+		t.Fatalf("default history page missing elision note: %s", got)
+	}
+	if strings.Count(got, "\n") > 25 {
+		t.Fatalf("default history page too long:\n%s", got)
+	}
+	got = runLines(t, rp, out, `\history 2`)
+	if !strings.Contains(got, "... 48 earlier entries") || strings.Count(got, "v") < 2 {
+		t.Fatalf("history 2: %s", got)
+	}
+	got = runLines(t, rp, out, `\history 0`)
+	if strings.Contains(got, "earlier entries") || strings.Count(got, "COPY TABLE R TO C") != 25 {
+		t.Fatalf("history 0 should show everything: %s", got)
+	}
+	got = runLines(t, rp, out, `\history nope`)
+	if !strings.Contains(got, "usage:") {
+		t.Fatalf("bad history arg: %s", got)
+	}
+}
+
+// \rollback to a pruned version explains the retained window; \memstats
+// shows the gauges moving.
+func TestRollbackPrunedAndMemstats(t *testing.T) {
+	rp, out := newRepl(t)
+	runLines(t, rp, out,
+		"INSERT INTO R VALUES ('New', 'Welding', '1 Pier St')",
+		"INSERT INTO R VALUES ('New2', 'Welding', '2 Pier St')",
+		"PRUNE KEEP 1")
+	got := runLines(t, rp, out, `\rollback 0`)
+	if !strings.Contains(got, "pruned by retention") || !strings.Contains(got, "rollback now reaches versions 1..2") {
+		t.Fatalf("pruned rollback message: %s", got)
+	}
+	got = runLines(t, rp, out, `\memstats`)
+	for _, want := range []string{"retained versions:  2", "oldest rollback target: v1", "pending delta rows: 2"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("memstats missing %q: %s", want, got)
+		}
+	}
+	// A never-existed version keeps the plain error path.
+	got = runLines(t, rp, out, `\rollback 99`)
+	if !strings.Contains(got, "no schema version 99") {
+		t.Fatalf("never-existed rollback: %s", got)
+	}
+}

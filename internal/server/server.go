@@ -14,8 +14,11 @@
 //	POST /exec       execute SMO or DML statements (one op or a script)
 //	POST /checkpoint snapshot a durable catalog and truncate its WAL
 //	GET  /schema     catalog: schema version + every table's shape
+//	GET  /history    executed-operator log, most recent first (?limit=n)
 //	GET  /healthz    liveness probe
-//	GET  /stats      request/error/latency counters per endpoint
+//	GET  /stats      request/error/latency counters per endpoint, plus
+//	                 the write path's memory gauges (retained versions,
+//	                 pending overlay rows, compaction count)
 //
 // The server bounds concurrently served requests (Config.MaxInFlight);
 // excess requests queue until a slot frees or the client gives up, so a
@@ -35,6 +38,7 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -118,6 +122,7 @@ func New(db *cods.DB, cfg Config) *Server {
 	s.route("GET /healthz", s.handleHealthz, false)
 	s.route("GET /stats", s.handleStats, false)
 	s.route("GET /schema", s.handleSchema, true)
+	s.route("GET /history", s.handleHistory, true)
 	s.route("POST /query", s.handleQuery, true)
 	s.route("POST /exec", s.handleExec, true)
 	s.route("POST /checkpoint", s.handleCheckpoint, true)
@@ -308,6 +313,54 @@ func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) *httpError
 			})
 		}
 		resp.Tables = append(resp.Tables, st)
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// --- /history ---
+
+// HistoryEntry is one executed operator in GET /history.
+type HistoryEntry struct {
+	Version   int     `json:"version"`
+	Op        string  `json:"op"`
+	Kind      string  `json:"kind"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// HistoryResponse is GET /history's body: the most recent entries,
+// newest first, plus the full log length so clients can tell how much
+// was elided.
+type HistoryResponse struct {
+	Version int            `json:"version"`
+	Total   int            `json:"total"`
+	Entries []HistoryEntry `json:"entries"`
+}
+
+// handleHistory serves the tail of the executed-operator log. The
+// default page is 50 entries; ?limit=n asks for more (or fewer). Cost is
+// O(page), not O(statements) — DML creates a version per statement, so
+// the full log can be arbitrarily long on a write-heavy catalog.
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) *httpError {
+	limit := 50
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n <= 0 {
+			return errf(http.StatusBadRequest, "limit must be a positive integer, got %q", q)
+		}
+		limit = n
+	}
+	snap := s.db.Snapshot()
+	tail := snap.HistoryTail(limit)
+	resp := HistoryResponse{Version: snap.Version(), Total: snap.HistoryLen(), Entries: []HistoryEntry{}}
+	for i := len(tail) - 1; i >= 0; i-- {
+		h := tail[i]
+		resp.Entries = append(resp.Entries, HistoryEntry{
+			Version:   h.Version,
+			Op:        h.Op,
+			Kind:      h.Kind,
+			ElapsedMS: float64(h.Elapsed.Microseconds()) / 1000,
+		})
 	}
 	writeJSON(w, http.StatusOK, resp)
 	return nil
@@ -511,22 +564,42 @@ type EndpointStats struct {
 	LastError bool    `json:"last_error"`
 }
 
+// MemoryStats are the write path's memory-pressure gauges in GET /stats:
+// how many schema versions retention keeps for Rollback, how many delta-
+// overlay rows await compaction, and how many compactions have run. They
+// come from DB.MemStats, which is lock-free, so the probe answers even
+// while an evolution or checkpoint holds the write path.
+type MemoryStats struct {
+	RetainedVersions      int    `json:"retained_versions"`
+	OldestRetainedVersion int    `json:"oldest_retained_version"`
+	PendingRows           uint64 `json:"pending_rows"`
+	Compactions           uint64 `json:"compactions"`
+}
+
 // StatsResponse is GET /stats's body.
 type StatsResponse struct {
 	UptimeMS      float64                  `json:"uptime_ms"`
 	SchemaVersion int                      `json:"schema_version"`
 	InFlight      int64                    `json:"in_flight"`
 	MaxInFlight   int                      `json:"max_in_flight"`
+	Memory        MemoryStats              `json:"memory"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) *httpError {
+	ms := s.db.MemStats()
 	resp := StatsResponse{
 		UptimeMS:      float64(time.Since(s.start).Microseconds()) / 1000,
 		SchemaVersion: s.db.Version(),
 		InFlight:      s.inFlight.Load(),
 		MaxInFlight:   s.cfg.MaxInFlight,
-		Endpoints:     make(map[string]EndpointStats, len(s.stats)),
+		Memory: MemoryStats{
+			RetainedVersions:      ms.RetainedVersions,
+			OldestRetainedVersion: ms.OldestRetainedVersion,
+			PendingRows:           ms.PendingRows,
+			Compactions:           ms.Compactions,
+		},
+		Endpoints: make(map[string]EndpointStats, len(s.stats)),
 	}
 	for path, st := range s.stats {
 		n := st.requests.Load()

@@ -783,3 +783,84 @@ func TestExecDML(t *testing.T) {
 		t.Fatalf("unknown table status = %d (%s), want 422", resp.StatusCode, raw)
 	}
 }
+
+// The /stats memory gauges must show the retention and compaction
+// subsystems working: pending rows while an overlay is dirty, zero plus
+// a compaction tick once auto-compaction fires, and a bounded retained
+// version count under Config.RetainVersions.
+func TestStatsMemoryGauges(t *testing.T) {
+	db := cods.Open(cods.Config{RetainVersions: 2, AutoCompactPending: 4})
+	s := New(db, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	postJSON(t, ts.URL+"/exec", ExecRequest{Op: "CREATE TABLE kv (K, V) KEY (K)"})
+	postJSON(t, ts.URL+"/exec", ExecRequest{Op: "INSERT INTO kv VALUES ('a', '1')"})
+	postJSON(t, ts.URL+"/exec", ExecRequest{Op: "INSERT INTO kv VALUES ('b', '2')"})
+
+	var st StatsResponse
+	if resp := getJSON(t, ts.URL+"/stats", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if st.Memory.PendingRows != 2 {
+		t.Fatalf("pending_rows = %d, want 2", st.Memory.PendingRows)
+	}
+	if st.Memory.RetainedVersions == 0 || st.Memory.RetainedVersions > 3 {
+		t.Fatalf("retained_versions = %d, want 1..3", st.Memory.RetainedVersions)
+	}
+
+	// Two more inserts cross the threshold: the overlay compacts.
+	postJSON(t, ts.URL+"/exec", ExecRequest{Op: "INSERT INTO kv VALUES ('c', '3')"})
+	postJSON(t, ts.URL+"/exec", ExecRequest{Op: "INSERT INTO kv VALUES ('d', '4')"})
+	if resp := getJSON(t, ts.URL+"/stats", &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if st.Memory.PendingRows != 0 || st.Memory.Compactions == 0 {
+		t.Fatalf("after threshold: memory = %+v, want 0 pending and >0 compactions", st.Memory)
+	}
+	if st.Memory.OldestRetainedVersion == 0 {
+		t.Fatalf("oldest_retained_version = 0, want pruned forward (memory = %+v)", st.Memory)
+	}
+}
+
+// GET /history pages the executed-operator log from the tail: the
+// default page, an explicit limit, newest first, and a total that counts
+// the whole log.
+func TestHistoryEndpoint(t *testing.T) {
+	_, ts, db := newTestServer(t)
+	stmts := []string{
+		"ADD COLUMN Grade TO emp DEFAULT 'junior'",
+		"INSERT INTO emp VALUES ('dave', 'go', '4 Elm St', 'senior')",
+		"DELETE FROM emp WHERE Employee = 'bob'",
+	}
+	for _, op := range stmts {
+		if _, err := db.Exec(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var hr HistoryResponse
+	if resp := getJSON(t, ts.URL+"/history", &hr); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if hr.Total != 3 || len(hr.Entries) != 3 {
+		t.Fatalf("history = %+v, want 3 entries", hr)
+	}
+	// Newest first, versions descending.
+	if hr.Entries[0].Kind != "DELETE" || hr.Entries[0].Version != 3 || hr.Entries[2].Kind != "ADD COLUMN" {
+		t.Fatalf("history order = %+v", hr.Entries)
+	}
+
+	if resp := getJSON(t, ts.URL+"/history?limit=2", &hr); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if hr.Total != 3 || len(hr.Entries) != 2 || hr.Entries[0].Kind != "DELETE" || hr.Entries[1].Kind != "INSERT" {
+		t.Fatalf("paged history = %+v", hr)
+	}
+
+	for _, bad := range []string{"0", "-3", "x"} {
+		if resp := getJSON(t, ts.URL+"/history?limit="+bad, nil); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("limit=%s status = %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}

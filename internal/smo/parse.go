@@ -2,6 +2,7 @@ package smo
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"unicode"
 )
@@ -27,6 +28,10 @@ import (
 //	INSERT INTO t VALUES ('v1', 'v2', ...)
 //	DELETE FROM t [WHERE <condition>]
 //	UPDATE t SET c = 'v' [WHERE <condition>]
+//
+// plus the retention statement:
+//
+//	PRUNE KEEP n
 //
 // Keywords are case-insensitive; identifiers are case-sensitive.
 func Parse(input string) (Op, error) {
@@ -540,6 +545,20 @@ func (p *opParser) parse() (Op, error) {
 			}
 		}
 		return p.end(op)
+
+	case p.keyword("PRUNE"):
+		if err := p.expectKeyword("KEEP"); err != nil {
+			return nil, err
+		}
+		tok, err := p.ident("version count")
+		if err != nil {
+			return nil, err
+		}
+		keep, err := strconv.Atoi(tok)
+		if err != nil || keep < 0 {
+			return nil, fmt.Errorf("expected a non-negative version count, got %q", tok)
+		}
+		return p.end(Prune{Keep: keep})
 
 	case p.keyword("UPDATE"):
 		table, err := p.ident("table name")

@@ -32,6 +32,8 @@ func TestOpStringRoundTrip(t *testing.T) {
 		Update{Table: "r", Column: "c", Value: "v", Where: "a < '10'"},
 		Update{Table: "r", Column: "c", Value: "it's; fine\nhere"},
 		Update{Table: "r", Column: "c", Value: ""},
+		Prune{Keep: 0},
+		Prune{Keep: 12},
 	}
 	for _, op := range ops {
 		text := op.String()

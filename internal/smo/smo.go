@@ -222,6 +222,22 @@ func (o Update) String() string {
 	return s
 }
 
+// Prune retires rollback snapshots, keeping the current schema version
+// plus its Keep predecessors. Like the DML statements it is not an SMO —
+// it changes no schema and no tuples, only how far back Rollback can
+// reach — but it shares the statement lifecycle (text syntax, Parse
+// round trip, WAL journaling) so operators can bound catalog memory from
+// a script, the REPL, or the HTTP /exec endpoint.
+type Prune struct {
+	// Keep is how many previous versions stay rollback-able.
+	Keep int
+}
+
+// Kind implements Op.
+func (Prune) Kind() string { return "PRUNE" }
+
+func (o Prune) String() string { return fmt.Sprintf("PRUNE KEEP %d", o.Keep) }
+
 // IsDML reports whether op manipulates data (INSERT, DELETE, UPDATE)
 // rather than schema. The engine uses it to route execution through the
 // delta overlay and to skip created/dropped bookkeeping that only schema

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Sustained keyed-write benchmark -> BENCH_writes.json.
+#
+# Runs BenchmarkSustainedKeyedWrites at a fixed statement count (50000 by
+# default: the pending-rows scale the bounded-memory write path is
+# specified against — override with BENCH_WRITES_N) and records ns/op and
+# the reported memory gauges per configuration, so successive PRs
+# accumulate a comparable write-path perf trajectory.
+set -e
+n=${BENCH_WRITES_N:-50000}
+out=$(go test -run=NONE -bench=SustainedKeyedWrites -benchtime="${n}x" cods)
+echo "$out"
+echo "$out" | awk '
+  BEGIN { printf "[" }
+  $1 ~ /^BenchmarkSustainedKeyedWrites\// {
+    split($1, parts, "/")
+    sub(/-[0-9]+$/, "", parts[2])
+    if (found++) printf ","
+    printf "\n  {\"config\": \"%s\", \"statements\": %s, \"ns_per_op\": %s", parts[2], $2, $3
+    for (i = 5; i + 1 <= NF; i += 2) printf ", \"%s\": %s", $(i + 1), $i
+    printf "}"
+  }
+  END { print "\n]" }
+' > BENCH_writes.json
+echo "wrote BENCH_writes.json"
