@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench bench-smoke bench-writes docs-lint serve-smoke ci
+.PHONY: all build vet fmt-check test race bench bench-smoke bench-writes bench-htap docs-lint serve-smoke ci
 
 all: build test
 
@@ -26,7 +26,8 @@ test:
 race:
 	$(GO) test -race cods cods/internal/par cods/internal/evolve \
 		cods/internal/wah cods/internal/colstore cods/internal/colquery \
-		cods/internal/core cods/internal/delta cods/internal/server
+		cods/internal/core cods/internal/delta cods/internal/server \
+		cods/internal/bench
 
 # Every package must carry a package doc comment.
 docs-lint:
@@ -54,4 +55,10 @@ bench-smoke:
 bench-writes:
 	sh scripts/bench_writes.sh
 
-ci: build vet fmt-check test docs-lint serve-smoke race bench bench-smoke bench-writes
+# Mixed HTAP workload (reads + scans + keyed DML + background evolution)
+# on both transports with a generous read-p99 SLO gate, appended to
+# BENCH_htap.json. See BENCHMARKS.md for knobs and methodology.
+bench-htap:
+	sh scripts/bench_htap.sh
+
+ci: build vet fmt-check test docs-lint serve-smoke race bench bench-smoke bench-writes bench-htap

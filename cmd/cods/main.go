@@ -7,7 +7,7 @@
 //
 //	cods [-dir dbdir] [-validate] [-quiet] [script.smo ...]
 //	cods serve [-addr :8344] [-dir dbdir] [-max-inflight N]
-//	           [-retain N] [-autocompact N] [-quiet]
+//	           [-parallelism N] [-retain N] [-autocompact N] [-quiet]
 //
 // With script arguments, each file is executed and the process exits;
 // otherwise an interactive prompt starts. Type \help at the prompt for the
@@ -21,10 +21,9 @@
 // from snapshot plus log. Without -dir the catalog is in-memory only.
 // -retain N bounds memory on write-heavy workloads by keeping only the
 // current schema version plus its N predecessors rollback-able, and
-// -autocompact N folds a
-// table's delta overlay into its base once N rows are pending; GET
-// /stats reports both at work. SIGINT/SIGTERM shut the server down
-// gracefully, draining in-flight requests.
+// -autocompact N folds a table's delta overlay into its base once N rows
+// are pending; GET /stats reports both at work. SIGINT/SIGTERM shut the
+// server down gracefully, draining in-flight requests.
 package main
 
 import (

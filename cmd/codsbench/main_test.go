@@ -1,0 +1,61 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestHTAPEndToEnd drives the real htap entry point — flag parsing, the
+// workload run, the series append, and a passing SLO gate — with a fixed
+// seed and a tiny duration, then asserts the emitted BENCH_htap.json
+// entry carries the documented schema. (The SLO *violation* path calls
+// os.Exit(3) and is exercised by scripts/bench_htap.sh and CI instead.)
+func TestHTAPEndToEnd(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_htap.json")
+	htapMain([]string{
+		"-workload", "e2e", "-rows", "1500", "-workers", "2",
+		"-duration", "150ms", "-smo-interval", "10m", "-seed", "42",
+		"-quiet", "-out", out, "-slo-read-p99", "10s",
+	})
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var series []map[string]any
+	if err := json.Unmarshal(data, &series); err != nil {
+		t.Fatalf("emitted series is not a JSON array: %v", err)
+	}
+	if len(series) != 1 {
+		t.Fatalf("series has %d entries, want 1", len(series))
+	}
+	entry := series[0]
+	if entry["workload"] != "e2e" || entry["transport"] != "inproc" {
+		t.Fatalf("entry identity wrong: %v / %v", entry["workload"], entry["transport"])
+	}
+	for _, field := range []string{
+		"rows", "distinct_keys", "zipf_s", "mix", "workers", "duration_ms",
+		"seed", "classes", "pending_rows", "retained_versions", "compactions",
+	} {
+		if _, ok := entry[field]; !ok {
+			t.Errorf("entry missing documented field %q", field)
+		}
+	}
+	classes, ok := entry["classes"].(map[string]any)
+	if !ok || len(classes) == 0 {
+		t.Fatalf("classes missing or empty: %v", entry["classes"])
+	}
+	for class, v := range classes {
+		cs, ok := v.(map[string]any)
+		if !ok {
+			t.Fatalf("class %q is not an object", class)
+		}
+		for _, field := range []string{"ops", "errors", "ops_per_sec", "p50_ms", "p95_ms", "p99_ms", "max_ms"} {
+			if _, ok := cs[field]; !ok {
+				t.Errorf("class %q missing field %q", class, field)
+			}
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package hdr provides log-bucketed latency histograms for the HTAP
+// workload harness: constant-space recording of operation latencies with
+// bounded relative error, mergeable across workers so per-class
+// percentiles can be fanned in deterministically (internal/par style:
+// each worker owns a histogram, fan-in adds them in worker-index order —
+// addition is associative and commutative, so the merged result is
+// identical at any parallelism).
+//
+// The bucket layout is log-linear, the scheme HdrHistogram popularized:
+// values below 2^subBits nanoseconds get exact unit buckets; above that,
+// every power-of-two range is split into 2^subBits equal sub-buckets, so
+// the relative error of any reported quantile is bounded by 1/2^subBits
+// (~3% at subBits=5) while the whole histogram stays under 2000 buckets
+// regardless of range. Quantiles report a bucket's upper bound (clamped
+// to the recorded min/max), so they never under-estimate a latency.
+package hdr
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+// subBits sets the sub-bucket resolution: 2^subBits sub-buckets per
+// power-of-two range, bounding quantile relative error by 1/2^subBits.
+const subBits = 5
+
+const subCount = 1 << subBits
+const subMask = subCount - 1
+
+// numBuckets spans every representable non-negative int64 nanosecond
+// value: 63 is the highest exponent of a positive int64.
+const numBuckets = (63-subBits+1)<<subBits + subCount
+
+// Histogram records non-negative durations into log-linear buckets. The
+// zero value is not ready to use; call New. A Histogram is not safe for
+// concurrent use — give each worker its own and Add them at fan-in.
+type Histogram struct {
+	counts [numBuckets]int64
+	total  int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// New returns an empty histogram.
+func New() *Histogram {
+	return &Histogram{min: math.MaxInt64}
+}
+
+// bucketOf maps a nanosecond value to its bucket index.
+func bucketOf(ns int64) int {
+	if ns < subCount {
+		return int(ns)
+	}
+	exp := bits.Len64(uint64(ns)) - 1 // 2^exp <= ns < 2^(exp+1), exp >= subBits
+	return (exp-subBits+1)<<subBits + int((ns>>(exp-subBits))&subMask)
+}
+
+// upperBound returns the largest nanosecond value a bucket can hold.
+func upperBound(b int) int64 {
+	if b < subCount {
+		return int64(b)
+	}
+	octave := b >> subBits // >= 1
+	sub := int64(b & subMask)
+	lo := (int64(subCount) + sub) << (octave - 1)
+	width := int64(1) << (octave - 1)
+	return lo + width - 1
+}
+
+// Record adds one latency observation. Negative durations (clock skew)
+// clamp to zero rather than corrupting the layout.
+func (h *Histogram) Record(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketOf(ns)]++
+	h.total++
+	h.sum += ns
+	if ns < h.min {
+		h.min = ns
+	}
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// Add merges other into h (bucket-wise addition). Merging is associative
+// and commutative, so fanning worker histograms in yields the same result
+// in any grouping or order.
+func (h *Histogram) Add(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for i, c := range other.counts {
+		if c != 0 {
+			h.counts[i] += c
+		}
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.total > 0 {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Max returns the largest recorded latency (exact, not bucketed); zero
+// when empty.
+func (h *Histogram) Max() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.max)
+}
+
+// Min returns the smallest recorded latency (exact); zero when empty.
+func (h *Histogram) Min() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.min)
+}
+
+// Mean returns the arithmetic mean of recorded latencies (exact — the
+// sum is tracked outside the buckets); zero when empty.
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.total)
+}
+
+// Quantile returns the latency at quantile q in [0, 1]: the smallest
+// bucket upper bound such that at least ceil(q*Count) observations fall
+// at or below it, clamped into [Min, Max] so q=1 reports the exact
+// maximum and no quantile under-runs the minimum. Quantile is monotonic
+// in q. Returns zero when empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for b := 0; b < numBuckets; b++ {
+		cum += h.counts[b]
+		if cum >= rank {
+			ns := upperBound(b)
+			if ns > h.max {
+				ns = h.max
+			}
+			if ns < h.min {
+				ns = h.min
+			}
+			return time.Duration(ns)
+		}
+	}
+	return time.Duration(h.max) // unreachable: cum reaches total
+}

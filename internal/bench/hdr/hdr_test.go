@@ -1,0 +1,178 @@
+package hdr
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries checks the log-linear layout directly: bucket
+// indexes are monotonic in the value, exact below 2^subBits, and a
+// bucket's upper bound is at most 1/2^subBits above any value it holds —
+// the advertised relative-error bound.
+func TestBucketBoundaries(t *testing.T) {
+	// Exact unit buckets below the sub-bucket threshold.
+	for ns := int64(0); ns < subCount; ns++ {
+		if got := bucketOf(ns); got != int(ns) {
+			t.Fatalf("bucketOf(%d) = %d, want %d (unit bucket)", ns, got, ns)
+		}
+		if ub := upperBound(int(ns)); ub != ns {
+			t.Fatalf("upperBound(%d) = %d, want %d", ns, ub, ns)
+		}
+	}
+	// Around every power of two: indexes monotonic, bounds tight.
+	var probes []int64
+	for exp := 0; exp < 62; exp++ {
+		probes = append(probes, 1<<exp-1, 1<<exp, 1<<exp+1)
+	}
+	slices.Sort(probes)
+	prev := -1
+	for _, ns := range probes {
+		b := bucketOf(ns)
+		if b < prev {
+			t.Fatalf("bucketOf(%d) = %d < previous bucket %d: not monotonic", ns, b, prev)
+		}
+		prev = b
+		ub := upperBound(b)
+		if ub < ns {
+			t.Fatalf("upperBound(bucketOf(%d)) = %d < value", ns, ub)
+		}
+		if ns >= subCount && ub-ns > ns>>subBits {
+			t.Fatalf("bucket error for %d: upper bound %d exceeds %d%% relative error",
+				ns, ub, 100/subCount)
+		}
+	}
+	// The largest representable value must not index out of range.
+	if b := bucketOf(math.MaxInt64); b < 0 || b >= numBuckets {
+		t.Fatalf("bucketOf(MaxInt64) = %d, out of [0, %d)", b, numBuckets)
+	}
+}
+
+// TestSingleValueQuantile records one value and checks every quantile
+// reports it within the bucket error bound (and exactly for min/max).
+func TestSingleValueQuantile(t *testing.T) {
+	for _, ns := range []int64{0, 1, 17, 31, 32, 33, 1000, 123456, 5e9} {
+		h := New()
+		h.Record(time.Duration(ns))
+		for _, q := range []float64{0, 0.5, 0.99, 1} {
+			got := int64(h.Quantile(q))
+			if got != ns {
+				t.Errorf("Quantile(%v) after Record(%d) = %d, want exact (single value clamps to min/max)", q, ns, got)
+			}
+		}
+		if h.Min() != time.Duration(ns) || h.Max() != time.Duration(ns) || h.Mean() != time.Duration(ns) {
+			t.Errorf("min/max/mean after Record(%d): %v %v %v", ns, h.Min(), h.Max(), h.Mean())
+		}
+	}
+}
+
+// TestMergeAssociativity splits one stream across three histograms and
+// checks (a+b)+c, a+(b+c) and the unsplit histogram agree bucket-for-
+// bucket and on every derived statistic.
+func TestMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	one := New()
+	parts := []*Histogram{New(), New(), New()}
+	for i := 0; i < 30_000; i++ {
+		d := time.Duration(rng.Int63n(int64(3 * time.Second)))
+		one.Record(d)
+		parts[rng.Intn(3)].Record(d)
+	}
+
+	ab := New()
+	ab.Add(parts[0])
+	ab.Add(parts[1])
+	abc := New()
+	abc.Add(ab)
+	abc.Add(parts[2])
+
+	bc := New()
+	bc.Add(parts[1])
+	bc.Add(parts[2])
+	acb := New()
+	acb.Add(parts[0])
+	acb.Add(bc)
+
+	for name, m := range map[string]*Histogram{"(a+b)+c": abc, "a+(b+c)": acb} {
+		if m.counts != one.counts {
+			t.Fatalf("%s: bucket counts differ from unsplit histogram", name)
+		}
+		if m.Count() != one.Count() || m.Min() != one.Min() || m.Max() != one.Max() || m.Mean() != one.Mean() {
+			t.Fatalf("%s: stats differ: count %d/%d min %v/%v max %v/%v mean %v/%v",
+				name, m.Count(), one.Count(), m.Min(), one.Min(), m.Max(), one.Max(), m.Mean(), one.Mean())
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+			if m.Quantile(q) != one.Quantile(q) {
+				t.Fatalf("%s: Quantile(%v) = %v, unsplit %v", name, q, m.Quantile(q), one.Quantile(q))
+			}
+		}
+	}
+}
+
+// TestQuantileMonotonic checks Quantile never decreases as q grows, stays
+// within [Min, Max], and lands near the true order statistic of the
+// recorded stream.
+func TestQuantileMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := New()
+	for i := 0; i < 10_000; i++ {
+		// Mixed magnitudes: microseconds to seconds, heavy low tail.
+		ns := rng.Int63n(1000) * (1 << uint(rng.Intn(21)))
+		h.Record(time.Duration(ns))
+	}
+	prev := time.Duration(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%v) = %v < Quantile at previous q (%v)", q, v, prev)
+		}
+		if v < h.Min() || v > h.Max() {
+			t.Fatalf("Quantile(%v) = %v outside [%v, %v]", q, v, h.Min(), h.Max())
+		}
+		prev = v
+	}
+}
+
+// TestQuantileAccuracy checks reported quantiles against exact order
+// statistics: never below the true value, never more than the bucket
+// width above it.
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	h := New()
+	values := make([]int64, 0, 20_000)
+	for i := 0; i < 20_000; i++ {
+		ns := rng.Int63n(int64(time.Second))
+		values = append(values, ns)
+		h.Record(time.Duration(ns))
+	}
+	slices.Sort(values)
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		rank := int(math.Ceil(q*float64(len(values)))) - 1
+		exact := values[rank]
+		got := int64(h.Quantile(q))
+		if got < exact {
+			t.Errorf("Quantile(%v) = %d below exact order statistic %d", q, got, exact)
+		}
+		if slack := exact >> subBits; got > exact+slack+1 {
+			t.Errorf("Quantile(%v) = %d exceeds exact %d by more than the bucket width %d", q, got, exact, slack)
+		}
+	}
+}
+
+// TestEmptyAndNegative covers the degenerate inputs.
+func TestEmptyAndNegative(t *testing.T) {
+	h := New()
+	if h.Count() != 0 || h.Quantile(0.99) != 0 || h.Max() != 0 || h.Min() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Record(-5 * time.Second) // clock skew clamps to zero
+	if h.Count() != 1 || h.Max() != 0 || h.Quantile(1) != 0 {
+		t.Fatalf("negative record should clamp to zero: count %d max %v", h.Count(), h.Max())
+	}
+	h.Add(nil) // merging nil is a no-op
+	if h.Count() != 1 {
+		t.Fatal("Add(nil) changed the histogram")
+	}
+}

@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyHTAP is a deterministic, fast HTAP spec for tests: fixed seed,
+// small table, short measured window, one immediate SMO cycle.
+func tinyHTAP() HTAPConfig {
+	return HTAPConfig{
+		Name:        "test-tiny",
+		Rows:        2_000,
+		ReadPct:     60,
+		ScanPct:     10,
+		WritePct:    30,
+		SMOInterval: time.Hour, // fires once at start, never again
+		Workers:     2,
+		Duration:    200 * time.Millisecond,
+		Seed:        7,
+		Retain:      4,
+		AutoCompact: 1024,
+	}
+}
+
+// TestRunHTAPInproc runs the full driver end to end in-process and
+// checks the result is internally consistent: every mix class plus smo
+// appears, ops are positive, no operation errored, percentiles are
+// ordered, and the memory gauges reflect the configured retention.
+func TestRunHTAPInproc(t *testing.T) {
+	res, err := RunHTAP(tinyHTAP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transport != TransportInproc {
+		t.Fatalf("transport = %q, want %q", res.Transport, TransportInproc)
+	}
+	for _, class := range []string{ClassRead, ClassScan, ClassWrite, ClassSMO} {
+		cs, ok := res.Classes[class]
+		if !ok {
+			t.Fatalf("class %q missing from result", class)
+		}
+		if cs.Ops <= 0 {
+			t.Fatalf("class %q: ops = %d, want > 0", class, cs.Ops)
+		}
+		if cs.Errors != 0 {
+			t.Fatalf("class %q: %d operation errors", class, cs.Errors)
+		}
+		if cs.P50MS > cs.P95MS || cs.P95MS > cs.P99MS || cs.P99MS > cs.MaxMS {
+			t.Fatalf("class %q: percentiles not monotonic: %+v", class, cs)
+		}
+	}
+	if res.Classes[ClassSMO].Ops != 4 {
+		t.Fatalf("smo ops = %d, want exactly one 4-statement cycle", res.Classes[ClassSMO].Ops)
+	}
+	if res.RetainedVersions == 0 {
+		t.Fatal("retained_versions gauge not sampled")
+	}
+}
+
+// TestRunHTAPHTTP runs the same tiny spec over the self-hosted HTTP
+// transport: same consistency checks, exercising the server round trip.
+func TestRunHTAPHTTP(t *testing.T) {
+	cfg := tinyHTAP()
+	cfg.Transport = TransportHTTP
+	res, err := RunHTAP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Transport != TransportHTTP {
+		t.Fatalf("transport = %q, want %q", res.Transport, TransportHTTP)
+	}
+	for _, class := range []string{ClassRead, ClassScan, ClassWrite, ClassSMO} {
+		cs, ok := res.Classes[class]
+		if !ok {
+			t.Fatalf("class %q missing from result", class)
+		}
+		if cs.Errors != 0 {
+			t.Fatalf("class %q: %d operation errors over HTTP", class, cs.Errors)
+		}
+	}
+}
+
+// TestHTAPResultSchema locks the BENCH_htap.json entry schema: the field
+// names BENCHMARKS.md documents must all be present in the emitted JSON.
+func TestHTAPResultSchema(t *testing.T) {
+	res, err := RunHTAP(tinyHTAP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entry map[string]any
+	if err := json.Unmarshal(raw, &entry); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		"workload", "transport", "rows", "distinct_keys", "zipf_s", "mix",
+		"workers", "duration_ms", "seed", "classes",
+		"pending_rows", "retained_versions", "compactions",
+	} {
+		if _, ok := entry[field]; !ok {
+			t.Errorf("emitted JSON missing documented field %q", field)
+		}
+	}
+	classes, ok := entry["classes"].(map[string]any)
+	if !ok {
+		t.Fatal("classes is not an object")
+	}
+	read, ok := classes[ClassRead].(map[string]any)
+	if !ok {
+		t.Fatal("classes.read is not an object")
+	}
+	for _, field := range []string{"ops", "errors", "ops_per_sec", "p50_ms", "p95_ms", "p99_ms", "max_ms"} {
+		if _, ok := read[field]; !ok {
+			t.Errorf("per-class JSON missing documented field %q", field)
+		}
+	}
+}
+
+// TestAppendResult checks the series file accumulates entries across
+// appends and survives a pre-existing file, and that a corrupt file is
+// reported rather than clobbered.
+func TestAppendResult(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_htap.json")
+	res := &HTAPResult{Workload: "a", Classes: map[string]ClassStats{}}
+	if err := AppendResult(path, res); err != nil {
+		t.Fatal(err)
+	}
+	res.Workload = "b"
+	if err := AppendResult(path, res); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var series []HTAPResult
+	if err := json.Unmarshal(data, &series); err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 || series[0].Workload != "a" || series[1].Workload != "b" {
+		t.Fatalf("series = %+v, want [a b]", series)
+	}
+
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendResult(path, res); err == nil {
+		t.Fatal("append to a corrupt series file must error, not clobber")
+	}
+	if data, _ := os.ReadFile(path); string(data) != "not json" {
+		t.Fatal("corrupt series file was modified")
+	}
+}
+
+// TestCheckSLOs covers pass, breach, and the threshold-on-missing-class
+// case (which must violate: a gate that gates nothing is a bug).
+func TestCheckSLOs(t *testing.T) {
+	res := &HTAPResult{Classes: map[string]ClassStats{
+		ClassRead: {Ops: 100, P99MS: 5.0},
+	}}
+	if v := res.CheckSLOs(map[string]time.Duration{ClassRead: 10 * time.Millisecond}); len(v) != 0 {
+		t.Fatalf("p99 5ms under 10ms limit must pass, got %v", v)
+	}
+	v := res.CheckSLOs(map[string]time.Duration{ClassRead: 2 * time.Millisecond})
+	if len(v) != 1 || !strings.Contains(v[0], "read") {
+		t.Fatalf("p99 5ms over 2ms limit must violate, got %v", v)
+	}
+	if v := res.CheckSLOs(map[string]time.Duration{ClassWrite: time.Second}); len(v) != 1 {
+		t.Fatalf("threshold on a class with no ops must violate, got %v", v)
+	}
+	if v := res.CheckSLOs(map[string]time.Duration{ClassRead: 0}); len(v) != 0 {
+		t.Fatalf("zero threshold must be ignored, got %v", v)
+	}
+}
+
+// TestHTAPValidation rejects malformed specs.
+func TestHTAPValidation(t *testing.T) {
+	bad := []HTAPConfig{
+		{Rows: 0, ReadPct: 100, Workers: 1, Duration: time.Second},
+		{Rows: 10, ReadPct: 50, ScanPct: 10, WritePct: 10, Workers: 1, Duration: time.Second}, // sums to 70
+		{Rows: 10, ReadPct: 100, Workers: 0, Duration: time.Second},
+		{Rows: 10, ReadPct: 100, Workers: 1, Duration: 0},
+		{Rows: 10, ReadPct: 100, Workers: 1, Duration: time.Second, Transport: "carrier-pigeon"},
+		{Rows: 10, ReadPct: 100, Workers: 1, Duration: time.Second, Addr: "http://x"}, // addr without http transport
+	}
+	for i, cfg := range bad {
+		if _, err := RunHTAP(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Client-side helpers for the HTTP/JSON API: a minimal typed client over
+// the endpoint bodies this package already defines, shared by the HTAP
+// workload driver (cmd/codsbench htap -transport http), tests, and any
+// Go program that talks to a remote `cods serve`.
+
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client talks to a `cods serve` endpoint. Base is the server root
+// (e.g. "http://127.0.0.1:8344"); HTTP defaults to http.DefaultClient.
+// A Client is safe for concurrent use (it holds no mutable state beyond
+// the underlying *http.Client, which is itself concurrency-safe).
+type Client struct {
+	Base string
+	HTTP *http.Client
+}
+
+func (c *Client) client() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do posts body (or GETs when body is nil) and decodes the JSON response
+// into out. Non-2xx statuses decode the server's {"error": ...} body and
+// return it as an error; the rest of the body (e.g. the partial results
+// of a failed script) is decoded into out first, so callers still see
+// what committed.
+func (c *Client) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, strings.TrimRight(c.Base, "/")+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if out != nil {
+			_ = json.Unmarshal(raw, out) // partial results, best effort
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return fmt.Errorf("server: %s %s: %s (HTTP %d)", method, path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("server: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// Exec executes one SMO or DML statement via POST /exec.
+func (c *Client) Exec(op string) (*ExecResponse, error) {
+	var out ExecResponse
+	if err := c.do(http.MethodPost, "/exec", ExecRequest{Op: op}, &out); err != nil {
+		return &out, err
+	}
+	return &out, nil
+}
+
+// ExecScript executes a statement script via POST /exec. On a mid-script
+// failure the returned response still carries the committed statements.
+func (c *Client) ExecScript(script string) (*ExecResponse, error) {
+	var out ExecResponse
+	if err := c.do(http.MethodPost, "/exec", ExecRequest{Script: script}, &out); err != nil {
+		return &out, err
+	}
+	return &out, nil
+}
+
+// Query runs a query via POST /query.
+func (c *Client) Query(req QueryRequest) (*QueryResponse, error) {
+	var out QueryResponse
+	if err := c.do(http.MethodPost, "/query", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats fetches GET /stats (per-endpoint counters plus the write path's
+// memory gauges).
+func (c *Client) Stats() (*StatsResponse, error) {
+	var out StatsResponse
+	if err := c.do(http.MethodGet, "/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthz probes GET /healthz, returning the served schema version.
+func (c *Client) Healthz() (int, error) {
+	var out struct {
+		SchemaVersion int `json:"schema_version"`
+	}
+	if err := c.do(http.MethodGet, "/healthz", nil, &out); err != nil {
+		return 0, err
+	}
+	return out.SchemaVersion, nil
+}

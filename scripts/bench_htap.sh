@@ -1,0 +1,36 @@
+#!/bin/sh
+# HTAP smoke profile -> BENCH_htap.json.
+#
+# Runs the mixed HTAP workload (zipfian point reads + GROUP-BY scans +
+# keyed DML + a background evolution cycle) once per transport — inproc
+# for engine-limit numbers, self-hosted http for the full server round
+# trip — appending both runs to BENCH_htap.json, so successive PRs
+# accumulate a comparable HTAP latency trajectory. The read-p99 SLO gate
+# defaults to a deliberately generous 500ms: on a 1-CPU CI runner a scan
+# or evolution cycle can stall the whole process, and the gate exists to
+# catch order-of-magnitude regressions, not scheduler noise. Tighten
+# locally with BENCH_HTAP_SLO_READ_P99=20ms for real measurements.
+#
+# Knobs: BENCH_HTAP_ROWS (default 20000), BENCH_HTAP_DURATION (5s),
+# BENCH_HTAP_WORKERS (4), BENCH_HTAP_SLO_READ_P99 (500ms).
+set -e
+rows=${BENCH_HTAP_ROWS:-20000}
+duration=${BENCH_HTAP_DURATION:-5s}
+workers=${BENCH_HTAP_WORKERS:-4}
+slo_read=${BENCH_HTAP_SLO_READ_P99:-500ms}
+
+bin=$(mktemp -t codsbench.XXXXXX)
+trap 'rm -f "$bin"' EXIT
+go build -o "$bin" ./cmd/codsbench
+
+for transport in inproc http; do
+    "$bin" htap \
+        -workload "smoke-$transport" \
+        -transport "$transport" \
+        -rows "$rows" -zipf 1.2 \
+        -read 70 -scan 10 -write 20 -smo-interval 1s \
+        -workers "$workers" -duration "$duration" \
+        -slo-read-p99 "$slo_read" \
+        -out BENCH_htap.json -seed 1 -quiet
+done
+echo "appended 2 runs to BENCH_htap.json"

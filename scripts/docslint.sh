@@ -1,10 +1,17 @@
 #!/bin/sh
-# docslint: fail when any Go package lacks a package-level doc comment.
-# Library packages need "// Package <name> ...", commands "// Command ...".
+# docslint: documentation consistency checks.
+#
+# 1. Every Go package must carry a package-level doc comment: library
+#    packages "// Package <name> ...", commands "// Command ...".
+# 2. BENCHMARKS.md must not drift from the code it documents: every
+#    `codsbench htap -flag` it shows must exist in `codsbench htap -h`,
+#    every plain `codsbench -flag` in `codsbench -h`, and every
+#    `make <target>` it references must be a real Makefile target.
+#
 # Run from the repository root (CI's docs-lint step, `make docs-lint`).
 set -u
 fail=0
-for dir in . ./internal/* ./cmd/*; do
+for dir in . ./internal/* ./internal/*/* ./cmd/*; do
     [ -d "$dir" ] || continue
     ls "$dir"/*.go >/dev/null 2>&1 || continue
     found=0
@@ -20,5 +27,41 @@ for dir in . ./internal/* ./cmd/*; do
         fail=1
     fi
 done
-[ "$fail" -eq 0 ] && echo "docslint: all packages documented"
+
+if [ -f BENCHMARKS.md ]; then
+    # flag's -h output lists each flag as "  -name type" (or "  -name"
+    # for booleans); anchor on that so -read cannot pass by matching a
+    # substring of -slo-read-p99. The while loops run in subshells, so
+    # violations are collected via their stdout rather than a variable.
+    htap_help=$(go run ./cmd/codsbench htap -h 2>&1)
+    main_help=$(go run ./cmd/codsbench -h 2>&1)
+
+    check_flags() {
+        mode=$1 pattern=$2 help=$3
+        grep -E "$pattern" BENCHMARKS.md | grep -oE ' -[a-z][a-z0-9-]*' | sort -u |
+        while read -r flag; do
+            name=${flag#-}
+            case "$name" in h|help) continue ;; esac # flag's built-in help
+            if ! printf '%s\n' "$help" | grep -qE "^  -$name( |\$)"; then
+                echo "docslint: BENCHMARKS.md uses flag -$name not in \`codsbench${mode:+ $mode} -h\`"
+            fi
+        done
+    }
+    viol=$(
+        check_flags "htap" 'codsbench htap ' "$htap_help"
+        check_flags "" 'codsbench -' "$main_help"
+        grep -oE '`make [a-z][a-z-]*`' BENCHMARKS.md | tr -d '`' | sort -u |
+        while read -r _ target; do
+            if ! grep -qE "^$target:" Makefile; then
+                echo "docslint: BENCHMARKS.md references \`make $target\` but Makefile has no such target"
+            fi
+        done
+    )
+    if [ -n "$viol" ]; then
+        echo "$viol"
+        fail=1
+    fi
+fi
+
+[ "$fail" -eq 0 ] && echo "docslint: all packages documented, benchmark docs consistent"
 exit $fail
