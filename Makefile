@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench bench-smoke bench-writes bench-htap docs-lint serve-smoke ci
+.PHONY: all build vet fmt-check test race fuzz fuzz-smoke bench bench-smoke bench-writes bench-htap docs-lint serve-smoke ci
 
 all: build test
 
@@ -20,14 +20,26 @@ test:
 
 # Race-detector pass over the concurrency-sensitive packages: the parallel
 # execution layer, the evolution algorithms that fan out over it, the
-# engine's atomic catalog publication, the DML delta overlay (lazy flush
-# caching racing concurrent readers), the public facade (lock-free reads
-# vs Exec), and the HTTP serving layer.
+# engine's atomic catalog publication (now including background segment
+# merges racing flushes), the DML delta overlay (lazy flush caching racing
+# concurrent readers), the segmented persistence layer, the SMO parser the
+# WAL replays through, the public facade (lock-free reads vs Exec, plus
+# the segmented-vs-rebuild property test), and the HTTP serving layer.
 race:
 	$(GO) test -race cods cods/internal/par cods/internal/evolve \
 		cods/internal/wah cods/internal/colstore cods/internal/colquery \
 		cods/internal/core cods/internal/delta cods/internal/server \
-		cods/internal/bench
+		cods/internal/storage cods/internal/smo cods/internal/bench
+
+# Short native-fuzz pass (seed corpora + 5s live fuzzing per target) over
+# the WAH kernels and the SMO parser round trip; cheap enough for CI.
+fuzz-smoke:
+	sh scripts/fuzz_smoke.sh
+
+# Longer fuzzing session for local bug hunting (2 min per target; raise
+# FUZZ_TIME for overnight runs).
+fuzz:
+	FUZZ_TIME=2m sh scripts/fuzz_smoke.sh
 
 # Every package must carry a package doc comment.
 docs-lint:
@@ -61,4 +73,4 @@ bench-writes:
 bench-htap:
 	sh scripts/bench_htap.sh
 
-ci: build vet fmt-check test docs-lint serve-smoke race bench bench-smoke bench-writes bench-htap
+ci: build vet fmt-check test docs-lint serve-smoke race fuzz-smoke bench bench-smoke bench-writes bench-htap

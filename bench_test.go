@@ -8,6 +8,7 @@ package cods_test
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -667,6 +668,73 @@ func BenchmarkHarnessSmoke(b *testing.B) {
 		})
 		if err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHugeTableSustainedWrites is the segmentation acceptance
+// benchmark: the same sustained keyed write stream as
+// BenchmarkSustainedKeyedWrites, but over a large pre-existing base
+// table, in two flush modes. "segmented" is the production write path —
+// an overlay flush seals only the appended tail into a new segment, so
+// per-statement cost must stay flat as the base grows. "rebuild" forces
+// the pre-segmentation monolithic flush (Config.RebuildOnFlush): every
+// auto-compaction rewrites the whole base, so cost grows linearly with
+// base size. Run with a fixed -benchtime=Nx so ns/op is comparable
+// across base sizes; scripts/bench_writes.sh records the series in
+// BENCH_writes.json. The 10M-row point is gated behind CODS_BENCH_HUGE=1
+// (it needs several GB of RAM).
+func BenchmarkHugeTableSustainedWrites(b *testing.B) {
+	bases := []struct {
+		name string
+		rows int
+	}{
+		{"base100k", 100_000},
+		{"base1M", 1_000_000},
+	}
+	if os.Getenv("CODS_BENCH_HUGE") != "" {
+		bases = append(bases, struct {
+			name string
+			rows int
+		}{"base10M", 10_000_000})
+	}
+	for _, base := range bases {
+		for _, mode := range []string{"segmented", "rebuild"} {
+			b.Run(base.name+"/"+mode, func(b *testing.B) {
+				cfg := cods.Config{RetainVersions: 8, AutoCompactPending: 2048}
+				cfg.RebuildOnFlush = mode == "rebuild"
+				db := cods.Open(cfg)
+				// Build the base outside the timed region. Keys are
+				// non-integer ('k…') so key probes take the per-segment
+				// dictionary fast path, exactly like production keys.
+				tb := make([][]string, base.rows)
+				for i := range tb {
+					tb[i] = []string{fmt.Sprintf("k%08d", i), fmt.Sprintf("v%d", i%100)}
+				}
+				if err := db.CreateTableFromRows("kv", []string{"K", "V"}, []string{"K"}, tb); err != nil {
+					b.Fatal(err)
+				}
+				tb = nil
+				// Collect the build garbage (and any previous sub-benchmark's
+				// heap) before timing: GC marking of a polluted multi-GB heap
+				// otherwise bleeds into ns/op and masks the flush cost being
+				// measured.
+				runtime.GC()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := db.Exec(fmt.Sprintf("INSERT INTO kv VALUES ('n%08d', 'v')", i)); err != nil {
+						b.Fatal(err)
+					}
+					if i%100 == 99 {
+						if _, err := db.Exec(fmt.Sprintf("DELETE FROM kv WHERE K = 'n%08d'", i-50)); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				b.StopTimer()
+				ms := db.MemStats()
+				b.ReportMetric(float64(ms.Compactions), "flushes")
+			})
 		}
 	}
 }

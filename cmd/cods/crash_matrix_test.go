@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The crash matrix: a durable server is killed by the storage layer's
+// own crash injection (CODS_CRASH_POINT, see installCrashPoint) at each
+// barrier of the checkpoint write path, and a clean restart must land on
+// exactly the pre-checkpoint or post-checkpoint state — never a hybrid.
+// The CURRENT pointer decides which one, so the matrix pins down, per
+// point, whether the pointer may have moved:
+//
+//	segment-written   data files durable, no manifest  → pre only
+//	manifest-written  snapshot complete, not published → pre only
+//	current-swapped   pointer swapped, WAL not reset   → post only
+var crashMatrix = []struct {
+	point       string
+	wantAdvance bool // CURRENT must have moved to a new epoch
+}{
+	{"segment-written", false},
+	{"manifest-written", false},
+	{"current-swapped", true},
+}
+
+// readCurrentPointer returns the contents of <dir>/CURRENT ("" if the
+// pointer does not exist yet).
+func readCurrentPointer(t *testing.T, dbdir string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dbdir, "CURRENT"))
+	if os.IsNotExist(err) {
+		return ""
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimSpace(string(data))
+}
+
+// postMayDie posts and tolerates the connection dying mid-request — the
+// expected outcome when the handler SIGKILLs its own process.
+func postMayDie(base, path string) {
+	data, _ := json.Marshal(map[string]any{})
+	resp, err := http.Post(base+path, "application/json", bytes.NewReader(data))
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+// waitKilled waits for the child to exit and asserts it died by SIGKILL
+// (the injected crash), not a clean error path.
+func waitKilled(t *testing.T, p *serveProc) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("armed server exited cleanly; crash point never fired")
+		}
+		if ws, ok := p.cmd.ProcessState.Sys().(syscall.WaitStatus); ok {
+			if !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+				t.Fatalf("armed server died with %v, want SIGKILL from the crash point", err)
+			}
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("armed server did not die after checkpoint")
+	}
+}
+
+func TestCrashMatrixCheckpointRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the real binary")
+	}
+	for _, tc := range crashMatrix {
+		t.Run(tc.point, func(t *testing.T) {
+			dbdir := filepath.Join(t.TempDir(), "db")
+
+			// Phase A — build committed state: a checkpointed epoch plus
+			// WAL-only statements on top of it.
+			p := startServe(t, "-dir", dbdir)
+			execOp(t, p.base, "CREATE TABLE kv (K, V) KEY (K)")
+			for i := 0; i < 6; i++ {
+				execOp(t, p.base, fmt.Sprintf("INSERT INTO kv VALUES ('k%02d', 'v%d')", i, i))
+			}
+			resp, raw := post(t, p.base+"/checkpoint", map[string]any{})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("baseline checkpoint: %d %s", resp.StatusCode, raw)
+			}
+			for i := 6; i < 10; i++ {
+				execOp(t, p.base, fmt.Sprintf("INSERT INTO kv VALUES ('k%02d', 'v%d')", i, i))
+			}
+			execOp(t, p.base, "UPDATE kv SET V = 'changed' WHERE K = 'k03'")
+			execOp(t, p.base, "DELETE FROM kv WHERE K = 'k07'")
+			preCurrent := readCurrentPointer(t, dbdir)
+			if preCurrent == "" {
+				t.Fatal("no CURRENT pointer after baseline checkpoint")
+			}
+			p.cmd.Process.Kill()
+			p.cmd.Wait()
+
+			// Phase B — restart armed, then trigger a checkpoint that dies
+			// at the injected barrier.
+			armed := startServeEnv(t, []string{"CODS_CRASH_POINT=" + tc.point}, "-dir", dbdir)
+			if rows := queryRows(t, armed.base, "kv", "K != ''"); len(rows) != 9 {
+				t.Fatalf("armed server recovered %d rows, want 9", len(rows))
+			}
+			postMayDie(armed.base, "/checkpoint")
+			waitKilled(t, armed)
+
+			// Disk-level dichotomy: the pointer either did not move at all
+			// or moved exactly once to the new epoch.
+			postCurrent := readCurrentPointer(t, dbdir)
+			if tc.wantAdvance {
+				if postCurrent == preCurrent {
+					t.Fatalf("CURRENT still %q after crash at %s, want advanced", postCurrent, tc.point)
+				}
+			} else if postCurrent != preCurrent {
+				t.Fatalf("CURRENT moved %q -> %q though the crash at %s preceded the swap", preCurrent, postCurrent, tc.point)
+			}
+
+			// Phase C — clean restart: every committed statement is back,
+			// whichever side of the checkpoint recovery loaded.
+			re := startServe(t, "-dir", dbdir)
+			rows := queryRows(t, re.base, "kv", "K != ''")
+			if len(rows) != 9 {
+				t.Fatalf("recovered %d rows, want 9 (10 inserts - 1 delete)", len(rows))
+			}
+			if got := queryRows(t, re.base, "kv", "K = 'k03'"); len(got) != 1 || got[0][1] != "changed" {
+				t.Errorf("k03 = %v, want updated value", got)
+			}
+			if got := queryRows(t, re.base, "kv", "K = 'k07'"); len(got) != 0 {
+				t.Errorf("deleted k07 resurrected: %v", got)
+			}
+			resp, _ = post(t, re.base+"/exec", map[string]any{"op": "INSERT INTO kv VALUES ('k01', 'dup')"})
+			if resp.StatusCode != http.StatusUnprocessableEntity {
+				t.Errorf("duplicate key after crash recovery: status %d, want 422", resp.StatusCode)
+			}
+
+			// The directory is not poisoned: new writes and a fresh
+			// checkpoint succeed, and survive one more hard kill.
+			execOp(t, re.base, "INSERT INTO kv VALUES ('k99', 'after')")
+			resp, raw = post(t, re.base+"/checkpoint", map[string]any{})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("post-crash checkpoint: %d %s", resp.StatusCode, raw)
+			}
+			re.cmd.Process.Kill()
+			re.cmd.Wait()
+
+			final := startServe(t, "-dir", dbdir)
+			if rows := queryRows(t, final.base, "kv", "K != ''"); len(rows) != 10 {
+				t.Fatalf("final recovery has %d rows, want 10", len(rows))
+			}
+		})
+	}
+}

@@ -41,7 +41,27 @@ import (
 	"cods"
 	"cods/internal/repl"
 	"cods/internal/server"
+	"cods/internal/storage"
 )
+
+// installCrashPoint arms the storage layer's crash injection for the
+// crash-recovery E2E matrix: when CODS_CRASH_POINT names a checkpoint
+// barrier ("segment-written", "manifest-written", "current-swapped"),
+// reaching that barrier kills the process on the spot — no deferred
+// cleanup, no WAL close — simulating a crash at exactly that durability
+// step. Unset (the production state) this is a no-op.
+func installCrashPoint() {
+	point := os.Getenv("CODS_CRASH_POINT")
+	if point == "" {
+		return
+	}
+	storage.CrashPoint = func(p string) {
+		if p == point {
+			syscall.Kill(syscall.Getpid(), syscall.SIGKILL)
+			select {} // SIGKILL is not handleable; never proceed past the barrier
+		}
+	}
+}
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
@@ -108,13 +128,19 @@ func runServe(args []string) error {
 	parallelism := fs.Int("parallelism", 0, "per-request bitmap-work parallelism (0 = GOMAXPROCS)")
 	retain := fs.Int("retain", 0, "rollback-able previous schema versions kept after each statement (0 = all)")
 	autoCompact := fs.Int("autocompact", 0, "compact a table's delta overlay once it holds this many pending rows (0 = only at checkpoints)")
+	mergeRatio := fs.Int("merge-ratio", 0, "tiered segment-merge size ratio (0 = default 2, negative = never merge)")
+	bgMerge := fs.Bool("background-merge", false, "run tiered segment merges on a background goroutine instead of inline")
 	quiet := fs.Bool("quiet", false, "suppress the per-request log")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	installCrashPoint()
 	logger := log.New(os.Stderr, "cods-serve ", log.LstdFlags)
-	cfg := cods.Config{Parallelism: *parallelism, RetainVersions: *retain, AutoCompactPending: *autoCompact}
+	cfg := cods.Config{
+		Parallelism: *parallelism, RetainVersions: *retain, AutoCompactPending: *autoCompact,
+		SegmentMergeRatio: *mergeRatio, BackgroundMerge: *bgMerge,
+	}
 	var db *cods.DB
 	var err error
 	if *dir != "" {

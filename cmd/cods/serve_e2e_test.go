@@ -54,9 +54,18 @@ type serveProc struct {
 
 // startServe launches the binary on a free port and waits for readiness.
 func startServe(t *testing.T, args ...string) *serveProc {
+	return startServeEnv(t, nil, args...)
+}
+
+// startServeEnv is startServe with extra environment variables for the
+// child (the crash-matrix tests arm CODS_CRASH_POINT this way).
+func startServeEnv(t *testing.T, env []string, args ...string) *serveProc {
 	t.Helper()
 	bin := buildBinary(t)
 	cmd := exec.Command(bin, append([]string{"serve", "-addr", "127.0.0.1:0", "-quiet"}, args...)...)
+	if len(env) > 0 {
+		cmd.Env = append(os.Environ(), env...)
+	}
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)

@@ -85,6 +85,20 @@ type Config struct {
 	// calls. Readers are never blocked — compaction changes the physical
 	// representation, not the contents. 0 disables auto-compaction.
 	AutoCompactPending int
+	// SegmentMergeRatio tunes the tiered merge policy over table row
+	// segments: after a flush, a tail run of segments is folded together
+	// whenever a segment is at most ratio× the rows behind it, keeping
+	// per-table segment counts logarithmic. 0 means the default ratio
+	// (2); negative disables merging.
+	SegmentMergeRatio int
+	// BackgroundMerge runs tiered segment merges on a background
+	// goroutine instead of inline on the write path. Merges publish
+	// through the usual atomic catalog swap, so readers never block.
+	BackgroundMerge bool
+	// RebuildOnFlush makes every overlay flush rebuild its table as one
+	// monolithic segment — the pre-segmentation write path, kept as a
+	// correctness oracle and benchmark baseline. Leave it off.
+	RebuildOnFlush bool
 }
 
 // DB is a CODS database: a catalog of bitmap-indexed column-store tables
@@ -131,6 +145,9 @@ func Open(cfg Config) *DB {
 		Status:             cfg.Status,
 		RetainVersions:     cfg.RetainVersions,
 		AutoCompactPending: cfg.AutoCompactPending,
+		SegmentMergeRatio:  cfg.SegmentMergeRatio,
+		BackgroundMerge:    cfg.BackgroundMerge,
+		RebuildFlush:       cfg.RebuildOnFlush,
 	}), cfg: cfg}
 }
 
@@ -367,6 +384,10 @@ func (db *DB) MemStats() MemStats {
 // catalog-changing calls fail with ErrClosed; reads keep working on the
 // in-memory catalog. Close on an in-memory database is a no-op.
 func (db *DB) Close() error {
+	// Join in-flight background segment merges first: they publish through
+	// the engine and must not race the process teardown that usually
+	// follows Close.
+	db.engine.WaitBackgroundMerges()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.wal == nil {
@@ -376,6 +397,11 @@ func (db *DB) Close() error {
 	db.wal = nil
 	return err
 }
+
+// WaitBackgroundMerges blocks until every scheduled background segment
+// merge (Config.BackgroundMerge) has completed or aborted. Tests and
+// benchmarks use it to reach a deterministic segment layout.
+func (db *DB) WaitBackgroundMerges() { db.engine.WaitBackgroundMerges() }
 
 // Snapshot is an immutable, lock-free view of the database at one schema
 // version. Every DB read method is equivalent to a one-shot call on a

@@ -43,11 +43,28 @@
 // copy-on-write per statement and published like any other catalog
 // change. Reads merge base and delta transparently; an evolution
 // operator over a table with pending DML flushes the delta into the base
-// first; Checkpoint compacts overlays into rebuilt bases. DML statements
+// first; Checkpoint compacts overlays the same way. DML statements
 // are WAL-journaled as text and replayed on recovery like SMOs. The
 // write path is amortized O(1) per keyed statement: a per-lineage key
 // index of the appended tail answers INSERT conflicts and point
 // DELETE/UPDATE matches without scanning pending rows.
+//
+// # Segmented base storage
+//
+// A base table is an ordered list of immutable segments behind a
+// manifest (internal/colstore), so a flush seals the appended tail into
+// one new small segment and rewrites only the segments deletions touch —
+// O(tail) work however large the table is, where the old monolithic
+// rebuild was O(table). A tiered merge policy folds small tail segments
+// together to keep the segment count logarithmic: Config.SegmentMergeRatio
+// tunes it (0 means the default ratio 2, negative disables merging) and
+// Config.BackgroundMerge moves the fold off the writer lock, splicing
+// the merged run back only if no concurrent change invalidated it.
+// Config.RebuildOnFlush restores the monolithic rebuild — kept as the
+// oracle for the segmented-vs-rebuild property test and as the
+// superlinear baseline in the huge-table write benchmark. Durable
+// catalogs persist one directory per segment and cross-check the
+// manifest's row counts on load.
 //
 // # Bounded memory: retention and auto-compaction
 //

@@ -1,13 +1,24 @@
 // Package colstore implements the bitmap-indexed column store that CODS
 // operates on. Each column is stored as a value dictionary plus one
 // WAH-compressed bitmap per distinct value — the paper's v×r bitmap matrix
-// (§2.2). Tables are sets of columns sharing a row count.
+// (§2.2).
 //
-// Columns are immutable once constructed. Schema evolution never mutates a
-// column in place; it either reuses the column object in a new table
-// (Property 1 of §2.4: the unchanged decomposition output is created "right
-// away using the existing columns ... without any data operation") or
-// builds a new column from compressed inputs.
+// A Table is an ordered list of immutable segments behind a manifest.
+// Each Segment is a horizontal row slice holding its own columns (own
+// dictionaries, own bitmaps); the manifest's running row offsets stitch
+// the segments into one logical row space, and every read primitive
+// (paging, point/scan bitmaps, filtered copies, stitched column views)
+// crosses segment boundaries transparently. The split exists for the
+// write path: sealing an appended tail into a new segment is O(tail)
+// regardless of table size, where a monolithic rebuild would be
+// O(table). MergeTailPlan/CompactSegments implement the tiered merge
+// policy that keeps the segment count logarithmic in return.
+//
+// Columns and segments are immutable once constructed. Schema evolution
+// never mutates them in place; it either reuses the objects in a new
+// table (Property 1 of §2.4: the unchanged decomposition output is
+// created "right away using the existing columns ... without any data
+// operation") or builds new ones from compressed inputs.
 package colstore
 
 import (

@@ -50,6 +50,37 @@ type Config struct {
 	// per-read merge cost on sustained write streams without an explicit
 	// Compact or Checkpoint. 0 disables auto-compaction.
 	AutoCompactPending int
+	// SegmentMergeRatio tunes the tiered merge policy run after each
+	// overlay flush: a tail run of segments is folded together whenever a
+	// segment is at most ratio× the rows behind it (see
+	// colstore.MergeTailPlan), keeping segment counts logarithmic and
+	// per-row rewrite work amortized O(log n). 0 means the default ratio
+	// (2); negative disables merging, letting flush-sealed tail segments
+	// accumulate.
+	SegmentMergeRatio int
+	// BackgroundMerge moves tiered segment merges off the write path onto
+	// a goroutine: the merge reads immutable segments without any lock and
+	// publishes through the usual atomic catalog swap, but only after
+	// verifying (pointer identity) that the segments it merged are still
+	// exactly the ones in the current base — a concurrent flush or
+	// evolution makes it a silent no-op, retried after the next flush.
+	BackgroundMerge bool
+	// RebuildFlush makes every overlay flush rebuild its table as one
+	// monolithic segment — the pre-segmentation write path, kept as the
+	// property-test oracle and the benchmark baseline.
+	RebuildFlush bool
+}
+
+// mergeRatio resolves the configured segment merge ratio; ok is false
+// when merging is disabled.
+func (c Config) mergeRatio() (ratio int, ok bool) {
+	switch {
+	case c.SegmentMergeRatio < 0:
+		return 0, false
+	case c.SegmentMergeRatio == 0:
+		return 2, true
+	}
+	return c.SegmentMergeRatio, true
 }
 
 // Engine is the CODS platform: it owns the table catalog and executes
@@ -91,7 +122,11 @@ type Engine struct {
 	retained       atomic.Int64
 	oldestGauge    atomic.Int64
 	compactions    atomic.Uint64
-	cfg            Config
+	// mergeWG tracks in-flight background segment merges (see
+	// Config.BackgroundMerge); WaitBackgroundMerges joins them.
+	mergeWG sync.WaitGroup
+	merges  atomic.Uint64
+	cfg     Config
 }
 
 // Catalog is an immutable view of the engine at one schema version: the
@@ -290,7 +325,7 @@ func (e *Engine) Register(t *colstore.Table) error {
 	if _, exists := e.tables[t.Name()]; exists {
 		return fmt.Errorf("core: table %q already exists", t.Name())
 	}
-	e.tables[t.Name()] = delta.Wrap(t, e.cfg.Parallelism)
+	e.tables[t.Name()] = e.wrapOne(t)
 	e.snapshot()
 	return nil
 }
@@ -467,10 +502,91 @@ func (e *Engine) overlay(name string) (*delta.Overlay, error) {
 func (e *Engine) wrap(ts ...*colstore.Table) []*delta.Overlay {
 	out := make([]*delta.Overlay, len(ts))
 	for i, t := range ts {
-		out[i] = delta.Wrap(t, e.cfg.Parallelism)
+		out[i] = e.wrapOne(t)
 	}
 	return out
 }
+
+// wrapOne boxes one table as a clean overlay honoring the engine's flush
+// mode.
+func (e *Engine) wrapOne(t *colstore.Table) *delta.Overlay {
+	ov := delta.Wrap(t, e.cfg.Parallelism)
+	if e.cfg.RebuildFlush {
+		ov = ov.WithRebuildFlush(true)
+	}
+	return ov
+}
+
+// mergeAfterFlush applies the tiered merge policy to a freshly flushed
+// table. In the default synchronous mode the merge runs inline and the
+// merged table is returned; with BackgroundMerge the merge is scheduled
+// on a goroutine (publishing later through the usual catalog swap) and t
+// is returned unchanged.
+func (e *Engine) mergeAfterFlush(t *colstore.Table) (*colstore.Table, error) {
+	ratio, ok := e.cfg.mergeRatio()
+	if !ok || t.NumSegments() < 2 {
+		return t, nil
+	}
+	if !e.cfg.BackgroundMerge {
+		nt, err := t.CompactSegments(ratio, e.cfg.Parallelism)
+		if err != nil {
+			return nil, err
+		}
+		if nt != t {
+			e.merges.Add(1)
+		}
+		return nt, nil
+	}
+	segs := t.Segments()
+	start := colstore.MergeTailPlan(t.SegmentRows(), ratio)
+	if start >= len(segs) {
+		return t, nil
+	}
+	run, name := segs[start:], t.Name()
+	e.mergeWG.Add(1)
+	go func() {
+		defer e.mergeWG.Done()
+		// The run's segments are immutable, so the merge itself runs
+		// without any lock; only the splice below needs the writer mutex.
+		merged, err := colstore.MergeSegments(run, e.cfg.Parallelism)
+		if err != nil {
+			return
+		}
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		ov, ok := e.tables[name]
+		if !ok {
+			return
+		}
+		base, ok := ov.Base().WithSegmentsReplaced(start, run, merged)
+		if !ok {
+			// The base changed while we merged (another flush, an
+			// evolution, a rollback): drop this merge — the policy re-fires
+			// after the table's next flush.
+			return
+		}
+		nov, err := ov.WithBase(base)
+		if err != nil {
+			return
+		}
+		e.tables[name] = nov
+		e.merges.Add(1)
+		// Republish the same version: row sets are identical, only the
+		// physical segmentation changed — the same contract as Compact.
+		e.snapshot()
+	}()
+	return t, nil
+}
+
+// WaitBackgroundMerges blocks until every scheduled background segment
+// merge has completed or aborted. Callers that need a deterministic
+// segment layout (tests, shutdown) join here; it must be called without
+// holding the writer mutex.
+func (e *Engine) WaitBackgroundMerges() { e.mergeWG.Wait() }
+
+// SegmentMerges reports how many tiered segment merges have been applied
+// (inline or background) since the engine started.
+func (e *Engine) SegmentMerges() uint64 { return e.merges.Load() }
 
 // Compact replaces every dirty overlay of the current version with its
 // flushed base, republishing the same schema version (the tuple sets are
@@ -503,7 +619,10 @@ func (e *Engine) compactTableLocked(name string) error {
 	if err != nil {
 		return err
 	}
-	e.tables[name] = delta.Wrap(t, e.cfg.Parallelism)
+	if t, err = e.mergeAfterFlush(t); err != nil {
+		return err
+	}
+	e.tables[name] = e.wrapOne(t)
 	e.compactions.Add(1)
 	e.snapshot()
 	return nil
@@ -531,7 +650,10 @@ func (e *Engine) compactLocked() error {
 		if err != nil {
 			return err
 		}
-		compacted[name] = delta.Wrap(t, e.cfg.Parallelism)
+		if t, err = e.mergeAfterFlush(t); err != nil {
+			return err
+		}
+		compacted[name] = e.wrapOne(t)
 	}
 	e.tables = compacted
 	e.compactions.Add(1)

@@ -91,6 +91,11 @@ type Overlay struct {
 	// parallelism bounds the worker pool for bitmap work (predicate
 	// evaluation, filtering, flush); 0 means GOMAXPROCS.
 	parallelism int
+	// rebuild forces flush to rebuild the base as one monolithic segment
+	// (the pre-segmentation behavior) instead of the segmented O(tail)
+	// flush. It exists as the oracle the property tests compare against
+	// and as the baseline the write benchmarks measure.
+	rebuild bool
 
 	// flush cache: an overlay is immutable, so the merged table is
 	// computed at most once and shared by every reader of this version.
@@ -109,6 +114,41 @@ func Wrap(base *colstore.Table, parallelism int) *Overlay {
 	return &Overlay{base: base, byName: byName, parallelism: parallelism}
 }
 
+// WithRebuildFlush returns an overlay over the same state whose flushes
+// (and those of every derived overlay) rebuild the base as a single
+// segment instead of sealing the tail into a new one. The engine enables
+// it for oracle and baseline runs; production lineages leave it off.
+func (o *Overlay) WithRebuildFlush(on bool) *Overlay {
+	return &Overlay{
+		base: o.base, byName: o.byName,
+		added: o.added, ar: o.ar,
+		deleted: o.deleted, nDeleted: o.nDeleted,
+		parallelism: o.parallelism, rebuild: on,
+	}
+}
+
+// RebuildFlush reports whether this lineage flushes by monolithic
+// rebuild.
+func (o *Overlay) RebuildFlush() bool { return o.rebuild }
+
+// WithBase returns an overlay carrying this overlay's DML state over a
+// replacement base covering exactly the same rows in the same order — the
+// splice a background segment merge performs. The deletion bitmap,
+// appended tail and arena stay valid because merges preserve global row
+// positions.
+func (o *Overlay) WithBase(base *colstore.Table) (*Overlay, error) {
+	if base.NumRows() != o.base.NumRows() {
+		return nil, fmt.Errorf("delta: replacement base for %s has %d rows, overlay base has %d",
+			o.Name(), base.NumRows(), o.base.NumRows())
+	}
+	return &Overlay{
+		base: base, byName: o.byName,
+		added: o.added, ar: o.ar,
+		deleted: o.deleted, nDeleted: o.nDeleted,
+		parallelism: o.parallelism, rebuild: o.rebuild,
+	}, nil
+}
+
 // WithName returns an overlay over the same DML state with the base
 // renamed. Rename is metadata-only on a column store, so the appended
 // tail, deletion bitmap and append arena carry forward untouched — the
@@ -119,7 +159,7 @@ func (o *Overlay) WithName(name string) *Overlay {
 		base: o.base.WithName(name), byName: o.byName,
 		added: o.added, ar: o.ar,
 		deleted: o.deleted, nDeleted: o.nDeleted,
-		parallelism: o.parallelism,
+		parallelism: o.parallelism, rebuild: o.rebuild,
 	}
 }
 
@@ -157,7 +197,7 @@ func (o *Overlay) NumRows() uint64 {
 // claims second copies, exactly the branch semantics. The flush cache is
 // deliberately not carried over.
 func (o *Overlay) derive(deleted *wah.Bitmap) *Overlay {
-	n := &Overlay{base: o.base, byName: o.byName, added: o.added, ar: o.ar, deleted: deleted, parallelism: o.parallelism}
+	n := &Overlay{base: o.base, byName: o.byName, added: o.added, ar: o.ar, deleted: deleted, parallelism: o.parallelism, rebuild: o.rebuild}
 	if deleted != nil {
 		n.nDeleted = deleted.Count()
 	}
@@ -264,16 +304,17 @@ func (o *Overlay) keyConflict(row []string) (bool, error) {
 }
 
 // baseKeyMatch reports whether any base row not masked out by del holds
-// row's values in the kcols columns: one dictionary EqScan plus a
-// compressed AND per key column.
+// row's values in the kcols columns: one dictionary probe per key column
+// per segment (Table.EqBitmap) plus a compressed AND per key column —
+// never a whole-table stitch, which is what keeps keyed INSERT flat as
+// the base grows.
 func (o *Overlay) baseKeyMatch(kcols []string, row []string, del *wah.Bitmap) (bool, error) {
 	var mask *wah.Bitmap
 	for _, k := range kcols {
-		col, err := o.base.Column(k)
+		bm, err := o.base.EqBitmap(k, row[o.byName[k]])
 		if err != nil {
 			return false, err
 		}
-		bm := col.EqScan(row[o.byName[k]])
 		if mask == nil {
 			mask = bm
 		} else {
@@ -303,7 +344,7 @@ func (o *Overlay) Insert(row []string) (*Overlay, error) {
 		return nil, fmt.Errorf("delta: INSERT into %s violates key %v", o.Name(), o.base.Key())
 	}
 	row = append([]string(nil), row...)
-	n := &Overlay{base: o.base, byName: o.byName, deleted: o.deleted, nDeleted: o.nDeleted, parallelism: o.parallelism}
+	n := &Overlay{base: o.base, byName: o.byName, deleted: o.deleted, nDeleted: o.nDeleted, parallelism: o.parallelism, rebuild: o.rebuild}
 	if o.ar != nil {
 		o.ar.mu.Lock()
 		if o.ar.tip == len(o.added) && cap(o.added) > len(o.added) {
@@ -491,7 +532,7 @@ func (o *Overlay) Delete(condition string) (*Overlay, uint64, error) {
 			added = append(added, row)
 		}
 	}
-	n := &Overlay{base: o.base, byName: o.byName, added: added, deleted: deleted, parallelism: o.parallelism}
+	n := &Overlay{base: o.base, byName: o.byName, added: added, deleted: deleted, parallelism: o.parallelism, rebuild: o.rebuild}
 	n.ar = &arena{tip: len(added), keys: o.shiftedKeys(drop, addedHit)}
 	if deleted != nil {
 		n.nDeleted = deleted.Count()
@@ -603,7 +644,7 @@ func (o *Overlay) Update(column, value, condition string) (*Overlay, uint64, err
 			}
 		}
 	}
-	n := &Overlay{base: o.base, byName: o.byName, added: added, deleted: deleted, parallelism: o.parallelism}
+	n := &Overlay{base: o.base, byName: o.byName, added: added, deleted: deleted, parallelism: o.parallelism, rebuild: o.rebuild}
 	if deleted != nil {
 		n.nDeleted = deleted.Count()
 	}
@@ -781,11 +822,72 @@ func (o *Overlay) Table() (*colstore.Table, error) {
 	return o.flushed, o.flushErr
 }
 
-// flush rebuilds the base with the overlay applied: per column, surviving
-// base rows keep their dictionary ids (no re-interning) and appended rows
-// are interned at the tail. Columns rebuild independently, fanned out
-// over the worker pool.
+// flush applies the overlay to the base segment by segment: deletions
+// filter only the segments they actually hit (untouched segments are
+// shared into the result without any data operation, and fully-deleted
+// segments are dropped), and the appended tail is sealed into one new
+// segment with fresh per-column dictionaries. Cost is O(tail + deleted
+// segments), not O(table) — the flat per-statement write cost the
+// segmented store exists for. Row order matches the rebuild flush
+// exactly: surviving base rows in base order, then appended rows in
+// insertion order.
 func (o *Overlay) flush() (*colstore.Table, error) {
+	if o.rebuild {
+		return o.flushRebuild()
+	}
+	segs := o.base.Segments()
+	out := make([]*colstore.Segment, 0, len(segs)+1)
+	var off uint64
+	for _, s := range segs {
+		n := s.NumRows()
+		if o.deleted != nil {
+			sub := o.deleted.Slice(off, off+n)
+			off += n
+			if c := sub.Count(); c == n {
+				continue // every row deleted: drop the segment
+			} else if c > 0 {
+				keep := sub.Not()
+				fs, err := s.Filter(keep, o.parallelism)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, fs)
+				continue
+			}
+		} else {
+			off += n
+		}
+		out = append(out, s)
+	}
+	if len(o.added) > 0 {
+		names := o.base.ColumnNames()
+		cols := make([]*colstore.Column, len(names))
+		if err := par.ForEachErr(len(names), o.parallelism, func(ci int) error {
+			b := colstore.NewColumnBuilder(names[ci])
+			for _, row := range o.added {
+				b.Append(row[ci])
+			}
+			cols[ci] = b.Finish()
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		tail, err := colstore.NewSegment(cols)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tail)
+	}
+	return colstore.NewSegmented(o.Name(), o.base.ColumnNames(), out, o.base.Key())
+}
+
+// flushRebuild rebuilds the base as one monolithic segment with the
+// overlay applied: per column, surviving base rows keep their dictionary
+// ids (no re-interning) and appended rows are interned at the tail.
+// Columns rebuild independently, fanned out over the worker pool. This is
+// the pre-segmentation flush, kept as the property-test oracle and
+// benchmark baseline (see WithRebuildFlush).
+func (o *Overlay) flushRebuild() (*colstore.Table, error) {
 	nbase := o.base.NumRows()
 	var dead []bool
 	if o.deleted != nil && o.deleted.Any() {

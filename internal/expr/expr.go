@@ -21,6 +21,7 @@ package expr
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"unicode"
 
@@ -115,13 +116,20 @@ func (c *Comparison) Eval(t *colstore.Table) (*wah.Bitmap, error) {
 	return c.EvalP(t, 1)
 }
 
-// EvalP implements Node.
+// EvalP implements Node. Evaluation is segment-native: per-distinct-value
+// predicate scans run segment by segment so a point predicate on a huge
+// segmented table never stitches a whole-table column. Equality against a
+// non-integer literal short-circuits to a dictionary probe per segment;
+// integer literals cannot (numeric equality admits distinct spellings,
+// '07' = '7', which a dictionary lookup would miss — the same exclusion
+// delta applies to exact-match key probes).
 func (c *Comparison) EvalP(t *colstore.Table, parallelism int) (*wah.Bitmap, error) {
-	col, err := t.Column(c.Column)
-	if err != nil {
-		return nil, err
+	if c.Op == OpEq {
+		if _, err := strconv.ParseInt(c.Literal, 10, 64); err != nil {
+			return t.EqBitmap(c.Column, c.Literal)
+		}
 	}
-	return col.ScanWhereP(func(v string) bool { return c.Op.Compare(v, c.Literal) }, parallelism), nil
+	return t.ScanWhereBitmap(c.Column, func(v string) bool { return c.Op.Compare(v, c.Literal) }, parallelism)
 }
 
 // EvalRow implements Node.

@@ -1,0 +1,74 @@
+package smo
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParseScriptRoundTrip feeds arbitrary text through ParseScript and
+// checks the parser's serialization contract on whatever parses: the WAL
+// persists operators as op.String() and replays them through Parse, so
+// for every successfully parsed script, re-rendering each statement and
+// parsing it again must reach a fixpoint — identical ops, one statement
+// per String(). Inputs that fail to parse must fail with an error, never
+// panic or loop.
+func FuzzParseScriptRoundTrip(f *testing.F) {
+	// Seed with every operator shape the text syntax supports, including
+	// the hostile literals the quote-aware splitter exists for (the same
+	// shapes TestOpStringRoundTrip pins down).
+	seeds := []Op{
+		CreateTable{Table: "r", Columns: []string{"a", "b"}},
+		CreateTable{Table: "r", Columns: []string{"a"}, Key: []string{"a"}},
+		DropTable{Table: "r"},
+		RenameTable{From: "r", To: "s"},
+		CopyTable{From: "r", To: "s"},
+		UnionTables{A: "r", B: "s", Out: "u"},
+		PartitionTable{Table: "r", Condition: "a = 'x' AND b != 'y''z'", OutYes: "p", OutNo: "q"},
+		DecomposeTable{Table: "r", OutS: "s", SColumns: []string{"a", "b"}, OutT: "t2", TColumns: []string{"a", "c"}},
+		MergeTables{A: "s", B: "t2", Out: "r"},
+		AddColumn{Table: "r", Column: "c", Default: "it's quoted"},
+		AddColumn{Table: "r", Column: "c", ValuesFile: "dir/o'brien.txt"},
+		DropColumn{Table: "r", Column: "c"},
+		RenameColumn{Table: "r", From: "a", To: "b"},
+		Insert{Table: "r", Values: []string{"plain", "it's", "", "a;b", "line1\nline2"}},
+		Delete{Table: "r", Where: "a = 'x' AND b != 'y''z'"},
+		Update{Table: "r", Column: "c", Value: "v;w\nz", Where: "a != 'p\nq'"},
+		Prune{Keep: 12},
+	}
+	for _, op := range seeds {
+		f.Add(op.String())
+	}
+	var multi []string
+	for _, op := range seeds[:6] {
+		multi = append(multi, op.String())
+	}
+	f.Add(strings.Join(multi, ";"))
+	f.Add(strings.Join(multi, "\n"))
+	f.Add("-- comment\n# comment\n\nPRUNE KEEP 3")
+	f.Add("insert into t values ('lower', 'case')")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		ops, err := ParseScript(input)
+		if err != nil {
+			return // rejected input; only the parsed ones carry contracts
+		}
+		for _, op := range ops {
+			text := op.String()
+			back, err := Parse(text)
+			if err != nil {
+				t.Fatalf("Parse(%q) of rendered op failed: %v", text, err)
+			}
+			if !reflect.DeepEqual(back, op) {
+				t.Fatalf("round trip of %q: got %#v, want %#v", text, back, op)
+			}
+			again, err := ParseScript(text)
+			if err != nil || len(again) != 1 {
+				t.Fatalf("ParseScript(%q) = %d statements, err %v; want exactly 1", text, len(again), err)
+			}
+			if !reflect.DeepEqual(again[0], op) {
+				t.Fatalf("script round trip of %q diverged", text)
+			}
+		}
+	})
+}

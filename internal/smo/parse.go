@@ -180,10 +180,13 @@ func (p *opParser) expectKeyword(kw string) error {
 
 func (p *opParser) ident(what string) (string, error) {
 	t := p.next()
-	if t == "" || strings.ContainsAny(t, "(),") {
+	// Identifiers must be bare words: a quoted token (\x01-marked) here
+	// could hold spaces, quotes or nothing at all, none of which survive
+	// the render-and-reparse round trip the WAL depends on.
+	if t == "" || strings.HasPrefix(t, "\x01") || strings.ContainsAny(t, "(),") {
 		return "", fmt.Errorf("expected %s, got %q", what, t)
 	}
-	return strings.TrimPrefix(t, "\x01"), nil
+	return t, nil
 }
 
 // stringLit consumes a quoted string (or bare word).

@@ -75,6 +75,7 @@ func SaveSnapshot(dir string, tables []*colstore.Table, epoch uint64) (published
 	if err := syncTree(snapDir, tables); err != nil {
 		return false, err
 	}
+	crashPoint("manifest-written")
 
 	// Publish: write CURRENT beside the snapshot, fsync it, rename into
 	// place, fsync the directory so the rename itself is durable.
@@ -88,6 +89,7 @@ func SaveSnapshot(dir string, tables []*colstore.Table, epoch uint64) (published
 	if err := syncDir(dir); err != nil {
 		return true, err
 	}
+	crashPoint("current-swapped")
 
 	// Old generations are unreachable now; pruning is best-effort.
 	entries, rerr := os.ReadDir(dir)
@@ -181,10 +183,18 @@ func syncDir(dir string) error {
 
 // syncTree fsyncs the snapshot's directories (column files are already
 // fsync'd as they are written; catalog.json by Save's rename path needs
-// its directory synced for the entries to be durable).
+// its directory synced for the entries to be durable). The segmented
+// layout nests one directory per row segment under each table directory,
+// and every level must be synced for the files to survive a crash.
 func syncTree(snapDir string, tables []*colstore.Table) error {
 	for _, t := range tables {
-		if err := syncDir(filepath.Join(snapDir, t.Name())); err != nil {
+		tdir := filepath.Join(snapDir, t.Name())
+		for k := range t.NumSegments() {
+			if err := syncDir(filepath.Join(tdir, segDirName(k))); err != nil {
+				return err
+			}
+		}
+		if err := syncDir(tdir); err != nil {
 			return err
 		}
 	}

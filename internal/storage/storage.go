@@ -8,10 +8,16 @@
 // crash loses nothing: recovery loads the snapshot and replays the log.
 //
 // Two snapshot layouts exist. Plain Save/Load use a flat directory — the
-// explicit, non-crash-safe persistence path:
+// explicit, non-crash-safe persistence path. Format 2 mirrors the
+// segmented column store: each table directory holds one subdirectory per
+// row segment, and the catalog manifest records the segment row counts in
+// order:
 //
 //	<dir>/catalog.json
-//	<dir>/<table>/<n>.col      one file per column, in schema order
+//	<dir>/<table>/seg-<k>/<n>.col   one file per column of segment k
+//
+// Format 1 (the pre-segmentation layout, <dir>/<table>/<n>.col) is still
+// read, loading each table as a single segment.
 //
 // Durable catalogs checkpoint with SaveSnapshot/LoadSnapshot, which keep
 // each snapshot generation in its own epoch subdirectory published by an
@@ -33,11 +39,33 @@ import (
 	"cods/internal/colstore"
 )
 
-// FormatVersion identifies the on-disk layout.
-const FormatVersion = 1
+// FormatVersion identifies the on-disk layout: 2 is the segmented layout
+// (per-segment column files plus segment row counts in the manifest).
+const FormatVersion = 2
+
+// formatFlat is the pre-segmentation layout, still accepted by Load.
+const formatFlat = 1
 
 // catalogName is the snapshot's manifest file inside a catalog directory.
 const catalogName = "catalog.json"
+
+// CrashPoint, when non-nil, is called at named barriers inside the
+// checkpoint write path so crash-recovery tests can kill the process
+// between durability steps and assert recovery lands on exactly the
+// pre- or post-checkpoint state, never a hybrid. Points, in write order:
+//
+//	"segment-written"  segment column files durable, manifest not written
+//	"manifest-written" snapshot complete, CURRENT not yet swapped
+//	"current-swapped"  CURRENT durably republished, WAL not yet reset
+//
+// Production code never sets it.
+var CrashPoint func(point string)
+
+func crashPoint(point string) {
+	if CrashPoint != nil {
+		CrashPoint(point)
+	}
+}
 
 type catalogFile struct {
 	Format int            `json:"format"`
@@ -49,10 +77,19 @@ type catalogTable struct {
 	Columns []string `json:"columns"`
 	Key     []string `json:"key,omitempty"`
 	Rows    uint64   `json:"rows"`
+	// Segments lists the per-segment row counts in row order (format 2).
+	Segments []uint64 `json:"segments,omitempty"`
 }
 
+func segDirName(k int) string { return fmt.Sprintf("seg-%04d", k) }
+
 // Save writes the given tables to dir, creating it if needed. Existing
-// contents of dir are replaced.
+// contents of dir are replaced. Each row segment is written to its own
+// subdirectory, so an overlay flush followed by a checkpoint writes only
+// segment-sized files — the manifest splice, not the data, is what
+// changes for untouched segments (the files are still rewritten here;
+// avoiding that requires cross-generation sharing, which the epoch
+// layout deliberately forgoes for recovery simplicity).
 func Save(dir string, tables []*colstore.Table) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("storage: %w", err)
@@ -60,24 +97,29 @@ func Save(dir string, tables []*colstore.Table) error {
 	cat := catalogFile{Format: FormatVersion}
 	for _, t := range tables {
 		cat.Tables = append(cat.Tables, catalogTable{
-			Name:    t.Name(),
-			Columns: t.ColumnNames(),
-			Key:     t.Key(),
-			Rows:    t.NumRows(),
+			Name:     t.Name(),
+			Columns:  t.ColumnNames(),
+			Key:      t.Key(),
+			Rows:     t.NumRows(),
+			Segments: t.SegmentRows(),
 		})
 		tdir := filepath.Join(dir, t.Name())
 		if err := os.RemoveAll(tdir); err != nil {
 			return fmt.Errorf("storage: %w", err)
 		}
-		if err := os.MkdirAll(tdir, 0o755); err != nil {
-			return fmt.Errorf("storage: %w", err)
-		}
-		for i := 0; i < t.NumColumns(); i++ {
-			if err := writeColumnFile(filepath.Join(tdir, fmt.Sprintf("%d.col", i)), t.ColumnAt(i)); err != nil {
-				return err
+		for k, seg := range t.Segments() {
+			sdir := filepath.Join(tdir, segDirName(k))
+			if err := os.MkdirAll(sdir, 0o755); err != nil {
+				return fmt.Errorf("storage: %w", err)
+			}
+			for i := 0; i < seg.NumColumns(); i++ {
+				if err := writeColumnFile(filepath.Join(sdir, fmt.Sprintf("%d.col", i)), seg.ColumnAt(i)); err != nil {
+					return err
+				}
 			}
 		}
 	}
+	crashPoint("segment-written")
 	data, err := json.MarshalIndent(cat, "", "  ")
 	if err != nil {
 		return fmt.Errorf("storage: %w", err)
@@ -120,7 +162,9 @@ func writeColumnFile(path string, c *colstore.Column) error {
 	return f.Close()
 }
 
-// Load reads all tables from a directory written by Save.
+// Load reads all tables from a directory written by Save, accepting both
+// the segmented layout (format 2) and the flat pre-segmentation layout
+// (format 1, loaded as single-segment tables).
 func Load(dir string) ([]*colstore.Table, error) {
 	data, err := os.ReadFile(filepath.Join(dir, catalogName))
 	if err != nil {
@@ -130,25 +174,20 @@ func Load(dir string) ([]*colstore.Table, error) {
 	if err := json.Unmarshal(data, &cat); err != nil {
 		return nil, fmt.Errorf("storage: parsing catalog: %w", err)
 	}
-	if cat.Format != FormatVersion {
-		return nil, fmt.Errorf("storage: unsupported format %d (supported: %d)", cat.Format, FormatVersion)
+	if cat.Format != FormatVersion && cat.Format != formatFlat {
+		return nil, fmt.Errorf("storage: unsupported format %d (supported: %d, %d)", cat.Format, formatFlat, FormatVersion)
 	}
 	var tables []*colstore.Table
 	for _, ct := range cat.Tables {
-		cols := make([]*colstore.Column, len(ct.Columns))
-		for i := range ct.Columns {
-			c, err := readColumnFile(filepath.Join(dir, ct.Name, fmt.Sprintf("%d.col", i)))
-			if err != nil {
-				return nil, err
-			}
-			if c.Name() != ct.Columns[i] {
-				return nil, fmt.Errorf("storage: table %q column %d is %q on disk, catalog says %q", ct.Name, i, c.Name(), ct.Columns[i])
-			}
-			cols[i] = c
+		var t *colstore.Table
+		var err error
+		if cat.Format == formatFlat {
+			t, err = loadFlatTable(dir, ct)
+		} else {
+			t, err = loadSegmentedTable(dir, ct)
 		}
-		t, err := colstore.NewTable(ct.Name, cols, ct.Key)
 		if err != nil {
-			return nil, fmt.Errorf("storage: %w", err)
+			return nil, err
 		}
 		if t.NumRows() != ct.Rows {
 			return nil, fmt.Errorf("storage: table %q has %d rows on disk, catalog says %d", ct.Name, t.NumRows(), ct.Rows)
@@ -156,6 +195,61 @@ func Load(dir string) ([]*colstore.Table, error) {
 		tables = append(tables, t)
 	}
 	return tables, nil
+}
+
+// loadFlatTable reads a format-1 table (<table>/<n>.col) as one segment.
+func loadFlatTable(dir string, ct catalogTable) (*colstore.Table, error) {
+	cols, err := readSegmentColumns(filepath.Join(dir, ct.Name), ct)
+	if err != nil {
+		return nil, err
+	}
+	t, err := colstore.NewTable(ct.Name, cols, ct.Key)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	return t, nil
+}
+
+// loadSegmentedTable reads a format-2 table: one subdirectory per row
+// segment, reassembled in manifest order.
+func loadSegmentedTable(dir string, ct catalogTable) (*colstore.Table, error) {
+	segs := make([]*colstore.Segment, len(ct.Segments))
+	for k, rows := range ct.Segments {
+		cols, err := readSegmentColumns(filepath.Join(dir, ct.Name, segDirName(k)), ct)
+		if err != nil {
+			return nil, err
+		}
+		seg, err := colstore.NewSegment(cols)
+		if err != nil {
+			return nil, fmt.Errorf("storage: table %q segment %d: %w", ct.Name, k, err)
+		}
+		if seg.NumRows() != rows {
+			return nil, fmt.Errorf("storage: table %q segment %d has %d rows on disk, catalog says %d", ct.Name, k, seg.NumRows(), rows)
+		}
+		segs[k] = seg
+	}
+	t, err := colstore.NewSegmented(ct.Name, ct.Columns, segs, ct.Key)
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	return t, nil
+}
+
+// readSegmentColumns reads one directory of column files in schema order,
+// verifying on-disk names against the catalog.
+func readSegmentColumns(sdir string, ct catalogTable) ([]*colstore.Column, error) {
+	cols := make([]*colstore.Column, len(ct.Columns))
+	for i := range ct.Columns {
+		c, err := readColumnFile(filepath.Join(sdir, fmt.Sprintf("%d.col", i)))
+		if err != nil {
+			return nil, err
+		}
+		if c.Name() != ct.Columns[i] {
+			return nil, fmt.Errorf("storage: table %q column %d is %q on disk, catalog says %q", ct.Name, i, c.Name(), ct.Columns[i])
+		}
+		cols[i] = c
+	}
+	return cols, nil
 }
 
 func readColumnFile(path string) (*colstore.Column, error) {

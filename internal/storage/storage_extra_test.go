@@ -18,7 +18,7 @@ func TestLoadRejectsTruncatedColumn(t *testing.T) {
 	if err := Save(dir, []*colstore.Table{emp}); err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join(dir, "E", "1.col")
+	path := filepath.Join(dir, "E", "seg-0000", "1.col")
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -37,7 +37,7 @@ func TestLoadRejectsMissingColumnFile(t *testing.T) {
 	if err := Save(dir, []*colstore.Table{emp}); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.Remove(filepath.Join(dir, "E", "2.col")); err != nil {
+	if err := os.Remove(filepath.Join(dir, "E", "seg-0000", "2.col")); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Load(dir); err == nil {
@@ -54,7 +54,7 @@ func TestLoadRejectsRowCountMismatch(t *testing.T) {
 	// Swap in a column file with a different row count under the same
 	// column name.
 	other := colstore.NewColumnFromValues("Employee", []string{"only-one"})
-	f, err := os.Create(filepath.Join(dir, "E", "0.col"))
+	f, err := os.Create(filepath.Join(dir, "E", "seg-0000", "0.col"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestLoadRejectsColumnNameMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	renamed := colstore.NewColumnFromValues("Wrong", make([]string, 7))
-	f, err := os.Create(filepath.Join(dir, "E", "0.col"))
+	f, err := os.Create(filepath.Join(dir, "E", "seg-0000", "0.col"))
 	if err != nil {
 		t.Fatal(err)
 	}

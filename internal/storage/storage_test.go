@@ -111,7 +111,7 @@ func TestLoadRejectsCorruptColumn(t *testing.T) {
 	if err := Save(dir, []*colstore.Table{emp}); err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join(dir, "E", "0.col")
+	path := filepath.Join(dir, "E", "seg-0000", "0.col")
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)

@@ -457,6 +457,37 @@ func (b *Bitmap) Runs(yield func(start, length uint64) bool) {
 	flush()
 }
 
+// Slice returns a new bitmap of length end-start whose bit i is b's bit
+// start+i. end is clamped to Len(); start >= end yields an empty bitmap.
+// This is Concat's inverse at the storage level: it re-bases a vertical
+// stripe of a bitmap vector so a table can be split into row segments
+// without decompressing to positions. Cost is O(set runs overlapping the
+// window) plus the compressed output size.
+func (b *Bitmap) Slice(start, end uint64) *Bitmap {
+	out := New()
+	if end > b.nbits {
+		end = b.nbits
+	}
+	if start >= end {
+		return out
+	}
+	b.Runs(func(rs, rl uint64) bool {
+		re := rs + rl
+		if re <= start {
+			return true
+		}
+		if rs >= end {
+			return false
+		}
+		lo, hi := max(rs, start), min(re, end)
+		out.Extend(lo - start)
+		out.AppendRun(1, hi-lo)
+		return re < end
+	})
+	out.Extend(end - start)
+	return out
+}
+
 // AppendPositionsTo appends all set bit positions to dst and returns the
 // extended slice.
 func (b *Bitmap) AppendPositionsTo(dst []uint64) []uint64 {

@@ -1,0 +1,76 @@
+package wah
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refSlice extracts bits [start, end) of ref (clamped to len(ref)).
+func refSlice(ref []bool, start, end uint64) []bool {
+	if end > uint64(len(ref)) {
+		end = uint64(len(ref))
+	}
+	if start >= end {
+		return nil
+	}
+	return ref[start:end]
+}
+
+func TestSliceAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(400)
+		ref := make([]bool, n)
+		bm := New()
+		// Mix of long runs and noise, to exercise fills and literals.
+		dense := rng.Float64()
+		for i := 0; i < n; i++ {
+			ref[i] = rng.Float64() < dense
+			if ref[i] {
+				bm.AppendBit(1)
+			} else {
+				bm.AppendBit(0)
+			}
+		}
+		for k := 0; k < 20; k++ {
+			a := uint64(rng.Intn(n + 40))
+			b := uint64(rng.Intn(n + 40))
+			got := bm.Slice(a, b)
+			want := refSlice(ref, a, b)
+			if got.Len() != uint64(len(want)) {
+				// Slice clamps end to Len and yields empty for a >= end.
+				if !(a >= b || a >= uint64(n)) || got.Len() != 0 {
+					t.Fatalf("trial %d: Slice(%d,%d) len=%d want %d", trial, a, b, got.Len(), len(want))
+				}
+			}
+			for i, w := range want {
+				if got.Get(uint64(i)) != w {
+					t.Fatalf("trial %d: Slice(%d,%d) bit %d = %v want %v", trial, a, b, i, got.Get(uint64(i)), w)
+				}
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatalf("trial %d: Slice(%d,%d): %v", trial, a, b, err)
+			}
+		}
+	}
+}
+
+func TestSliceConcatInverse(t *testing.T) {
+	// Slicing at a boundary and concatenating the parts must reproduce
+	// the original bitmap.
+	bm := New()
+	bm.AppendRun(0, 100)
+	bm.AppendRun(1, 64)
+	bm.AppendBit(0)
+	bm.AppendBit(1)
+	bm.AppendRun(0, 31)
+	for _, cut := range []uint64{0, 1, 31, 62, 100, 163, 196, bm.Len()} {
+		left, right := bm.Slice(0, cut), bm.Slice(cut, bm.Len())
+		joined := left.Clone()
+		joined.Concat(right)
+		joined.Extend(bm.Len())
+		if !Equal(joined, bm) {
+			t.Fatalf("cut %d: slice+concat != original", cut)
+		}
+	}
+}

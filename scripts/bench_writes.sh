@@ -1,25 +1,50 @@
 #!/bin/sh
-# Sustained keyed-write benchmark -> BENCH_writes.json.
+# Write-path benchmarks -> BENCH_writes.json.
 #
-# Runs BenchmarkSustainedKeyedWrites at a fixed statement count (50000 by
-# default: the pending-rows scale the bounded-memory write path is
-# specified against — override with BENCH_WRITES_N) and records ns/op and
-# the reported memory gauges per configuration, so successive PRs
-# accumulate a comparable write-path perf trajectory.
+# Two series, both at a fixed statement count so ns/op is comparable
+# across runs and PRs:
+#
+#  - "sustained-keyed": BenchmarkSustainedKeyedWrites (50000 statements by
+#    default, override with BENCH_WRITES_N) — the overlay write path per
+#    retention configuration.
+#  - "huge-table": BenchmarkHugeTableSustainedWrites (20000 statements by
+#    default, override with BENCH_HUGE_N) — the same stream over 100k and
+#    1M base rows in segmented vs rebuild flush mode, the flat-vs-linear
+#    evidence for the segmented base storage. Set CODS_BENCH_HUGE=1 to add
+#    the 10M-row point (needs several GB of RAM).
 set -e
 n=${BENCH_WRITES_N:-50000}
+hn=${BENCH_HUGE_N:-20000}
 out=$(go test -run=NONE -bench=SustainedKeyedWrites -benchtime="${n}x" cods)
 echo "$out"
-echo "$out" | awk '
-  BEGIN { printf "[" }
-  $1 ~ /^BenchmarkSustainedKeyedWrites\// {
-    split($1, parts, "/")
-    sub(/-[0-9]+$/, "", parts[2])
-    if (found++) printf ","
-    printf "\n  {\"config\": \"%s\", \"statements\": %s, \"ns_per_op\": %s", parts[2], $2, $3
-    for (i = 5; i + 1 <= NF; i += 2) printf ", \"%s\": %s", $(i + 1), $i
-    printf "}"
-  }
-  END { print "\n]" }
-' > BENCH_writes.json
+hout=$(go test -run=NONE -bench=HugeTableSustainedWrites -benchtime="${hn}x" cods)
+echo "$hout"
+{
+	echo "$out" | awk '
+	  $1 ~ /^BenchmarkSustainedKeyedWrites\// {
+	    split($1, parts, "/")
+	    sub(/-[0-9]+$/, "", parts[2])
+	    if (found++) printf ","
+	    printf "\n  {\"bench\": \"sustained-keyed\", \"config\": \"%s\", \"statements\": %s, \"ns_per_op\": %s", parts[2], $2, $3
+	    for (i = 5; i + 1 <= NF; i += 2) printf ", \"%s\": %s", $(i + 1), $i
+	    printf "}"
+	  }
+	  BEGIN { printf "[" }
+	'
+	echo "$hout" | awk '
+	  $1 ~ /^BenchmarkHugeTableSustainedWrites\// {
+	    split($1, parts, "/")
+	    sub(/-[0-9]+$/, "", parts[3])
+	    base = parts[2]
+	    sub(/^base/, "", base)
+	    rows = base
+	    sub(/k$/, "000", rows)
+	    sub(/M$/, "000000", rows)
+	    printf ",\n  {\"bench\": \"huge-table\", \"base_rows\": %s, \"mode\": \"%s\", \"statements\": %s, \"ns_per_op\": %s", rows, parts[3], $2, $3
+	    for (i = 5; i + 1 <= NF; i += 2) printf ", \"%s\": %s", $(i + 1), $i
+	    printf "}"
+	  }
+	'
+	printf "\n]\n"
+} > BENCH_writes.json
 echo "wrote BENCH_writes.json"

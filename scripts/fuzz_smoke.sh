@@ -1,0 +1,19 @@
+#!/bin/sh
+# Native go-fuzz pass over the hand-written kernels with reference models:
+# the WAH binop/OrAllP/run-decoder kernels and the SMO parser's
+# render-reparse round trip (what the WAL replays through). Each target
+# always runs its checked-in seed corpus; FUZZ_TIME of live fuzzing per
+# target on top (default 5s — the CI smoke; `make fuzz` runs longer).
+set -e
+t=${FUZZ_TIME:-5s}
+for target in \
+	"cods/internal/wah FuzzBinop" \
+	"cods/internal/wah FuzzOrAllP" \
+	"cods/internal/wah FuzzRunsDecode" \
+	"cods/internal/smo FuzzParseScriptRoundTrip" \
+; do
+	pkg=${target% *}
+	fn=${target#* }
+	echo "fuzz $pkg $fn ($t)"
+	go test -run="^$fn\$" -fuzz="^$fn\$" -fuzztime="$t" "$pkg"
+done
