@@ -738,3 +738,72 @@ func BenchmarkHugeTableSustainedWrites(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEvolutionDecompose measures a schema evolution on a segmented
+// 1M-row table: 99% of the rows sit in one merged base segment and 1% in
+// a flushed tail, the steady state the tiered merge policy converges to.
+// Each iteration inserts one row (so the evolution always sees a fresh
+// table — no memoized stitching survives between iterations), runs
+// DECOMPOSE, and rolls back. "segmentwise" is the production map/merge
+// evolution path; "rebuild" forces the pre-segmentation monolithic
+// algorithms (Config.RebuildEvolve), which stitch every input column
+// before evolving. The gap between the two is the win the segment-wise
+// fan-out buys on evolution latency. Run with -benchtime=20x for the
+// BENCH_writes.json "evolution" series.
+func BenchmarkEvolutionDecompose(b *testing.B) {
+	const baseRows = 990_000
+	const tailRows = 10_000
+	for _, mode := range []string{"segmentwise", "rebuild"} {
+		b.Run(mode, func(b *testing.B) {
+			cfg := cods.Config{RetainVersions: 8, SegmentMergeRatio: -1}
+			cfg.RebuildEvolve = mode == "rebuild"
+			db := cods.Open(cfg)
+			rows := make([][]string, baseRows)
+			for i := range rows {
+				g := i % 32
+				rows[i] = []string{fmt.Sprintf("k%08d", i), fmt.Sprintf("g%02d", g), fmt.Sprintf("d%d", g%7)}
+			}
+			if err := db.CreateTableFromRows("T", []string{"K", "G", "D"}, []string{"K"}, rows); err != nil {
+				b.Fatal(err)
+			}
+			rows = nil
+			for i := 0; i < tailRows; i++ {
+				g := i % 32
+				stmt := fmt.Sprintf("INSERT INTO T VALUES ('t%08d', 'g%02d', 'd%d')", i, g, g%7)
+				if _, err := db.Exec(stmt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := db.Compact(); err != nil {
+				b.Fatal(err)
+			}
+			runtime.GC()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v := db.Version()
+				if _, err := db.Exec(fmt.Sprintf("INSERT INTO T VALUES ('x%08d', 'g00', 'd0')", i)); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := db.Exec("DECOMPOSE TABLE T INTO A (K, G), B (G, D)"); err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					// The reused output must keep the input's segmentation
+					// (merged base + tail + fresh flush), not arrive
+					// restitched as one segment.
+					for _, ts := range db.MemStats().Tables {
+						if ts.Table == "A" {
+							b.ReportMetric(float64(ts.Segments), "a-segments")
+							if ts.Segments < 2 {
+								b.Fatalf("evolution output A has %d segments, want multi-segment", ts.Segments)
+							}
+						}
+					}
+				}
+				if err := db.Rollback(v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

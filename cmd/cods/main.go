@@ -7,7 +7,9 @@
 //
 //	cods [-dir dbdir] [-validate] [-quiet] [script.smo ...]
 //	cods serve [-addr :8344] [-dir dbdir] [-max-inflight N]
-//	           [-parallelism N] [-retain N] [-autocompact N] [-quiet]
+//	           [-parallelism N] [-retain N] [-autocompact N]
+//	           [-merge-ratio N] [-background-merge] [-rebuild-evolve]
+//	           [-quiet]
 //
 // With script arguments, each file is executed and the process exits;
 // otherwise an interactive prompt starts. Type \help at the prompt for the
@@ -130,6 +132,7 @@ func runServe(args []string) error {
 	autoCompact := fs.Int("autocompact", 0, "compact a table's delta overlay once it holds this many pending rows (0 = only at checkpoints)")
 	mergeRatio := fs.Int("merge-ratio", 0, "tiered segment-merge size ratio (0 = default 2, negative = never merge)")
 	bgMerge := fs.Bool("background-merge", false, "run tiered segment merges on a background goroutine instead of inline")
+	rebuildEvolve := fs.Bool("rebuild-evolve", false, "run evolutions with the monolithic pre-segmentation algorithms (correctness oracle; slower)")
 	quiet := fs.Bool("quiet", false, "suppress the per-request log")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -139,7 +142,7 @@ func runServe(args []string) error {
 	logger := log.New(os.Stderr, "cods-serve ", log.LstdFlags)
 	cfg := cods.Config{
 		Parallelism: *parallelism, RetainVersions: *retain, AutoCompactPending: *autoCompact,
-		SegmentMergeRatio: *mergeRatio, BackgroundMerge: *bgMerge,
+		SegmentMergeRatio: *mergeRatio, BackgroundMerge: *bgMerge, RebuildEvolve: *rebuildEvolve,
 	}
 	var db *cods.DB
 	var err error

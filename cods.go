@@ -99,6 +99,12 @@ type Config struct {
 	// monolithic segment — the pre-segmentation write path, kept as a
 	// correctness oracle and benchmark baseline. Leave it off.
 	RebuildOnFlush bool
+	// RebuildEvolve makes every Schema Modification Operator run its
+	// pre-segmentation monolithic algorithm, stitching each input table
+	// into one segment before evolving it — kept as a correctness oracle
+	// and benchmark baseline for the segment-wise map/merge evolution
+	// path that is the default. Leave it off.
+	RebuildEvolve bool
 }
 
 // DB is a CODS database: a catalog of bitmap-indexed column-store tables
@@ -148,6 +154,7 @@ func Open(cfg Config) *DB {
 		SegmentMergeRatio:  cfg.SegmentMergeRatio,
 		BackgroundMerge:    cfg.BackgroundMerge,
 		RebuildFlush:       cfg.RebuildOnFlush,
+		RebuildEvolve:      cfg.RebuildEvolve,
 	}), cfg: cfg}
 }
 
@@ -367,17 +374,46 @@ type MemStats struct {
 	// Compactions counts overlay compactions (explicit, checkpoint, or
 	// automatic) since the database opened.
 	Compactions uint64
+	// SegmentMerges counts tiered segment merges (inline and background,
+	// after flushes and after evolutions) since the database opened.
+	SegmentMerges uint64
+	// Tables holds per-table segment-layout gauges, sorted by table
+	// name. A segment count that keeps growing means the merge policy is
+	// not keeping up with the write stream.
+	Tables []TableSegments
+}
+
+// TableSegments is one table's segment-layout gauge: how many base
+// segments the table holds and how skewed their row counts are.
+type TableSegments struct {
+	// Table is the table name.
+	Table string
+	// Segments is the number of base segments.
+	Segments int
+	// MinRows and MaxRows bound the per-segment row counts; both are 0
+	// for an empty table.
+	MinRows, MaxRows uint64
 }
 
 // MemStats returns the current memory-pressure gauges, lock-free.
 func (db *DB) MemStats() MemStats {
 	ms := db.engine.MemStats()
-	return MemStats{
+	out := MemStats{
 		RetainedVersions:      ms.RetainedVersions,
 		OldestRetainedVersion: ms.OldestRetained,
 		PendingRows:           ms.PendingRows,
 		Compactions:           ms.Compactions,
+		SegmentMerges:         ms.SegmentMerges,
 	}
+	for _, t := range ms.Tables {
+		out.Tables = append(out.Tables, TableSegments{
+			Table:    t.Table,
+			Segments: t.Segments,
+			MinRows:  t.MinRows,
+			MaxRows:  t.MaxRows,
+		})
+	}
+	return out
 }
 
 // Close releases a durable database's write-ahead log. Further

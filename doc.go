@@ -66,6 +66,24 @@
 // catalogs persist one directory per segment and cross-check the
 // manifest's row counts on load.
 //
+// # Segment-wise evolution
+//
+// Schema Modification Operators run segment-wise too: each operator maps
+// over the input's segments (local dictionaries, local bitmaps — fanned
+// out like any other bitmap work) and merges the per-segment results
+// under a union dictionary, so evolution cost tracks distinct values and
+// touched segments rather than the stitched table size, and evolution
+// outputs stay segmented — UNION adopts both inputs' segments outright,
+// a key–FK MERGE keeps one output segment per fact segment, and the
+// deduplicated DECOMPOSE side packs each segment's surviving rows into a
+// segment of its own. Outputs feed back into the tiered merge policy,
+// and MemStats reports the per-table segment layout plus the running
+// merge count. Config.RebuildEvolve forces the pre-segmentation
+// monolithic algorithms instead — like RebuildOnFlush, an oracle (the
+// property test requires byte-identical tables from both paths) and the
+// baseline the evolution benchmark measures the segment-wise win
+// against. Leave both off in production.
+//
 // # Bounded memory: retention and auto-compaction
 //
 // Every statement produces a rollback-able catalog version, so on

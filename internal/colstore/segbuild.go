@@ -1,0 +1,80 @@
+package colstore
+
+import (
+	"fmt"
+
+	"cods/internal/dict"
+	"cods/internal/wah"
+)
+
+// RemapInto is the dictionary-remap kernel of segment-wise evolution: it
+// interns every value of c's dictionary into target — the global
+// dictionary-union step of a merge phase — and returns mapping with
+// mapping[id] equal to the target id of c.Dict().Value(id). Re-keying the
+// column's per-value WAH bitmaps under the merged dictionary is then pure
+// pointer movement: each bitmap keeps its compressed runs verbatim and
+// only its dictionary id changes, so no bitmap is ever decoded. Cost is
+// O(local distinct values), independent of row count.
+func (c *Column) RemapInto(target *dict.Dict) []uint32 {
+	mapping := make([]uint32, c.dict.Len())
+	for id := 0; id < c.dict.Len(); id++ {
+		mapping[id] = target.Intern(c.dict.Value(uint32(id)))
+	}
+	return mapping
+}
+
+// SegmentBuilder assembles one output segment of a segment-wise evolution
+// operator: the map phase of DECOMPOSE/MERGE/PARTITION produces one output
+// segment per input segment, and each is put together here — either by
+// sharing an input column verbatim (zero copy) or from freshly filtered
+// per-value bitmaps. Slots follow the output schema order given at
+// construction; Finish refuses to seal until every slot is filled and all
+// columns agree on the row count.
+type SegmentBuilder struct {
+	schema []string
+	cols   []*Column
+}
+
+// NewSegmentBuilder returns a builder for a segment with the given output
+// schema (column names in order).
+func NewSegmentBuilder(schema []string) *SegmentBuilder {
+	return &SegmentBuilder{schema: append([]string(nil), schema...), cols: make([]*Column, len(schema))}
+}
+
+// SetShared fills schema slot i with an existing immutable column, sharing
+// its dictionary and bitmaps. The column's name must match the slot.
+func (sb *SegmentBuilder) SetShared(i int, c *Column) error {
+	if i < 0 || i >= len(sb.cols) {
+		return fmt.Errorf("colstore: segment builder has no slot %d", i)
+	}
+	if c.Name() != sb.schema[i] {
+		return fmt.Errorf("colstore: column %q in slot %d, expected %q", c.Name(), i, sb.schema[i])
+	}
+	sb.cols[i] = c
+	return nil
+}
+
+// SetFromBitmaps fills schema slot i from per-value bitmaps, dropping
+// values whose bitmaps are nil or empty (values that did not survive the
+// operator in this segment).
+func (sb *SegmentBuilder) SetFromBitmaps(i int, values []string, bitmaps []*wah.Bitmap, nrows uint64) error {
+	if i < 0 || i >= len(sb.cols) {
+		return fmt.Errorf("colstore: segment builder has no slot %d", i)
+	}
+	c, err := NewColumnFromBitmaps(sb.schema[i], values, bitmaps, nrows)
+	if err != nil {
+		return err
+	}
+	sb.cols[i] = c
+	return nil
+}
+
+// Finish seals the builder into an immutable Segment.
+func (sb *SegmentBuilder) Finish() (*Segment, error) {
+	for i, c := range sb.cols {
+		if c == nil {
+			return nil, fmt.Errorf("colstore: segment builder slot %d (%q) never filled", i, sb.schema[i])
+		}
+	}
+	return NewSegment(sb.cols)
+}

@@ -205,12 +205,12 @@ func mergeColumn(segs []*Segment, ci int, nrows uint64) *Column {
 	var off uint64
 	for _, s := range segs {
 		bc := s.cols[ci].ToBitmapEncoding()
+		mapping := bc.RemapInto(d)
+		for int(d.Len()) > len(bitmaps) {
+			bitmaps = append(bitmaps, wah.New())
+		}
 		for id, bm := range bc.bitmaps {
-			tid := d.Intern(bc.dict.Value(uint32(id)))
-			for int(tid) >= len(bitmaps) {
-				bitmaps = append(bitmaps, wah.New())
-			}
-			dst := bitmaps[tid]
+			dst := bitmaps[mapping[id]]
 			dst.Extend(off)
 			dst.Concat(bm)
 		}

@@ -69,6 +69,12 @@ type Config struct {
 	// monolithic segment — the pre-segmentation write path, kept as the
 	// property-test oracle and the benchmark baseline.
 	RebuildFlush bool
+	// RebuildEvolve makes every evolution operator run its monolithic
+	// algorithm over the stitched whole-table view and emit
+	// single-segment outputs — the pre-segmentation evolution path, kept
+	// as the correctness oracle and benchmark baseline for the
+	// segment-wise default (mirroring RebuildFlush on the write path).
+	RebuildEvolve bool
 }
 
 // mergeRatio resolves the configured segment merge ratio; ok is false
@@ -377,6 +383,7 @@ func (e *Engine) Apply(op smo.Op) (*Result, error) {
 	opts := evolve.Options{
 		Parallelism: e.cfg.Parallelism,
 		ValidateFD:  e.cfg.ValidateFD,
+		Rebuild:     e.cfg.RebuildEvolve,
 		Status: func(step string) {
 			res.Steps = append(res.Steps, step)
 			if e.cfg.Status != nil {
@@ -515,6 +522,23 @@ func (e *Engine) wrapOne(t *colstore.Table) *delta.Overlay {
 		ov = ov.WithRebuildFlush(true)
 	}
 	return ov
+}
+
+// wrapEvolved boxes segment-mapped evolution outputs, first running each
+// through the tiered merge policy: operators emit one output segment per
+// contributing input segment, so without this an evolution chain would
+// balloon the segment count. The same policy (and the same background
+// mode) as post-flush merging applies.
+func (e *Engine) wrapEvolved(ts ...*colstore.Table) ([]*delta.Overlay, error) {
+	out := make([]*delta.Overlay, len(ts))
+	for i, t := range ts {
+		mt, err := e.mergeAfterFlush(t)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = e.wrapOne(mt)
+	}
+	return out, nil
 }
 
 // mergeAfterFlush applies the tiered merge policy to a freshly flushed
@@ -777,7 +801,11 @@ func (e *Engine) execute(op smo.Op, opts evolve.Options) (add []*delta.Overlay, 
 		if err := e.ensureFree(o.To); err != nil {
 			return nil, nil, err
 		}
-		return e.wrap(evolve.Copy(t, o.To, opts)), nil, nil
+		out, err := evolve.Copy(t, o.To, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return e.wrap(out), nil, nil
 
 	case smo.UnionTables:
 		a, err := get(o.A)
@@ -795,7 +823,11 @@ func (e *Engine) execute(op smo.Op, opts evolve.Options) (add []*delta.Overlay, 
 		if err != nil {
 			return nil, nil, err
 		}
-		return e.wrap(u), []string{o.A, o.B}, nil
+		add, err := e.wrapEvolved(u)
+		if err != nil {
+			return nil, nil, err
+		}
+		return add, []string{o.A, o.B}, nil
 
 	case smo.PartitionTable:
 		t, err := get(o.Table)
@@ -815,7 +847,11 @@ func (e *Engine) execute(op smo.Op, opts evolve.Options) (add []*delta.Overlay, 
 		if err != nil {
 			return nil, nil, err
 		}
-		return e.wrap(yes, no), []string{o.Table}, nil
+		add, err := e.wrapEvolved(yes, no)
+		if err != nil {
+			return nil, nil, err
+		}
+		return add, []string{o.Table}, nil
 
 	case smo.DecomposeTable:
 		t, err := get(o.Table)
@@ -835,7 +871,11 @@ func (e *Engine) execute(op smo.Op, opts evolve.Options) (add []*delta.Overlay, 
 		if err != nil {
 			return nil, nil, err
 		}
-		return e.wrap(res.S, res.T), []string{o.Table}, nil
+		add, err := e.wrapEvolved(res.S, res.T)
+		if err != nil {
+			return nil, nil, err
+		}
+		return add, []string{o.Table}, nil
 
 	case smo.MergeTables:
 		a, err := get(o.A)
@@ -853,7 +893,11 @@ func (e *Engine) execute(op smo.Op, opts evolve.Options) (add []*delta.Overlay, 
 		if err != nil {
 			return nil, nil, err
 		}
-		return e.wrap(res.Table), []string{o.A, o.B}, nil
+		add, err := e.wrapEvolved(res.Table)
+		if err != nil {
+			return nil, nil, err
+		}
+		return add, []string{o.A, o.B}, nil
 
 	case smo.AddColumn:
 		t, err := get(o.Table)

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // ErrVersionPruned matches (via errors.Is) Rollback failures against a
@@ -85,18 +86,54 @@ type MemStats struct {
 	PendingRows uint64
 	// Compactions counts overlay compactions since the engine started.
 	Compactions uint64
+	// SegmentMerges counts tiered segment merges since the engine started
+	// (inline and background, post-flush and post-evolution).
+	SegmentMerges uint64
+	// Tables holds per-table segment gauges for the published catalog,
+	// sorted by table name.
+	Tables []TableSegments
 }
 
-// MemStats returns the current memory-pressure gauges, lock-free.
+// TableSegments is one table's segment-layout gauge: how many base
+// segments it holds and how skewed their sizes are. A segment count that
+// keeps growing (or a tiny MinRows against a huge MaxRows outside the
+// normal tiered layout) means the merge policy is not keeping up.
+type TableSegments struct {
+	// Table is the table name.
+	Table string
+	// Segments is the number of base segments.
+	Segments int
+	// MinRows and MaxRows bound the per-segment row counts. Both are 0
+	// for an empty table.
+	MinRows, MaxRows uint64
+}
+
+// MemStats returns the current memory-pressure gauges, lock-free: the
+// per-table segment gauges read each overlay's immutable base from the
+// published catalog, so no writer lock is needed even mid-evolution.
 func (e *Engine) MemStats() MemStats {
 	ms := MemStats{
 		RetainedVersions: int(e.retained.Load()),
 		OldestRetained:   int(e.oldestGauge.Load()),
 		Compactions:      e.compactions.Load(),
+		SegmentMerges:    e.merges.Load(),
 	}
 	cat := e.Catalog()
-	for _, ov := range cat.tables {
+	for name, ov := range cat.tables {
 		ms.PendingRows += uint64(ov.PendingAdded()) + ov.PendingDeleted()
+		ts := TableSegments{Table: name}
+		rows := ov.Base().SegmentRows()
+		ts.Segments = len(rows)
+		for _, r := range rows {
+			if ts.MinRows == 0 || r < ts.MinRows {
+				ts.MinRows = r
+			}
+			if r > ts.MaxRows {
+				ts.MaxRows = r
+			}
+		}
+		ms.Tables = append(ms.Tables, ts)
 	}
+	sort.Slice(ms.Tables, func(i, j int) bool { return ms.Tables[i].Table < ms.Tables[j].Table })
 	return ms
 }

@@ -532,7 +532,10 @@ func TestAddDropColumn(t *testing.T) {
 
 func TestCopyShares(t *testing.T) {
 	r := figure1R(t)
-	c := Copy(r, "RCopy", Options{})
+	c, err := Copy(r, "RCopy", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if c.Name() != "RCopy" || c.NumRows() != r.NumRows() {
 		t.Fatalf("copy: %v", c)
 	}

@@ -26,13 +26,28 @@ type joinGroup struct {
 // with stride n2 ("non-consecutive but with the same distance"); both
 // layouts are emitted in ascending output position, so every per-value
 // bitmap is built by monotone compressed appends.
+//
+// Segment-wise (the default), pass 1 builds the join groups per segment —
+// each segment decodes its local per-value position lists, restitched at
+// segment offsets under a union dictionary — and pass 2 reads row ids
+// through the same remapping instead of a stitched column, so no input
+// bitmap is ever concatenated. The output is inherently a reshuffle and
+// is emitted as a single fresh segment either way; the two paths produce
+// identical tables because the union dictionary order equals the stitched
+// dictionary order by construction.
 func MergeGeneral(s, t *colstore.Table, outName string, opt Options) (*colstore.Table, error) {
 	common, err := commonColumns(s, t)
 	if err != nil {
 		return nil, err
 	}
-	opt.trace(fmt.Sprintf("general mergence pass 1: counting join values of %v", common))
-	groups, err := buildJoinGroups(s, t, common, opt)
+	var groups []joinGroup
+	if opt.Rebuild {
+		opt.trace(fmt.Sprintf("general mergence pass 1: counting join values of %v", common))
+		groups, err = buildJoinGroups(s, t, common, opt)
+	} else {
+		opt.trace(fmt.Sprintf("general mergence pass 1 (map): building join groups of %v from %d+%d segments", common, s.NumSegments(), t.NumSegments()))
+		groups, err = buildJoinGroupsSegmented(s, t, common, opt)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -44,6 +59,22 @@ func MergeGeneral(s, t *colstore.Table, outName string, opt Options) (*colstore.
 
 	opt.trace(fmt.Sprintf("general mergence pass 2: laying out %d output rows clustered by join value", outRows))
 
+	// colIDs reads a column's per-row value ids and its dictionary — from
+	// the stitched whole-table view on the oracle path, via per-segment
+	// decode and dictionary-union remapping (no bitmap stitch) on the
+	// segment-wise path. Both produce identical (ids, dictionary) pairs,
+	// so pass 2 below is shared.
+	colIDs := func(tab *colstore.Table, cn string) ([]uint32, *dict.Dict, error) {
+		if opt.Rebuild {
+			c, err := tab.Column(cn)
+			if err != nil {
+				return nil, nil, err
+			}
+			return c.RowIDs(), c.Dict(), nil
+		}
+		return rowIDsRemapped(tab, cn, opt)
+	}
+
 	// Pass 2 builds each output column from the shared (read-only) group
 	// layout with its own builder, so the columns are independent tasks.
 	var tasks []func() (*colstore.Column, error)
@@ -51,12 +82,11 @@ func MergeGeneral(s, t *colstore.Table, outName string, opt Options) (*colstore.
 	// Join attribute columns: per group a single fill run.
 	for _, cn := range common {
 		tasks = append(tasks, func() (*colstore.Column, error) {
-			sc, err := s.Column(cn)
+			ids, d, err := colIDs(s, cn)
 			if err != nil {
 				return nil, err
 			}
-			ids := sc.RowIDs()
-			b := colstore.NewColumnBuilderWithDict(cn, sc.Dict())
+			b := colstore.NewColumnBuilderWithDict(cn, d)
 			for _, g := range groups {
 				v := ids[g.sPositions[0]]
 				b.AppendRunID(v, uint64(len(g.sPositions))*uint64(len(g.tPositions)))
@@ -68,12 +98,11 @@ func MergeGeneral(s, t *colstore.Table, outName string, opt Options) (*colstore.
 	// Non-join attributes of s: consecutive runs of length n2.
 	for _, cn := range minus(s.ColumnNames(), common) {
 		tasks = append(tasks, func() (*colstore.Column, error) {
-			sc, err := s.Column(cn)
+			ids, d, err := colIDs(s, cn)
 			if err != nil {
 				return nil, err
 			}
-			ids := sc.RowIDs()
-			b := colstore.NewColumnBuilderWithDict(cn, sc.Dict())
+			b := colstore.NewColumnBuilderWithDict(cn, d)
 			for _, g := range groups {
 				n2 := uint64(len(g.tPositions))
 				for _, p := range g.sPositions {
@@ -89,12 +118,11 @@ func MergeGeneral(s, t *colstore.Table, outName string, opt Options) (*colstore.
 	// repetition so appends stay monotone.
 	for _, cn := range minus(t.ColumnNames(), common) {
 		tasks = append(tasks, func() (*colstore.Column, error) {
-			tc, err := t.Column(cn)
+			ids, d, err := colIDs(t, cn)
 			if err != nil {
 				return nil, err
 			}
-			ids := tc.RowIDs()
-			b := colstore.NewColumnBuilderWithDict(cn, tc.Dict())
+			b := colstore.NewColumnBuilderWithDict(cn, d)
 			var runIDs []uint32
 			var runLens []uint64
 			for _, g := range groups {
@@ -179,6 +207,12 @@ func buildJoinGroups(s, t *colstore.Table, common []string, opt Options) ([]join
 	if err != nil {
 		return nil, err
 	}
+	return groupComposite(sKeys, tKeys), nil
+}
+
+// groupComposite groups the per-row composite join keys of both inputs
+// into joinGroups, ordered by first appearance in s.
+func groupComposite(sKeys, tKeys []string) []joinGroup {
 	tIndex := make(map[string][]uint64)
 	for row, k := range tKeys {
 		tIndex[k] = append(tIndex[k], uint64(row))
@@ -198,7 +232,79 @@ func buildJoinGroups(s, t *colstore.Table, common []string, opt Options) ([]join
 		}
 		groups[gi].sPositions = append(groups[gi].sPositions, uint64(row))
 	}
-	return groups, nil
+	return groups
+}
+
+// buildJoinGroupsSegmented is buildJoinGroups without the stitch: for a
+// single join attribute each input's per-value global position lists come
+// from per-segment decodes restitched at segment offsets under a union
+// dictionary (valuePositions), and group order follows that dictionary's
+// id order — equal to the stitched dictionary order the monolithic path
+// uses. Composite joins materialize per-row keys segment by segment and
+// share the grouping with the monolithic path.
+func buildJoinGroupsSegmented(s, t *colstore.Table, common []string, opt Options) ([]joinGroup, error) {
+	if len(common) == 1 {
+		sPos, sDict, err := valuePositions(s, common[0], opt)
+		if err != nil {
+			return nil, err
+		}
+		tPos, tDict, err := valuePositions(t, common[0], opt)
+		if err != nil {
+			return nil, err
+		}
+		var groups []joinGroup
+		for id := 0; id < sDict.Len(); id++ {
+			tid := tDict.Lookup(sDict.Value(uint32(id)))
+			if tid == dict.NoID {
+				continue
+			}
+			groups = append(groups, joinGroup{sPositions: sPos[id], tPositions: tPos[tid]})
+		}
+		return groups, nil
+	}
+	sKeys, err := compositeKeysSegmented(s, common, opt)
+	if err != nil {
+		return nil, err
+	}
+	tKeys, err := compositeKeysSegmented(t, common, opt)
+	if err != nil {
+		return nil, err
+	}
+	return groupComposite(sKeys, tKeys), nil
+}
+
+// compositeKeysSegmented materializes the composite join key of every
+// row, one segment at a time (fanned out; the keys are value-based, so
+// per-segment results agree with the whole-table scan).
+func compositeKeysSegmented(t *colstore.Table, columns []string, opt Options) ([]string, error) {
+	segs := t.Segments()
+	offs := segmentOffsets(segs)
+	out := make([]string, t.NumRows())
+	if err := opt.forEachErr(len(segs), func(i int) error {
+		s := segs[i]
+		ids := make([][]uint32, len(columns))
+		dicts := make([]func(uint32) string, len(columns))
+		for j, cn := range columns {
+			c, err := s.Column(cn)
+			if err != nil {
+				return err
+			}
+			ids[j] = c.RowIDs()
+			dicts[j] = c.Dict().Value
+		}
+		off := offs[i]
+		for row := uint64(0); row < s.NumRows(); row++ {
+			k := ""
+			for j := range ids {
+				k += dicts[j](ids[j][row]) + "\x00"
+			}
+			out[off+row] = k
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // compositeKeys materializes the composite join key of every row.

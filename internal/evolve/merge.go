@@ -48,11 +48,29 @@ func Merge(s, t *colstore.Table, outName string, opt Options) (*MergeResult, err
 // Every fact key value must exist in the dimension (foreign-key
 // integrity); a dangling reference is an error rather than a silent row
 // drop, because dropped rows would make the fact columns non-reusable.
+//
+// Segment-wise (the default), the map phase handles one fact segment at a
+// time: its columns are adopted verbatim (zero copy, even on
+// multi-segment fact tables, where the monolithic oracle would stitch)
+// and the dimension's non-key columns are generated from the segment's
+// local key bitmaps. The merge phase is the dimension-side preparation
+// shared by all map tasks: the key → row index and a cross-segment union
+// dictionary per generated column (RemapInto). One output segment per
+// fact segment.
 func MergeKeyFK(s, t *colstore.Table, outName string, opt Options) (*MergeResult, error) {
 	common, err := commonColumns(s, t)
 	if err != nil {
 		return nil, err
 	}
+	if !opt.Rebuild {
+		return mergeKeyFKSegmented(s, t, outName, common, opt)
+	}
+	return mergeKeyFKRebuild(s, t, outName, common, opt)
+}
+
+// mergeKeyFKRebuild is the monolithic oracle: it consumes the stitched
+// whole-table view of both inputs and emits a single-segment output.
+func mergeKeyFKRebuild(s, t *colstore.Table, outName string, common []string, opt Options) (*MergeResult, error) {
 	fact, dim := s, t
 	if !keyedBy(t, common) {
 		if !keyedBy(s, common) {
@@ -250,4 +268,150 @@ func columnsOf(t *colstore.Table) []*colstore.Column {
 		cols[i] = t.ColumnAt(i)
 	}
 	return cols
+}
+
+// mergeKeyFKSegmented is the segment-wise key–foreign-key mergence. The
+// dimension-side inputs (key index, per-column union dictionaries and
+// per-row global value ids) are prepared once; each fact segment is then
+// an independent map task producing one output segment.
+func mergeKeyFKSegmented(s, t *colstore.Table, outName string, common []string, opt Options) (*MergeResult, error) {
+	fact, dim := s, t
+	if !keyedBySegmented(t, common) {
+		if !keyedBySegmented(s, common) {
+			return nil, fmt.Errorf("%w (common: %v)", ErrNotKeyFK, common)
+		}
+		fact, dim = t, s
+	}
+	factSegs := fact.Segments()
+	opt.trace(fmt.Sprintf("mergence map: %d fact segments of %s adopt their columns unchanged; %s's non-key columns generated per segment", len(factSegs), fact.Name(), dim.Name()))
+
+	dimIndex, err := segRowIndex(dim, common)
+	if err != nil {
+		return nil, err
+	}
+	gen := minus(dim.ColumnNames(), common)
+	genIDs := make([][]uint32, len(gen))
+	genDicts := make([]*dict.Dict, len(gen))
+	for i, cn := range gen {
+		ids, d, err := rowIDsRemapped(dim, cn, opt)
+		if err != nil {
+			return nil, err
+		}
+		genIDs[i], genDicts[i] = ids, d
+	}
+	schema := append(fact.ColumnNames(), gen...)
+
+	outSegs := make([]*colstore.Segment, len(factSegs))
+	if err := opt.forEachErr(len(factSegs), func(i int) error {
+		seg, err := mergeKeyFKSegment(factSegs[i], fact.Name(), dim.Name(), schema, common, gen, genIDs, genDicts, dimIndex, opt)
+		outSegs[i] = seg
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	out, err := colstore.NewSegmented(outName, schema, outSegs, fact.Key())
+	if err != nil {
+		return nil, err
+	}
+	return &MergeResult{Table: out, Reused: fact.Name()}, nil
+}
+
+// mergeKeyFKSegment builds one output segment from one fact segment: the
+// fact columns are shared verbatim and each generated dimension column is
+// the OR-combination of this segment's local key bitmaps, grouped by the
+// dimension value they join to.
+func mergeKeyFKSegment(fs *colstore.Segment, factName, dimName string, schema, common, gen []string, genIDs [][]uint32, genDicts []*dict.Dict, dimIndex map[string]uint64, opt Options) (*colstore.Segment, error) {
+	groups, err := localFactGroups(fs, factName, dimName, common, dimIndex)
+	if err != nil {
+		return nil, err
+	}
+	sb := colstore.NewSegmentBuilder(schema)
+	for ci := 0; ci < fs.NumColumns(); ci++ {
+		if err := sb.SetShared(ci, fs.ColumnAt(ci)); err != nil {
+			return nil, err
+		}
+	}
+	for gi := range gen {
+		d, ids := genDicts[gi], genIDs[gi]
+		grouped := make([][]*wah.Bitmap, d.Len())
+		for _, g := range groups {
+			u := ids[g.dimRow]
+			grouped[u] = append(grouped[u], g.factBitmap)
+		}
+		values := make([]string, d.Len())
+		bitmaps := make([]*wah.Bitmap, d.Len())
+		opt.forEach(d.Len(), func(u int) {
+			values[u] = d.Value(uint32(u))
+			if len(grouped[u]) == 0 {
+				return
+			}
+			bm := wah.OrAll(grouped[u])
+			bm.Extend(fs.NumRows())
+			bitmaps[u] = bm
+		})
+		if err := sb.SetFromBitmaps(fs.NumColumns()+gi, values, bitmaps, fs.NumRows()); err != nil {
+			return nil, err
+		}
+	}
+	return sb.Finish()
+}
+
+// localFactGroups builds one factGroup per referenced dimension row from
+// a single fact segment: factBitmap positions are segment-local, dimRow
+// is global. A fact value missing from the dimension index is a
+// foreign-key violation, exactly as on the monolithic path.
+func localFactGroups(fs *colstore.Segment, factName, dimName string, common []string, dimIndex map[string]uint64) ([]factGroup, error) {
+	if len(common) == 1 {
+		factKey, err := fs.Column(common[0])
+		if err != nil {
+			return nil, err
+		}
+		fk := factKey.ToBitmapEncoding()
+		groups := make([]factGroup, fk.DistinctCount())
+		for id := 0; id < fk.DistinctCount(); id++ {
+			value := fk.Dict().Value(uint32(id))
+			dimRow, ok := dimIndex[value+"\x00"]
+			if !ok {
+				return nil, fmt.Errorf("evolve: foreign-key violation: %s value %q of %s has no match in %s", common[0], value, factName, dimName)
+			}
+			groups[id] = factGroup{factBitmap: fk.BitmapForID(uint32(id)), dimRow: dimRow}
+		}
+		return groups, nil
+	}
+	ids := make([][]uint32, len(common))
+	dicts := make([]func(uint32) string, len(common))
+	for i, cn := range common {
+		c, err := fs.Column(cn)
+		if err != nil {
+			return nil, err
+		}
+		ids[i] = c.RowIDs()
+		dicts[i] = c.Dict().Value
+	}
+	builders := make(map[uint64]*wah.Bitmap)
+	var order []uint64
+	var kb strings.Builder
+	for row := uint64(0); row < fs.NumRows(); row++ {
+		kb.Reset()
+		for i := range ids {
+			kb.WriteString(dicts[i](ids[i][row]))
+			kb.WriteByte(0)
+		}
+		dimRow, ok := dimIndex[kb.String()]
+		if !ok {
+			return nil, fmt.Errorf("evolve: foreign-key violation: %s row %d has no match in %s on %v", factName, row, dimName, common)
+		}
+		bm := builders[dimRow]
+		if bm == nil {
+			bm = wah.New()
+			builders[dimRow] = bm
+			order = append(order, dimRow)
+		}
+		bm.Add(row)
+	}
+	groups := make([]factGroup, 0, len(order))
+	for _, dr := range order {
+		groups = append(groups, factGroup{factBitmap: builders[dr], dimRow: dr})
+	}
+	return groups, nil
 }

@@ -9,11 +9,16 @@ import (
 )
 
 // Union implements UNION TABLES: combine the tuples of two tables with the
-// same schema into one table. At storage level each output value's bitmap
-// is the first table's vector with the second table's vector concatenated
-// at a row offset — pure compressed fill arithmetic, no decompression
-// (paper Table 1; §2.3 classifies it as data movement without data
-// change).
+// same schema into one table.
+//
+// Segment-wise (the default) this is pure metadata: both inputs' segments
+// are immutable, so the output is a's segment list followed by b's — zero
+// data movement, constant time. The monolithic oracle (opt.Rebuild)
+// instead concatenates each output value's bitmap: the first table's
+// vector with the second table's vector at a row offset — compressed fill
+// arithmetic, no decompression (paper Table 1; §2.3 classifies it as data
+// movement without data change). Both produce the same row sequence: a's
+// rows then b's.
 func Union(a, b *colstore.Table, outName string, opt Options) (*colstore.Table, error) {
 	an, bn := a.ColumnNames(), b.ColumnNames()
 	if len(an) != len(bn) {
@@ -23,6 +28,13 @@ func Union(a, b *colstore.Table, outName string, opt Options) (*colstore.Table, 
 		if an[i] != bn[i] {
 			return nil, fmt.Errorf("evolve: union of %q and %q: column %d is %q vs %q", a.Name(), b.Name(), i, an[i], bn[i])
 		}
+	}
+	if !opt.Rebuild {
+		segs := append(a.Segments(), b.Segments()...)
+		opt.trace(fmt.Sprintf("union: adopting %d segments of %s and %d of %s unchanged (no data movement)",
+			a.NumSegments(), a.Name(), b.NumSegments(), b.Name()))
+		// A union generally breaks key uniqueness; the output carries no key.
+		return colstore.NewSegmented(outName, an, segs, nil)
 	}
 	opt.trace(fmt.Sprintf("union: concatenating %s's bitmap vectors after %s's at row offset %d", b.Name(), a.Name(), a.NumRows()))
 	outRows := a.NumRows() + b.NumRows()
@@ -83,17 +95,24 @@ const noID = ^uint32(0)
 // tables with the same schema according to a predicate. The predicate is
 // evaluated once per distinct value into a mask bitmap; both outputs are
 // then produced by bitmap filtering with the mask and its complement.
+//
+// Partition is segment-wise by construction: predicate evaluation runs
+// against each segment's local dictionaries (Table.EqBitmap and
+// ScanWhereBitmap concatenate per-segment results) and FilterRowsP slices
+// the mask along segment boundaries, emitting one output segment per
+// input segment that contributes rows. opt.Rebuild changes nothing here —
+// the monolithic path and the segment-wise path are the same code.
 func Partition(t *colstore.Table, condition string, outYes, outNo string, opt Options) (yes, no *colstore.Table, err error) {
 	pred, err := expr.Parse(condition)
 	if err != nil {
 		return nil, nil, err
 	}
-	opt.trace(fmt.Sprintf("partition: evaluating %s over bitmap index", pred))
+	opt.trace(fmt.Sprintf("partition: evaluating %s against %d segments' local dictionaries", pred, t.NumSegments()))
 	mask, err := pred.EvalP(t, opt.Parallelism)
 	if err != nil {
 		return nil, nil, err
 	}
-	opt.trace(fmt.Sprintf("partition: filtering %d rows into %s, %d into %s", mask.Count(), outYes, mask.Len()-mask.Count(), outNo))
+	opt.trace(fmt.Sprintf("partition: filtering %d rows into %s, %d into %s segment-wise", mask.Count(), outYes, mask.Len()-mask.Count(), outNo))
 	yes, err = t.FilterRowsP(outYes, mask, opt.Parallelism)
 	if err != nil {
 		return nil, nil, err
@@ -141,8 +160,10 @@ func DropColumn(t *colstore.Table, name string, opt Options) (*colstore.Table, e
 }
 
 // Copy implements COPY TABLE. Columns are immutable, so a copy shares all
-// column data with the source — constant time.
-func Copy(t *colstore.Table, outName string, opt Options) *colstore.Table {
+// column data with the source — constant time. It cannot currently fail,
+// but carries the same fallible signature as every other operator so core
+// callers need no special case.
+func Copy(t *colstore.Table, outName string, opt Options) (*colstore.Table, error) {
 	opt.trace(fmt.Sprintf("copy: sharing %s's columns as %s", t.Name(), outName))
-	return t.WithName(outName)
+	return t.WithName(outName), nil
 }

@@ -1,0 +1,362 @@
+package evolve
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cods/internal/colstore"
+)
+
+// buildSegmentedTable assembles a table whose base is one segment per row
+// chunk, so the segment-wise operator paths have real segment boundaries
+// to cross (dictionaries overlap between chunks whenever values repeat).
+func buildSegmentedTable(t *testing.T, name string, columns []string, key []string, chunks [][][]string) *colstore.Table {
+	t.Helper()
+	var segs []*colstore.Segment
+	for _, rows := range chunks {
+		segs = append(segs, buildTable(t, name, columns, nil, rows).Segments()...)
+	}
+	tab, err := colstore.NewSegmented(name, columns, segs, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// assertIdenticalRows asserts both tables hold byte-identical row
+// sequences over the same schema — the segment-wise paths must reproduce
+// the monolithic row order exactly, not just the same multiset.
+func assertIdenticalRows(t *testing.T, got, want *colstore.Table, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(got.ColumnNames(), want.ColumnNames()) {
+		t.Fatalf("%s: schemas differ: %v vs %v", label, got.ColumnNames(), want.ColumnNames())
+	}
+	g, err := got.Rows(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := want.Rows(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g, w) {
+		t.Fatalf("%s: row sequences differ\ngot:  %v\nwant: %v", label, g, w)
+	}
+}
+
+// figure1Segmented is figure1R split into three segments with the
+// duplicate employees straddling segment boundaries, so distinction must
+// dedup across segments.
+func figure1Segmented(t *testing.T) *colstore.Table {
+	cols := []string{"Employee", "Skill", "Address"}
+	return buildSegmentedTable(t, "R", cols, nil, [][][]string{
+		{
+			{"Jones", "Typing", "425 Grant Ave"},
+			{"Jones", "Shorthand", "425 Grant Ave"},
+			{"Roberts", "Light Cleaning", "747 Industrial Way"},
+		},
+		{
+			{"Ellis", "Alchemy", "747 Industrial Way"},
+			{"Jones", "Whittling", "425 Grant Ave"},
+		},
+		{
+			{"Ellis", "Juggling", "747 Industrial Way"},
+			{"Harrison", "Light Cleaning", "425 Grant Ave"},
+		},
+	})
+}
+
+func TestDecomposeSegmentedMatchesRebuild(t *testing.T) {
+	spec := DecomposeSpec{
+		OutS: "S", SColumns: []string{"Employee", "Skill"},
+		OutT: "T", TColumns: []string{"Employee", "Address"},
+	}
+	seg, err := Decompose(figure1Segmented(t), spec, Options{ValidateFD: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := Decompose(figure1Segmented(t), spec, Options{ValidateFD: true, Rebuild: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdenticalRows(t, seg.S, mono.S, "S")
+	assertIdenticalRows(t, seg.T, mono.T, "T")
+	if seg.Reused != mono.Reused || seg.Deduplicated != mono.Deduplicated {
+		t.Fatalf("orientation differs: %q/%q vs %q/%q", seg.Reused, seg.Deduplicated, mono.Reused, mono.Deduplicated)
+	}
+	// The deduplicated output must stay segmented: every input segment
+	// that contributed a surviving representative yields an output
+	// segment, rather than the whole table being restitched. All three
+	// input segments contribute first occurrences here.
+	dedup := seg.T
+	if seg.Deduplicated == seg.S.Name() {
+		dedup = seg.S
+	}
+	if dedup.NumSegments() != 3 {
+		t.Fatalf("deduplicated output has %d segments, want 3 (segment-wise path must not restitch)", dedup.NumSegments())
+	}
+}
+
+func TestDecomposeSegmentedCompositeCommon(t *testing.T) {
+	cols := []string{"A", "B", "C", "D"}
+	r := buildSegmentedTable(t, "R", cols, nil, [][][]string{
+		{{"a1", "b1", "c1", "d1"}, {"a1", "b2", "c2", "d2"}},
+		{{"a1", "b1", "c1", "d3"}, {"a2", "b1", "c3", "d4"}},
+		{{"a2", "b1", "c3", "d5"}},
+	})
+	spec := DecomposeSpec{
+		OutS: "S", SColumns: []string{"A", "B", "C"},
+		OutT: "T", TColumns: []string{"A", "B", "D"},
+	}
+	seg, err := Decompose(r, spec, Options{ValidateFD: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := Decompose(r, spec, Options{ValidateFD: true, Rebuild: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdenticalRows(t, seg.S, mono.S, "S")
+	assertIdenticalRows(t, seg.T, mono.T, "T")
+}
+
+func TestDecomposeSegmentedLossyErrorParity(t *testing.T) {
+	// Address does not determine Skill: both paths must reject the lossy
+	// spec under ValidateFD, with segment boundaries not hiding the
+	// cross-segment FD violation (Jones's address maps to two skills in
+	// different segments).
+	spec := DecomposeSpec{
+		OutS: "S", SColumns: []string{"Address", "Skill"},
+		OutT: "T", TColumns: []string{"Address", "Employee"},
+	}
+	_, segErr := Decompose(figure1Segmented(t), spec, Options{ValidateFD: true})
+	_, monoErr := Decompose(figure1Segmented(t), spec, Options{ValidateFD: true, Rebuild: true})
+	if segErr == nil || monoErr == nil {
+		t.Fatalf("lossy decomposition accepted: segmented=%v rebuild=%v", segErr, monoErr)
+	}
+}
+
+// segmentedDimFact builds a keyed multi-segment dimension table and a
+// multi-segment fact table referencing it.
+func segmentedDimFact(t *testing.T) (dim, fact *colstore.Table) {
+	dim = buildSegmentedTable(t, "Emp", []string{"Employee", "Address"}, []string{"Employee"}, [][][]string{
+		{{"Jones", "425 Grant Ave"}, {"Roberts", "747 Industrial Way"}},
+		{{"Ellis", "747 Industrial Way"}},
+		{{"Harrison", "425 Grant Ave"}},
+	})
+	fact = buildSegmentedTable(t, "Skills", []string{"Employee", "Skill"}, nil, [][][]string{
+		{{"Jones", "Typing"}, {"Jones", "Shorthand"}},
+		{{"Roberts", "Light Cleaning"}, {"Ellis", "Alchemy"}, {"Jones", "Whittling"}},
+		{{"Ellis", "Juggling"}, {"Harrison", "Light Cleaning"}},
+	})
+	return dim, fact
+}
+
+func TestMergeKeyFKSegmentedMatchesRebuild(t *testing.T) {
+	dim, fact := segmentedDimFact(t)
+	seg, err := MergeKeyFK(fact, dim, "R", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := MergeKeyFK(fact, dim, "R", Options{Rebuild: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdenticalRows(t, seg.Table, mono.Table, "merged")
+	if seg.Reused != mono.Reused {
+		t.Fatalf("reused side differs: %q vs %q", seg.Reused, mono.Reused)
+	}
+	// The segment-wise merge maps each fact segment independently: the
+	// output must keep the fact table's segmentation instead of being
+	// rebuilt as one segment.
+	if got, want := seg.Table.NumSegments(), fact.NumSegments(); got != want {
+		t.Fatalf("merged output has %d segments, want %d (one per fact segment)", got, want)
+	}
+	if err := seg.Table.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeKeyFKSegmentedForeignKeyViolationParity(t *testing.T) {
+	dim, _ := segmentedDimFact(t)
+	// "Nobody" appears only in the fact's last segment — the violation
+	// must surface on both paths even though earlier segments are clean.
+	fact := buildSegmentedTable(t, "Skills", []string{"Employee", "Skill"}, nil, [][][]string{
+		{{"Jones", "Typing"}, {"Ellis", "Alchemy"}},
+		{{"Nobody", "Loafing"}},
+	})
+	_, segErr := MergeKeyFK(fact, dim, "R", Options{})
+	_, monoErr := MergeKeyFK(fact, dim, "R", Options{Rebuild: true})
+	if segErr == nil || monoErr == nil {
+		t.Fatalf("foreign-key violation missed: segmented=%v rebuild=%v", segErr, monoErr)
+	}
+}
+
+func TestMergeKeyFKSegmentedCompositeKey(t *testing.T) {
+	dim := buildSegmentedTable(t, "D", []string{"A", "B", "X"}, []string{"A", "B"}, [][][]string{
+		{{"a1", "b1", "x1"}, {"a1", "b2", "x2"}},
+		{{"a2", "b1", "x3"}},
+	})
+	fact := buildSegmentedTable(t, "F", []string{"A", "B", "Y"}, nil, [][][]string{
+		{{"a1", "b2", "y1"}, {"a1", "b1", "y2"}},
+		{{"a2", "b1", "y3"}, {"a1", "b1", "y4"}},
+	})
+	seg, err := MergeKeyFK(fact, dim, "R", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := MergeKeyFK(fact, dim, "R", Options{Rebuild: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdenticalRows(t, seg.Table, mono.Table, "composite merged")
+}
+
+func TestMergeGeneralSegmentedMatchesRebuild(t *testing.T) {
+	// Address is a key of neither side, so Merge must take the general
+	// two-pass algorithm on both paths.
+	s := buildSegmentedTable(t, "S", []string{"Employee", "Address"}, nil, [][][]string{
+		{{"Jones", "425 Grant Ave"}, {"Roberts", "747 Industrial Way"}},
+		{{"Ellis", "747 Industrial Way"}, {"Harrison", "425 Grant Ave"}},
+	})
+	tt := buildSegmentedTable(t, "T", []string{"Address", "Rent"}, nil, [][][]string{
+		{{"425 Grant Ave", "1200"}},
+		{{"747 Industrial Way", "800"}, {"425 Grant Ave", "1250"}},
+	})
+	seg, err := MergeGeneral(s, tt, "R", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := MergeGeneral(s, tt, "R", Options{Rebuild: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdenticalRows(t, seg, mono, "general merged")
+}
+
+func TestMergeGeneralSegmentedCompositeJoin(t *testing.T) {
+	s := buildSegmentedTable(t, "S", []string{"A", "B", "X"}, nil, [][][]string{
+		{{"a1", "b1", "x1"}, {"a1", "b1", "x2"}},
+		{{"a2", "b2", "x3"}, {"a1", "b1", "x4"}},
+	})
+	tt := buildSegmentedTable(t, "T", []string{"A", "B", "Y"}, nil, [][][]string{
+		{{"a1", "b1", "y1"}, {"a2", "b2", "y2"}},
+		{{"a1", "b1", "y3"}},
+	})
+	seg, err := MergeGeneral(s, tt, "R", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := MergeGeneral(s, tt, "R", Options{Rebuild: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdenticalRows(t, seg, mono, "composite general merged")
+}
+
+func TestUnionSegmentedAdoptsSegments(t *testing.T) {
+	cols := []string{"K", "V"}
+	a := buildSegmentedTable(t, "A", cols, nil, [][][]string{
+		{{"k1", "v1"}, {"k2", "v2"}},
+		{{"k3", "v1"}},
+	})
+	b := buildSegmentedTable(t, "B", cols, nil, [][][]string{
+		{{"k4", "v3"}},
+		{{"k5", "v1"}, {"k6", "v2"}},
+		{{"k7", "v4"}},
+	})
+	seg, err := Union(a, b, "U", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono, err := Union(a, b, "U", Options{Rebuild: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdenticalRows(t, seg, mono, "union")
+	// The segment-wise union is pure metadata: both inputs' segments are
+	// adopted unchanged.
+	if got, want := seg.NumSegments(), a.NumSegments()+b.NumSegments(); got != want {
+		t.Fatalf("union has %d segments, want %d (segment adoption)", got, want)
+	}
+	if err := seg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionSegmentedStaysSegmented(t *testing.T) {
+	r := buildSegmentedTable(t, "R", []string{"K", "G"}, nil, [][][]string{
+		{{"k1", "g1"}, {"k2", "g2"}},
+		{{"k3", "g1"}, {"k4", "g1"}},
+		{{"k5", "g2"}},
+	})
+	yes, no, err := Partition(r, "G != 'g2'", "P1", "P2", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	myes, mno, err := Partition(r, "G != 'g2'", "P1", "P2", Options{Rebuild: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdenticalRows(t, yes, myes, "P1")
+	assertIdenticalRows(t, no, mno, "P2")
+	// Each input segment with surviving rows yields one output segment.
+	if yes.NumSegments() != 2 || no.NumSegments() != 2 {
+		t.Fatalf("partition outputs have %d/%d segments, want 2/2", yes.NumSegments(), no.NumSegments())
+	}
+}
+
+// TestQuickSegmentedEvolutionParity randomizes tables, segment splits and
+// decompose/merge round trips, checking the segment-wise path reproduces
+// the monolithic path's exact outputs throughout.
+func TestQuickSegmentedEvolutionParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 25; iter++ {
+		nrows := 5 + rng.Intn(40)
+		var rows [][]string
+		for i := 0; i < nrows; i++ {
+			k := fmt.Sprintf("k%03d", rng.Intn(nrows)) // duplicates likely
+			rows = append(rows, []string{k, "g" + k[1:], fmt.Sprintf("v%d", rng.Intn(5))})
+		}
+		// Random segment split of the same row sequence.
+		var chunks [][][]string
+		for start := 0; start < len(rows); {
+			end := start + 1 + rng.Intn(8)
+			if end > len(rows) {
+				end = len(rows)
+			}
+			chunks = append(chunks, rows[start:end])
+			start = end
+		}
+		cols := []string{"K", "G", "V"}
+		r := buildSegmentedTable(t, "R", cols, nil, chunks)
+		spec := DecomposeSpec{
+			OutS: "A", SColumns: []string{"K", "G"},
+			OutT: "B", TColumns: []string{"K", "V"},
+		}
+		seg, segErr := Decompose(r, spec, Options{})
+		mono, monoErr := Decompose(r, spec, Options{Rebuild: true})
+		if (segErr == nil) != (monoErr == nil) {
+			t.Fatalf("iter %d: decompose error parity: %v vs %v", iter, segErr, monoErr)
+		}
+		if segErr != nil {
+			continue
+		}
+		assertIdenticalRows(t, seg.S, mono.S, fmt.Sprintf("iter %d: A", iter))
+		assertIdenticalRows(t, seg.T, mono.T, fmt.Sprintf("iter %d: B", iter))
+		segM, segErr := Merge(seg.S, seg.T, "R2", Options{})
+		monoM, monoErr := Merge(mono.S, mono.T, "R2", Options{Rebuild: true})
+		if (segErr == nil) != (monoErr == nil) {
+			t.Fatalf("iter %d: merge error parity: %v vs %v", iter, segErr, monoErr)
+		}
+		if segErr != nil {
+			continue
+		}
+		assertIdenticalRows(t, segM.Table, monoM.Table, fmt.Sprintf("iter %d: merged", iter))
+		if err := segM.Table.Validate(); err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+	}
+}

@@ -74,7 +74,7 @@ const helpText = `meta commands:
   \save <dir>                 persist the database
   \history [n]                last n executed operators (default 20, 0 = all)
   \rollback <version>         restore an earlier schema version
-  \memstats                   retention / delta-overlay memory gauges
+  \memstats                   retention / delta-overlay / segment gauges
   \validate                   check table invariants
   \advise <table>             discover FDs and suggest decompositions
   \quit                       exit
@@ -244,6 +244,10 @@ func (rp *Repl) meta(line string) (quit bool) {
 		fmt.Fprintf(out, "retained versions:  %d (oldest rollback target: v%d)\n", ms.RetainedVersions, ms.OldestRetainedVersion)
 		fmt.Fprintf(out, "pending delta rows: %d\n", ms.PendingRows)
 		fmt.Fprintf(out, "compactions:        %d\n", ms.Compactions)
+		fmt.Fprintf(out, "segment merges:     %d\n", ms.SegmentMerges)
+		for _, t := range ms.Tables {
+			fmt.Fprintf(out, "  %s: %d segment(s), rows/segment %d..%d\n", t.Table, t.Segments, t.MinRows, t.MaxRows)
+		}
 	case `\validate`:
 		if err := db.Validate(); err != nil {
 			fmt.Fprintln(out, "error:", err)

@@ -566,14 +566,25 @@ type EndpointStats struct {
 
 // MemoryStats are the write path's memory-pressure gauges in GET /stats:
 // how many schema versions retention keeps for Rollback, how many delta-
-// overlay rows await compaction, and how many compactions have run. They
-// come from DB.MemStats, which is lock-free, so the probe answers even
-// while an evolution or checkpoint holds the write path.
+// overlay rows await compaction, how many compactions and tiered segment
+// merges have run, and each table's segment layout. They come from
+// DB.MemStats, which is lock-free, so the probe answers even while an
+// evolution or checkpoint holds the write path.
 type MemoryStats struct {
-	RetainedVersions      int    `json:"retained_versions"`
-	OldestRetainedVersion int    `json:"oldest_retained_version"`
-	PendingRows           uint64 `json:"pending_rows"`
-	Compactions           uint64 `json:"compactions"`
+	RetainedVersions      int             `json:"retained_versions"`
+	OldestRetainedVersion int             `json:"oldest_retained_version"`
+	PendingRows           uint64          `json:"pending_rows"`
+	Compactions           uint64          `json:"compactions"`
+	SegmentMerges         uint64          `json:"segment_merges"`
+	Tables                []TableSegments `json:"tables"`
+}
+
+// TableSegments is one table's segment-layout gauge in GET /stats.
+type TableSegments struct {
+	Table    string `json:"table"`
+	Segments int    `json:"segments"`
+	MinRows  uint64 `json:"min_rows"`
+	MaxRows  uint64 `json:"max_rows"`
 }
 
 // StatsResponse is GET /stats's body.
@@ -598,8 +609,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) *httpError 
 			OldestRetainedVersion: ms.OldestRetainedVersion,
 			PendingRows:           ms.PendingRows,
 			Compactions:           ms.Compactions,
+			SegmentMerges:         ms.SegmentMerges,
 		},
 		Endpoints: make(map[string]EndpointStats, len(s.stats)),
+	}
+	for _, t := range ms.Tables {
+		resp.Memory.Tables = append(resp.Memory.Tables, TableSegments{
+			Table:    t.Table,
+			Segments: t.Segments,
+			MinRows:  t.MinRows,
+			MaxRows:  t.MaxRows,
+		})
 	}
 	for path, st := range s.stats {
 		n := st.requests.Load()

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"cods/internal/colstore"
+	"cods/internal/evolve"
 )
 
 // buildSegmented constructs a three-segment table with overlapping
@@ -181,5 +182,105 @@ func TestCrashPointHook(t *testing.T) {
 	want := []string{"segment-written", "manifest-written", "current-swapped"}
 	if !reflect.DeepEqual(seen, want) {
 		t.Fatalf("crash points fired: %v, want %v", seen, want)
+	}
+}
+
+// TestEvolutionOutputRoundTrip persists multi-segment evolution outputs
+// through the existing format-2 manifest unchanged: a segment-wise UNION
+// (segment adoption) and a segment-wise key–FK MERGE both save and load
+// with their segment layout and exact row sequences intact.
+func TestEvolutionOutputRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	mkSeg := func(rows [][]string) *colstore.Segment {
+		var ks, vs []string
+		for _, r := range rows {
+			ks, vs = append(ks, r[0]), append(vs, r[1])
+		}
+		s, err := colstore.NewSegment([]*colstore.Column{
+			colstore.NewColumnFromValues("K", ks),
+			colstore.NewColumnFromValues("V", vs),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, err := colstore.NewSegmented("A", []string{"K", "V"}, []*colstore.Segment{
+		mkSeg([][]string{{"k1", "v1"}, {"k2", "v2"}}),
+		mkSeg([][]string{{"k3", "v1"}}),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := colstore.NewSegmented("B", []string{"K", "V"}, []*colstore.Segment{
+		mkSeg([][]string{{"k4", "v3"}}),
+		mkSeg([][]string{{"k5", "v2"}, {"k6", "v1"}}),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	union, err := evolve.Union(a, b, "U", evolve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim, err := colstore.NewSegmented("D", []string{"V", "Label"}, []*colstore.Segment{
+		func() *colstore.Segment {
+			s, err := colstore.NewSegment([]*colstore.Column{
+				colstore.NewColumnFromValues("V", []string{"v1", "v2"}),
+				colstore.NewColumnFromValues("Label", []string{"one", "two"}),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}(),
+		func() *colstore.Segment {
+			s, err := colstore.NewSegment([]*colstore.Column{
+				colstore.NewColumnFromValues("V", []string{"v3"}),
+				colstore.NewColumnFromValues("Label", []string{"three"}),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}(),
+	}, []string{"V"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := evolve.MergeKeyFK(union, dim, "M", evolve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if union.NumSegments() < 2 || merged.Table.NumSegments() < 2 {
+		t.Fatalf("evolution outputs not multi-segment: union=%d merged=%d",
+			union.NumSegments(), merged.Table.NumSegments())
+	}
+
+	if err := Save(dir, []*colstore.Table{union, merged.Table}); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 2 {
+		t.Fatalf("loaded %d tables", len(loaded))
+	}
+	for i, want := range []*colstore.Table{union, merged.Table} {
+		got := loaded[i]
+		if got.NumSegments() != want.NumSegments() {
+			t.Fatalf("%s: segments=%d after load, want %d", want.Name(), got.NumSegments(), want.NumSegments())
+		}
+		gr, _ := got.Rows(0, 0)
+		wr, _ := want.Rows(0, 0)
+		if !reflect.DeepEqual(gr, wr) {
+			t.Fatalf("%s: rows differ across round trip", want.Name())
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatal(err)
+		}
 	}
 }

@@ -12,13 +12,20 @@
 #    1M base rows in segmented vs rebuild flush mode, the flat-vs-linear
 #    evidence for the segmented base storage. Set CODS_BENCH_HUGE=1 to add
 #    the 10M-row point (needs several GB of RAM).
+#  - "evolution": BenchmarkEvolutionDecompose (20 iterations by default,
+#    override with BENCH_EVOLVE_N) — DECOMPOSE on a segmented 1M-row
+#    table (99% merged base, 1% tail), segment-wise map/merge evolution
+#    vs the monolithic rebuild oracle (RebuildEvolve).
 set -e
 n=${BENCH_WRITES_N:-50000}
 hn=${BENCH_HUGE_N:-20000}
+en=${BENCH_EVOLVE_N:-20}
 out=$(go test -run=NONE -bench=SustainedKeyedWrites -benchtime="${n}x" cods)
 echo "$out"
 hout=$(go test -run=NONE -bench=HugeTableSustainedWrites -benchtime="${hn}x" cods)
 echo "$hout"
+eout=$(go test -run=NONE -bench=EvolutionDecompose -benchtime="${en}x" cods)
+echo "$eout"
 {
 	echo "$out" | awk '
 	  $1 ~ /^BenchmarkSustainedKeyedWrites\// {
@@ -41,6 +48,15 @@ echo "$hout"
 	    sub(/k$/, "000", rows)
 	    sub(/M$/, "000000", rows)
 	    printf ",\n  {\"bench\": \"huge-table\", \"base_rows\": %s, \"mode\": \"%s\", \"statements\": %s, \"ns_per_op\": %s", rows, parts[3], $2, $3
+	    for (i = 5; i + 1 <= NF; i += 2) printf ", \"%s\": %s", $(i + 1), $i
+	    printf "}"
+	  }
+	'
+	echo "$eout" | awk '
+	  $1 ~ /^BenchmarkEvolutionDecompose\// {
+	    split($1, parts, "/")
+	    sub(/-[0-9]+$/, "", parts[2])
+	    printf ",\n  {\"bench\": \"evolution\", \"base_rows\": 1000000, \"mode\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", parts[2], $2, $3
 	    for (i = 5; i + 1 <= NF; i += 2) printf ", \"%s\": %s", $(i + 1), $i
 	    printf "}"
 	  }

@@ -7,6 +7,9 @@
 #    `codsbench htap -flag` it shows must exist in `codsbench htap -h`,
 #    every plain `codsbench -flag` in `codsbench -h`, and every
 #    `make <target>` it references must be a real Makefile target.
+# 3. Every `cods serve` flag must be documented: each flag that
+#    `cods serve -h` reports must appear (backticked) in README.md and
+#    in the cmd/cods command doc comment's usage block.
 #
 # Run from the repository root (CI's docs-lint step, `make docs-lint`).
 set -u
@@ -63,5 +66,25 @@ if [ -f BENCHMARKS.md ]; then
     fi
 fi
 
-[ "$fail" -eq 0 ] && echo "docslint: all packages documented, benchmark docs consistent"
+# cods serve flags: -h is generated from the flag set, so it is the
+# source of truth; README.md and the command doc comment must keep up.
+serve_help=$(go run ./cmd/cods serve -h 2>&1)
+viol=$(
+    printf '%s\n' "$serve_help" | grep -oE '^  -[a-z][a-z0-9-]*' | sort -u |
+    while read -r flag; do
+        name=${flag#*-}
+        if ! grep -q -- "\`-$name\`" README.md; then
+            echo "docslint: \`cods serve -h\` has flag -$name undocumented in README.md"
+        fi
+        if ! grep -qE "^//.* \[-$name( |\])" cmd/cods/main.go; then
+            echo "docslint: \`cods serve -h\` has flag -$name missing from the cmd/cods usage comment"
+        fi
+    done
+)
+if [ -n "$viol" ]; then
+    echo "$viol"
+    fail=1
+fi
+
+[ "$fail" -eq 0 ] && echo "docslint: all packages documented, benchmark and flag docs consistent"
 exit $fail

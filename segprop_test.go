@@ -11,11 +11,13 @@ import (
 
 // TestSegmentedFlushPropertyVsRebuildOracle drives two databases through
 // identical random interleavings of keyed DML, flushes, retention pruning
-// and schema evolutions. One flushes segmented (the production write
-// path), the other with RebuildOnFlush — the pre-segmentation monolithic
-// rebuild kept as oracle. After every statement both must agree on the
-// table set, every table's exact row sequence, and point/range query
-// results. Runs under -race via the root package's race-matrix entry.
+// and schema evolutions (DECOMPOSE/MERGE and PARTITION/UNION cycles). One
+// flushes segmented and evolves segment-wise (the production paths), the
+// other with RebuildOnFlush and RebuildEvolve — the pre-segmentation
+// monolithic algorithms kept as oracle. After every statement both must
+// agree on the table set, every table's exact row sequence, and
+// point/range query results. Runs under -race via the root package's
+// race-matrix entry.
 func TestSegmentedFlushPropertyVsRebuildOracle(t *testing.T) {
 	for seed := int64(1); seed <= 3; seed++ {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
@@ -29,6 +31,7 @@ func runSegProp(t *testing.T, seed int64, nops int) {
 	sut := cods.Open(cfg)
 	ocfg := cfg
 	ocfg.RebuildOnFlush = true
+	ocfg.RebuildEvolve = true
 	oracle := cods.Open(ocfg)
 
 	seedRows := make([][]string, 20)
@@ -43,12 +46,17 @@ func runSegProp(t *testing.T, seed int64, nops int) {
 
 	rng := rand.New(rand.NewSource(seed))
 	nextKey := 20
-	decomposed := false // T currently split into A, B
-	okDML, okEvolve := 0, 0
+	// T cycles through three shapes: whole, decomposed into A (K, G) and
+	// B (K, V), or partitioned into P1/P2 by a G predicate. DML routes to
+	// whichever tables currently exist.
+	decomposed := false
+	partitioned := false
+	partG := 0 // the G group PARTITION sent to P2
+	okDML, okEvolve, okPartition := 0, 0, 0
 	for step := 0; step < nops; step++ {
 		var stmts []string
 		kind := "exec"
-		evolve := false
+		evolve := "" // evolution target state: "decomposed" / "partitioned" / "whole"
 		switch r := rng.Intn(100); {
 		case r < 30: // insert, sometimes a deliberate duplicate key
 			k := nextKey
@@ -57,28 +65,35 @@ func runSegProp(t *testing.T, seed int64, nops int) {
 			} else {
 				nextKey++
 			}
-			if decomposed {
+			g := rng.Intn(4)
+			switch {
+			case decomposed:
 				// Keep the decomposition join-compatible: the same key
 				// lands in both halves.
 				stmts = []string{
-					fmt.Sprintf("INSERT INTO A VALUES ('k%04d', 'g%d')", k, rng.Intn(4)),
+					fmt.Sprintf("INSERT INTO A VALUES ('k%04d', 'g%d')", k, g),
 					fmt.Sprintf("INSERT INTO B VALUES ('k%04d', 'v%d')", k, rng.Intn(6)),
 				}
-			} else {
-				stmts = []string{fmt.Sprintf("INSERT INTO T VALUES ('k%04d', 'g%d', 'v%d')", k, rng.Intn(4), rng.Intn(6))}
+			case partitioned:
+				// Respect the partition predicate: the row goes to the
+				// half its G group belongs to.
+				target := "P1"
+				if g == partG {
+					target = "P2"
+				}
+				stmts = []string{fmt.Sprintf("INSERT INTO %s VALUES ('k%04d', 'g%d', 'v%d')", target, k, g, rng.Intn(6))}
+			default:
+				stmts = []string{fmt.Sprintf("INSERT INTO T VALUES ('k%04d', 'g%d', 'v%d')", k, g, rng.Intn(6))}
 			}
 		case r < 45:
-			stmts = []string{fmt.Sprintf("UPDATE %s SET V = 'v%d' WHERE K = 'k%04d'",
-				updateTarget(decomposed), rng.Intn(6), rng.Intn(nextKey))}
+			v, k := rng.Intn(6), rng.Intn(nextKey)
+			for _, tgt := range updateTargets(decomposed, partitioned) {
+				stmts = append(stmts, fmt.Sprintf("UPDATE %s SET V = 'v%d' WHERE K = 'k%04d'", tgt, v, k))
+			}
 		case r < 55:
 			k := rng.Intn(nextKey)
-			if decomposed {
-				stmts = []string{
-					fmt.Sprintf("DELETE FROM A WHERE K = 'k%04d'", k),
-					fmt.Sprintf("DELETE FROM B WHERE K = 'k%04d'", k),
-				}
-			} else {
-				stmts = []string{fmt.Sprintf("DELETE FROM T WHERE K = 'k%04d'", k)}
+			for _, tgt := range dmlTables(decomposed, partitioned) {
+				stmts = append(stmts, fmt.Sprintf("DELETE FROM %s WHERE K = 'k%04d'", tgt, k))
 			}
 		case r < 62:
 			if decomposed {
@@ -90,17 +105,29 @@ func runSegProp(t *testing.T, seed int64, nops int) {
 					fmt.Sprintf("DELETE FROM B WHERE K = 'k%04d'", k),
 				}
 			} else {
-				stmts = []string{fmt.Sprintf("DELETE FROM T WHERE G = 'g%d'", rng.Intn(8))}
+				g := rng.Intn(8)
+				for _, tgt := range dmlTables(false, partitioned) {
+					stmts = append(stmts, fmt.Sprintf("DELETE FROM %s WHERE G = 'g%d'", tgt, g))
+				}
 			}
 		case r < 75:
 			kind = "compact"
 		case r < 82:
 			stmts = []string{fmt.Sprintf("PRUNE KEEP %d", 1+rng.Intn(4))}
 		case r < 90:
-			evolve = true
-			if decomposed {
+			switch {
+			case decomposed:
+				evolve = "whole"
 				stmts = []string{"MERGE TABLES A, B INTO T"}
-			} else {
+			case partitioned:
+				evolve = "whole"
+				stmts = []string{"UNION TABLES P1, P2 INTO T"}
+			case rng.Intn(2) == 0:
+				evolve = "partitioned"
+				partG = rng.Intn(4)
+				stmts = []string{fmt.Sprintf("PARTITION TABLE T WHERE G != 'g%d' INTO P1, P2", partG)}
+			default:
+				evolve = "decomposed"
 				stmts = []string{"DECOMPOSE TABLE T INTO A (K, G), B (K, V)"}
 			}
 		case r < 95:
@@ -121,6 +148,8 @@ func runSegProp(t *testing.T, seed int64, nops int) {
 			src := "T"
 			if decomposed {
 				src = "A"
+			} else if partitioned {
+				src = "P1"
 			}
 			for _, s := range []string{"COPY TABLE " + src + " TO Tmp", "DROP TABLE Tmp"} {
 				_, e1 := sut.Exec(s)
@@ -139,9 +168,13 @@ func runSegProp(t *testing.T, seed int64, nops int) {
 				if e1 != nil {
 					continue
 				}
-				if evolve {
+				if evolve != "" {
 					okEvolve++
-					decomposed = !decomposed
+					if evolve == "partitioned" {
+						okPartition++
+					}
+					decomposed = evolve == "decomposed"
+					partitioned = evolve == "partitioned"
 				} else if stmt[0] != 'P' { // everything but PRUNE is DML
 					okDML++
 				}
@@ -157,18 +190,36 @@ func runSegProp(t *testing.T, seed int64, nops int) {
 		t.Fatal(err)
 	}
 	// Guard against the run silently degenerating into consistent errors:
-	// the interleaving must have landed real DML and real evolutions.
-	if okDML < nops/4 || okEvolve < 2 {
-		t.Fatalf("degenerate run: %d successful DML, %d successful evolutions", okDML, okEvolve)
+	// the interleaving must have landed real DML, real evolutions, and at
+	// least one PARTITION (so the UNION leg of the cycle ran too).
+	if okDML < nops/4 || okEvolve < 2 || okPartition < 1 {
+		t.Fatalf("degenerate run: %d successful DML, %d successful evolutions (%d partitions)", okDML, okEvolve, okPartition)
 	}
 }
 
-// updateTarget: only B has the V column while decomposed.
-func updateTarget(decomposed bool) string {
-	if decomposed {
-		return "B"
+// dmlTables lists the tables a keyed statement must touch in the current
+// shape: both halves of a decomposition or partition, T otherwise.
+func dmlTables(decomposed, partitioned bool) []string {
+	switch {
+	case decomposed:
+		return []string{"A", "B"}
+	case partitioned:
+		return []string{"P1", "P2"}
 	}
-	return "T"
+	return []string{"T"}
+}
+
+// updateTargets lists the tables a V-column update must touch: only B has
+// V while decomposed; a partitioned key lives in exactly one half, so the
+// update runs against both (a no-op on the half without the key).
+func updateTargets(decomposed, partitioned bool) []string {
+	if decomposed {
+		return []string{"B"}
+	}
+	if partitioned {
+		return []string{"P1", "P2"}
+	}
+	return []string{"T"}
 }
 
 // compareDBs asserts the two databases are observably identical: same
