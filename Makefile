@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build vet fmt-check test race fuzz fuzz-smoke bench bench-smoke bench-writes bench-htap docs-lint serve-smoke ci
+# Pinned versions for the external linters CI installs; keep in sync with
+# .github/workflows/ci.yml. Local runs skip them when the tool is absent
+# (this repo builds offline), so `make lint` only hard-requires codslint.
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+.PHONY: all build vet fmt-check test race fuzz fuzz-smoke bench bench-smoke bench-writes bench-htap docs-lint serve-smoke lint staticcheck govulncheck ci
 
 all: build test
 
@@ -45,6 +51,29 @@ fuzz:
 docs-lint:
 	sh scripts/docslint.sh
 
+# codslint: the in-repo go/analysis suite enforcing the engine's
+# concurrency, immutability, and durability invariants (see
+# internal/lint/doc.go). Runs both standalone and as a vet tool so the
+# vet-driven path (which also covers _test.go files) stays exercised.
+lint:
+	$(GO) run ./cmd/codslint ./...
+	$(GO) build -o $(or $(TMPDIR),/tmp)/codslint ./cmd/codslint
+	$(GO) vet -vettool=$(or $(TMPDIR),/tmp)/codslint ./...
+
+# External linters, pinned above. Installed in CI; skipped locally when
+# not on PATH so offline checkouts still get a green `make ci`.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI pins $(STATICCHECK_VERSION))"; fi
+
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (CI pins $(GOVULNCHECK_VERSION))"; fi
+
 # Real-binary E2E smoke of `cods serve` (health, exec, query, shutdown).
 serve-smoke:
 	sh scripts/serve_smoke.sh
@@ -73,4 +102,4 @@ bench-writes:
 bench-htap:
 	sh scripts/bench_htap.sh
 
-ci: build vet fmt-check test docs-lint serve-smoke race fuzz-smoke bench bench-smoke bench-writes bench-htap
+ci: build vet fmt-check lint staticcheck govulncheck test docs-lint serve-smoke race fuzz-smoke bench bench-smoke bench-writes bench-htap

@@ -517,7 +517,7 @@ func BenchmarkReadLatencyDuringEvolution(b *testing.B) {
 				}
 				if err1 != nil || err2 != nil {
 					select {
-					case evolveErr <- fmt.Errorf("evolution loop: %v / %v", err1, err2):
+					case evolveErr <- fmt.Errorf("evolution loop: %w / %w", err1, err2):
 					default:
 					}
 					return

@@ -37,7 +37,7 @@ func buildBinary(t *testing.T) string {
 		cmd := exec.Command("go", "build", "-o", binPath, ".")
 		out, err := cmd.CombinedOutput()
 		if err != nil {
-			buildErr = fmt.Errorf("go build: %v\n%s", err, out)
+			buildErr = fmt.Errorf("go build: %w\n%s", err, out)
 		}
 	})
 	if buildErr != nil {

@@ -1,0 +1,263 @@
+// Command codslint runs the codslint analyzer suite (internal/lint): the
+// static checks that enforce the engine's concurrency, immutability, and
+// durability invariants. It speaks two protocols:
+//
+// Standalone, the `make lint` entry point:
+//
+//	codslint [-dir DIR] [packages...]   # default ./...
+//	codslint -analyzers                 # list analyzer names, one per line
+//
+// findings print to stdout as file:line:col: message (codslint/NAME) and
+// the exit status is 1 when any survive suppression.
+//
+// Vet tool, for editor and toolchain integration:
+//
+//	go vet -vettool=$(which codslint) ./...
+//
+// In this mode the go command invokes the binary with -V=full (version
+// fingerprint for build caching), -flags (supported flags, none), and
+// once per package with a JSON config file argument — the unitchecker
+// protocol. Diagnostics then follow go vet's own reporting.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cods/internal/lint"
+	"cods/internal/lint/loader"
+)
+
+func main() {
+	args := os.Args[1:]
+	// The unitchecker protocol invocations come before flag parsing: the
+	// go command passes exactly one of -V=full, -flags, or a .cfg path.
+	if len(args) == 1 {
+		switch {
+		case strings.HasPrefix(args[0], "-V="):
+			printVersion()
+			return
+		case args[0] == "-flags":
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(vetMode(args[0]))
+		}
+	}
+
+	dir := flag.String("dir", ".", "module directory to load packages from")
+	listAnalyzers := flag.Bool("analyzers", false, "print the analyzer names and exit")
+	flag.Parse()
+
+	if *listAnalyzers {
+		for _, a := range lint.All() {
+			fmt.Printf("%s\t%s\n", a.Name, strings.SplitN(a.Doc, "\n", 2)[0])
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	prog, err := loader.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "codslint:", err)
+		os.Exit(2)
+	}
+	findings, err := lint.Run(prog, prog.Packages, lint.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "codslint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+// printVersion implements -V=full: a stable fingerprint of this binary
+// that the go command folds into its build cache key, so upgrading
+// codslint re-runs vet.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	exe, err := os.Executable()
+	if err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			_, _ = io.Copy(h, f)
+			f.Close()
+			fmt.Printf("%s version devel codslint buildID=%x\n", name, h.Sum(nil))
+			return
+		}
+	}
+	fmt.Printf("%s version devel codslint\n", name)
+}
+
+// vetConfig is the unitchecker config the go command writes for each
+// package.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetMode analyzes one package per the unitchecker protocol and returns
+// the process exit code.
+func vetMode(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "codslint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "codslint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// The go command requires the .vetx facts file to exist afterwards,
+	// even though codslint exports no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "codslint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "codslint:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, compilerOr(cfg.Compiler), func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "codslint:", err)
+		return 2
+	}
+
+	prog := loader.NewProgram(fset)
+	pkg := &loader.Package{Path: cfg.ImportPath, Dir: cfg.Dir, Files: files, Pkg: tpkg, Info: info}
+	prog.Add(pkg)
+	prog.DirResolver = moduleDirResolver(cfg.Dir)
+
+	findings, err := lint.Run(prog, []*loader.Package{pkg}, lint.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "codslint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s (codslint/%s)\n", f.Pos, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// compilerOr defaults the export-data format to gc.
+func compilerOr(c string) string {
+	if c == "" {
+		return "gc"
+	}
+	return c
+}
+
+// moduleDirResolver maps import paths within the enclosing module to
+// source directories, so cross-package cods: markers resolve in vet mode
+// (where the config carries export data but no source layout). It walks
+// up from dir to the nearest go.mod.
+func moduleDirResolver(dir string) func(string) string {
+	root, modPath := findModule(dir)
+	return func(importPath string) string {
+		if root == "" {
+			return ""
+		}
+		if importPath == modPath {
+			return root
+		}
+		rest, ok := strings.CutPrefix(importPath, modPath+"/")
+		if !ok {
+			return ""
+		}
+		return filepath.Join(root, filepath.FromSlash(rest))
+	}
+}
+
+// findModule walks up from dir to the nearest go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, modPath string) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", ""
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest)
+				}
+			}
+			return "", ""
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", ""
+		}
+		dir = parent
+	}
+}

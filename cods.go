@@ -126,7 +126,7 @@ type Config struct {
 // Save); a DB from OpenDurable additionally write-ahead-logs every
 // catalog change, surviving crashes — see OpenDurable, Checkpoint, Close.
 type DB struct {
-	mu     sync.Mutex // serializes catalog changes and the WAL; reads never take it
+	mu     sync.Mutex // cods:writerlock serializes catalog changes and the WAL; reads never take it
 	engine *core.Engine
 	cfg    Config
 	// dir and wal are set by OpenDurable: every committed catalog change
@@ -233,6 +233,8 @@ func OpenDurable(dir string, cfg Config) (*DB, error) {
 // Save persists every table to a directory in compressed binary form. It
 // reads one published catalog snapshot, so it writes a consistent schema
 // version without blocking — or being blocked by — a running evolution.
+//
+// cods:lockfree
 func (db *DB) Save(dir string) error {
 	return db.Snapshot().Save(dir)
 }
@@ -244,8 +246,9 @@ func (db *DB) Checkpoint() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.dir == "" {
-		return errors.New("cods: Checkpoint requires a database opened with OpenDurable")
+		return fmt.Errorf("cods: %w: Checkpoint requires a database opened with OpenDurable", errors.ErrUnsupported)
 	}
+	//lint:ignore codslint/lockscope checkpoints hold the writer lock across the snapshot fsync by design: durability before visibility, and readers never take this lock
 	return db.checkpointLocked(false)
 }
 
@@ -261,6 +264,8 @@ func (db *DB) Checkpoint() error {
 // Once the new generation publishes, any failure (dir sync, log reset)
 // always poisons, since appends would land in a stale-epoch log that
 // recovery discards.
+//
+// cods:blocking — writes and fsyncs the snapshot directory.
 func (db *DB) checkpointLocked(mutated bool) error {
 	if db.wal == nil {
 		return ErrClosed
@@ -396,6 +401,7 @@ type TableSegments struct {
 }
 
 // MemStats returns the current memory-pressure gauges, lock-free.
+// cods:lockfree
 func (db *DB) MemStats() MemStats {
 	ms := db.engine.MemStats()
 	out := MemStats{
@@ -429,6 +435,7 @@ func (db *DB) Close() error {
 	if db.wal == nil {
 		return nil
 	}
+	//lint:ignore codslint/lockscope closing the WAL under the writer lock is what makes ErrClosed atomic with the log release; readers never take this lock
 	err := db.wal.Close()
 	db.wal = nil
 	return err
@@ -454,6 +461,7 @@ type Snapshot struct {
 // Snapshot returns the current published catalog version. It never
 // blocks: even while an evolution is mid-operator, it returns the last
 // committed version.
+// cods:lockfree
 func (db *DB) Snapshot() *Snapshot {
 	return &Snapshot{cat: db.engine.Catalog(), cfg: db.cfg}
 }
@@ -635,6 +643,8 @@ func replayable(op smo.Op) bool {
 
 // journalLocked makes one just-applied operator durable. Must hold the
 // exclusive lock; call only when db.wal != nil.
+//
+// cods:blocking — appends to and fsyncs the write-ahead log.
 func (db *DB) journalLocked(op smo.Op) error {
 	if replayable(op) {
 		if err := db.wal.Append(op.String()); err != nil {
@@ -767,6 +777,7 @@ func (db *DB) Exec(op string) (*Result, error) {
 	}
 	out := toResult(res)
 	if db.wal != nil {
+		//lint:ignore codslint/lockscope durability before visibility: the WAL fsync must complete under the writer lock before the deferred publish makes the version visible; readers never take this lock
 		if err := db.journalLocked(parsed); err != nil {
 			// The statement committed but could not be made durable;
 			// callers must see the result or they would retry a live
@@ -820,6 +831,7 @@ func (db *DB) ExecScript(script string) ([]*Result, error) {
 			for i, r := range results {
 				stmts[i] = r.Op.String()
 			}
+			//lint:ignore codslint/lockscope durability before visibility: the batched WAL fsync must complete under the writer lock before the deferred publish; readers never take this lock
 			if err := db.wal.AppendAll(stmts); err != nil {
 				// Committed statements are missing from the log; poison
 				// the write path as journalLocked would.
@@ -827,6 +839,7 @@ func (db *DB) ExecScript(script string) ([]*Result, error) {
 				err = fmt.Errorf("cods: %w: statements applied but not durably logged (catalog changes disabled until a Checkpoint succeeds): %w", ErrNotDurable, err)
 				return out, errors.Join(execErr, err)
 			}
+			//lint:ignore codslint/lockscope a non-replayable statement must be checkpointed under the writer lock before it becomes visible; readers never take this lock
 		} else if err := db.checkpointLocked(true); err != nil {
 			return out, errors.Join(execErr, err)
 		}
@@ -865,6 +878,7 @@ func (db *DB) CreateTableFromRows(name string, columns []string, key []string, r
 	// Bulk-loaded rows exist nowhere in statement form; checkpoint so the
 	// snapshot carries them.
 	if db.wal != nil {
+		//lint:ignore codslint/lockscope bulk loads cannot be replayed from the WAL, so the snapshot must be durable under the writer lock before the deferred publish; readers never take this lock
 		return db.checkpointLocked(true)
 	}
 	return nil
@@ -889,12 +903,14 @@ func (db *DB) LoadCSV(path, table string, key ...string) error {
 		return err
 	}
 	if db.wal != nil {
+		//lint:ignore codslint/lockscope file-fed loads cannot be replayed from the WAL, so the snapshot must be durable under the writer lock before the deferred publish; readers never take this lock
 		return db.checkpointLocked(true)
 	}
 	return nil
 }
 
 // SaveCSV writes a table to a CSV file.
+// cods:lockfree
 func (db *DB) SaveCSV(path, table string) error {
 	t, err := db.engine.Catalog().Table(table)
 	if err != nil {
@@ -904,11 +920,13 @@ func (db *DB) SaveCSV(path, table string) error {
 }
 
 // Tables lists the catalog's table names, sorted.
+// cods:lockfree
 func (db *DB) Tables() []string {
 	return db.Snapshot().Tables()
 }
 
 // HasTable reports whether a table exists.
+// cods:lockfree
 func (db *DB) HasTable(name string) bool {
 	return db.Snapshot().HasTable(name)
 }
@@ -930,22 +948,26 @@ type TableInfo struct {
 }
 
 // Describe returns schema and storage statistics for a table.
+// cods:lockfree
 func (db *DB) Describe(table string) (*TableInfo, error) {
 	return db.Snapshot().Describe(table)
 }
 
 // Columns returns a table's column names in schema order.
+// cods:lockfree
 func (db *DB) Columns(table string) ([]string, error) {
 	return db.Snapshot().Columns(table)
 }
 
 // NumRows returns a table's row count.
+// cods:lockfree
 func (db *DB) NumRows(table string) (uint64, error) {
 	return db.Snapshot().NumRows(table)
 }
 
 // Rows materializes up to limit rows of a table starting at offset (limit
 // 0 means all).
+// cods:lockfree
 func (db *DB) Rows(table string, offset, limit uint64) ([][]string, error) {
 	return db.Snapshot().Rows(table, offset, limit)
 }
@@ -954,12 +976,14 @@ func (db *DB) Rows(table string, offset, limit uint64) ([][]string, error) {
 // as PARTITION TABLE's WHERE). The condition is evaluated on the bitmap
 // index — once per distinct value, not once per row, fanned out over the
 // configured Parallelism.
+// cods:lockfree
 func (db *DB) Query(table, condition string) ([][]string, error) {
 	return db.Snapshot().Query(table, condition)
 }
 
 // Count returns the number of rows satisfying a condition without
 // materializing them (a compressed popcount).
+// cods:lockfree
 func (db *DB) Count(table, condition string) (uint64, error) {
 	return db.Snapshot().Count(table, condition)
 }
@@ -967,6 +991,7 @@ func (db *DB) Count(table, condition string) (uint64, error) {
 // Version returns the schema version (incremented per applied operator).
 // Lock-free: it always answers, even mid-evolution, reporting the last
 // committed version.
+// cods:lockfree
 func (db *DB) Version() int {
 	return db.Snapshot().Version()
 }
@@ -997,6 +1022,7 @@ func (db *DB) Rollback(version int) error {
 	// logged "rollback to N" would be ambiguous; snapshot the rolled-back
 	// state instead.
 	if db.wal != nil {
+		//lint:ignore codslint/lockscope rollbacks cannot be replayed from the WAL, so the snapshot must be durable under the writer lock before the deferred publish; readers never take this lock
 		return db.checkpointLocked(true)
 	}
 	return nil
@@ -1056,6 +1082,7 @@ type ResultSet struct {
 // aggregation, ordering and limit against one table. Predicates and COUNT
 // aggregates are evaluated on compressed bitmaps — once per distinct
 // value, never per row.
+// cods:lockfree
 func (db *DB) RunQuery(table string, q TableQuery) (*ResultSet, error) {
 	return db.Snapshot().RunQuery(table, q)
 }
@@ -1071,12 +1098,14 @@ type HistoryEntry struct {
 
 // History returns the executed-operator log in order. Prefer HistoryTail
 // on polling paths: the full copy is O(statements).
+// cods:lockfree
 func (db *DB) History() []HistoryEntry {
 	return db.Snapshot().History()
 }
 
 // HistoryTail returns the most recent limit executed-operator entries
 // (all when limit <= 0), oldest first, at O(limit) cost.
+// cods:lockfree
 func (db *DB) HistoryTail(limit int) []HistoryEntry {
 	return db.Snapshot().HistoryTail(limit)
 }
@@ -1098,6 +1127,7 @@ type FDSuggestion struct {
 // decompositions, ranked by removed redundancy. This serves the paper's
 // "new information about the data" evolution scenario (§1): the advisor
 // produces the knowledge, Exec applies it.
+// cods:lockfree
 func (db *DB) Advise(table string) ([]FDSuggestion, error) {
 	t, err := db.engine.Catalog().Table(table)
 	if err != nil {
@@ -1121,6 +1151,7 @@ func (db *DB) Advise(table string) ([]FDSuggestion, error) {
 // Validate checks the structural invariants of every table (per-value
 // bitmaps disjoint and complete, declared keys unique). It validates one
 // catalog snapshot, consistent even while evolutions commit concurrently.
+// cods:lockfree
 func (db *DB) Validate() error {
 	cat := db.engine.Catalog()
 	for _, name := range cat.Tables() {

@@ -138,4 +138,12 @@
 // command (internal/server) exposes a DB over HTTP/JSON — POST /query,
 // POST /exec, GET /schema, GET /healthz, GET /stats — with bounded
 // request concurrency and graceful shutdown; see README.md for the API.
+//
+// # Error classification
+//
+// Errors crossing this API are classified with errors.Is against the
+// exported sentinels (ErrClosed, ErrNotDurable, ErrNoTable, ...), so the
+// package is marked cods:boundary for codslint: new error paths must
+// wrap a sentinel with %w rather than invent anonymous errors. See
+// internal/lint.
 package cods

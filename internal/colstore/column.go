@@ -65,7 +65,10 @@ func (e Encoding) String() string {
 	}
 }
 
-// Column is one attribute of a table. Immutable after construction.
+// Column is one attribute of a table. Immutable after construction
+// (enforced by codslint).
+//
+// cods:immutable
 type Column struct {
 	name    string
 	enc     Encoding

@@ -15,8 +15,10 @@ import (
 // of O(table), and a tiered merge policy keeps the segment count
 // logarithmic so reads stay cheap.
 //
-// Like Column, a Segment is immutable after construction and freely shared
-// between table versions.
+// Like Column, a Segment is immutable after construction (enforced by
+// codslint) and freely shared between table versions.
+//
+// cods:immutable
 type Segment struct {
 	cols   []*Column
 	byName map[string]int

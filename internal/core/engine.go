@@ -96,7 +96,7 @@ func (c Config) mergeRatio() (ratio int, ok bool) {
 // Tables, Version, History, Catalog) load the published pointer and never
 // block, even while an SMO is mid-execution.
 type Engine struct {
-	mu sync.Mutex // serializes writers; readers never take it
+	mu sync.Mutex // cods:writerlock serializes writers; readers never take it
 	// tables maps each name to its delta.Overlay: the immutable base
 	// table plus pending DML (appended rows, deletion bitmap). SMOs
 	// consume the flushed table; DML derives a new overlay (copy on
@@ -140,6 +140,8 @@ type Engine struct {
 // Obtained lock-free from Engine.Catalog; safe to use concurrently and
 // indefinitely (tables are immutable, the maps are never mutated after
 // publication).
+//
+// cods:immutable
 type Catalog struct {
 	tables  map[string]*delta.Overlay
 	version int
@@ -198,7 +200,9 @@ func (c *Catalog) HistoryLen() int { return len(c.history) }
 // limit <= 0 or exceeds the log length) as a shared read-only view: the
 // log is append-only and entries are never mutated after commit, so the
 // tail costs O(1) regardless of how many statements ran. Callers must
-// not modify the returned entries.
+// not modify the returned entries (enforced by codslint).
+//
+// cods:shared-view
 func (c *Catalog) HistoryTail(limit int) []HistoryEntry {
 	if limit <= 0 || limit > len(c.history) {
 		limit = len(c.history)
@@ -360,6 +364,10 @@ func (e *Engine) History() []HistoryEntry {
 
 // Apply executes one SMO atomically: either the whole catalog change
 // commits or the catalog is untouched.
+//
+// cods:stmt-dispatch — PRUNE is dispatched here by type assertion; every
+// other statement kind falls through to execute's type switch. codslint
+// (walreplay) checks the union covers every smo.Op implementer.
 func (e *Engine) Apply(op smo.Op) (*Result, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -709,6 +717,11 @@ func (e *Engine) ensureFree(name string, dropping ...string) error {
 // DML into the base first — the delta overlay is an artifact of the write
 // path, and the paper's algorithms must see one plain table. DML
 // statements instead derive a new overlay from the current one.
+//
+// cods:stmt-dispatch — the main statement type switch; together with
+// Apply's PRUNE assertion it must cover every smo.Op implementer, and
+// codslint (walreplay) fails the build when a new operator is missing,
+// so a statement can never parse from the WAL yet be unreplayable.
 func (e *Engine) execute(op smo.Op, opts evolve.Options) (add []*delta.Overlay, drop []string, err error) {
 	get := func(name string) (*colstore.Table, error) {
 		ov, err := e.overlay(name)

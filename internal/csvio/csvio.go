@@ -5,6 +5,7 @@ package csvio
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -51,7 +52,7 @@ func ReadP(r io.Reader, tableName string, key []string, parallelism int) (*colst
 	tb.Parallelism = parallelism
 	for {
 		rec, err := cr.Read()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {

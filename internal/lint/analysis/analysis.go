@@ -1,0 +1,181 @@
+// Package analysis is a self-contained, standard-library-only mirror of
+// the golang.org/x/tools/go/analysis API surface that the codslint
+// analyzers need: an Analyzer is a named check, a Pass hands it one
+// type-checked package, and Report emits positioned diagnostics. The
+// repository vendors no third-party modules, so the real go/analysis
+// framework is not importable; this shim keeps the analyzers written
+// against the familiar shape (swapping the import path is all a future
+// migration to x/tools would need) while the drivers — cmd/codslint's
+// standalone and unitchecker modes, and internal/lint/analysistest —
+// stay in full control of package loading.
+//
+// Beyond the x/tools core, Pass carries one extension the codslint suite
+// is built around: PkgMarkers, a lookup of the `cods:` doc-comment
+// markers (cods:immutable, cods:writerlock, cods:lockfree, and friends)
+// declared in any package of the program, not just the one under
+// analysis. Markers are how the engine's prose invariants are attached
+// to the code they constrain; see internal/lint's package documentation
+// for the full catalog.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore codslint/<name> suppressions.
+	Name string
+	// Doc is the analyzer's documentation: first line is a one-sentence
+	// summary, the rest elaborates.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) (interface{}, error)
+}
+
+// A Diagnostic is one finding: a position and a message.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Pass provides one type-checked package to an Analyzer's Run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report emits one diagnostic. The driver wraps it with
+	// //lint:ignore suppression handling.
+	Report func(Diagnostic)
+	// PkgMarkers returns the cods: markers declared in the package with
+	// the given import path, or nil when the package's source is not
+	// reachable (e.g. the standard library). See ScanMarkers for the
+	// object-key scheme.
+	PkgMarkers func(path string) map[string][]string
+}
+
+// Reportf emits a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// HasMarker reports whether the object identified by key in the package
+// with the given import path carries the named cods: marker. Keys follow
+// ScanMarkers: "T" for types, "T.f" for struct fields, "F" for
+// functions, "T.M" for methods, "V" for package-level vars, and
+// "package" for the package clause itself.
+func (p *Pass) HasMarker(pkgPath, key, marker string) bool {
+	if p.PkgMarkers == nil {
+		return false
+	}
+	for _, m := range p.PkgMarkers(pkgPath)[key] {
+		if m == marker {
+			return true
+		}
+	}
+	return false
+}
+
+// ScanMarkers extracts the cods: doc-comment markers from a package's
+// files. A marker is a comment line of the form "// cods:<name>" (the
+// rest of the line may explain it); it attaches to the declaration whose
+// doc comment or trailing line comment carries it. The returned map is
+// keyed by object:
+//
+//	"T"       type T
+//	"T.f"     field f of struct type T
+//	"F"       package-level func F
+//	"T.M"     method M with receiver (pointer or value) of type T
+//	"V"       package-level var V
+//	"package" the package clause (file doc comments)
+func ScanMarkers(files []*ast.File) map[string][]string {
+	out := make(map[string][]string)
+	add := func(key string, groups ...*ast.CommentGroup) {
+		for _, g := range groups {
+			for _, m := range markersIn(g) {
+				out[key] = append(out[key], m)
+			}
+		}
+	}
+	for _, f := range files {
+		add("package", f.Doc)
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				add(funcKey(d), d.Doc)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						add(s.Name.Name, d.Doc, s.Doc, s.Comment)
+						if st, ok := s.Type.(*ast.StructType); ok && st.Fields != nil {
+							for _, fld := range st.Fields.List {
+								for _, name := range fld.Names {
+									add(s.Name.Name+"."+name.Name, fld.Doc, fld.Comment)
+								}
+							}
+						}
+					case *ast.ValueSpec:
+						for _, name := range s.Names {
+							add(name.Name, d.Doc, s.Doc, s.Comment)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FuncDeclKey names a FuncDecl the way the marker map does: "F" for a
+// function, "T.M" for a method (pointer and value receivers collapse).
+func FuncDeclKey(d *ast.FuncDecl) string { return funcKey(d) }
+
+// funcKey names a FuncDecl for the marker map: "F" or "T.M".
+func funcKey(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	return recvTypeName(d.Recv.List[0].Type) + "." + d.Name.Name
+}
+
+// recvTypeName unwraps a receiver type expression to its base type name.
+func recvTypeName(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.IndexExpr: // generic receiver
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// markersIn returns the cods: marker names in one comment group.
+func markersIn(g *ast.CommentGroup) []string {
+	if g == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range g.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		text = strings.TrimPrefix(text, "/*")
+		for _, field := range strings.Fields(text) {
+			if name, ok := strings.CutPrefix(field, "cods:"); ok && name != "" {
+				out = append(out, name)
+			}
+		}
+	}
+	return out
+}

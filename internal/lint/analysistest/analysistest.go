@@ -1,0 +1,163 @@
+// Package analysistest runs codslint analyzers over fixture packages and
+// checks their diagnostics against inline expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest: a fixture line that should
+// be flagged carries a comment
+//
+//	// want `regexp`
+//
+// (one or more quoted regexps; double quotes work too) and the test fails
+// on any unexpected diagnostic and any unmatched expectation. Fixtures
+// live under testdata/src/<importpath>/ and may import each other; the
+// driver's //lint:ignore suppression handling is active, so suppression
+// semantics are testable with fixtures as well (a suppressed finding
+// needs no want, a reasonless or stale directive wants the driver's
+// "suppression" diagnostic).
+package analysistest
+
+import (
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cods/internal/lint"
+	"cods/internal/lint/analysis"
+	"cods/internal/lint/loader"
+)
+
+// expectation is one `// want` regexp waiting for a diagnostic on its
+// line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run applies the analyzer to each named fixture package under
+// testdata/src and reports mismatches between diagnostics and // want
+// expectations on t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	prog, err := loader.LoadTree(testdata, pkgs...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	var targets []*loader.Package
+	for _, p := range pkgs {
+		pkg := prog.Package(p)
+		if pkg == nil {
+			t.Fatalf("fixture package %q not loaded", p)
+		}
+		targets = append(targets, pkg)
+	}
+
+	var wants []*expectation
+	for _, pkg := range targets {
+		for _, f := range pkg.Files {
+			for _, g := range f.Comments {
+				for _, c := range g.List {
+					ws, err := parseWants(prog, c)
+					if err != nil {
+						t.Fatalf("%s: %v", prog.Fset.Position(c.Pos()), err)
+					}
+					wants = append(wants, ws...)
+				}
+			}
+		}
+	}
+
+	findings, err := lint.Run(prog, targets, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for _, f := range findings {
+		if !claim(wants, f) {
+			t.Errorf("%s: unexpected diagnostic: %s (codslint/%s)", f.Pos, f.Message, f.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %s", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claim matches a finding against the unmatched expectations on its line.
+func claim(wants []*expectation, f lint.Finding) bool {
+	for _, w := range wants {
+		if w.matched || w.file != f.Pos.Filename || w.line != f.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts the quoted regexps of one comment's `// want`
+// clause, anchored to the comment's line.
+func parseWants(prog *loader.Program, c *ast.Comment) ([]*expectation, error) {
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	rest, ok := strings.CutPrefix(text, "want ")
+	if !ok {
+		return nil, nil
+	}
+	pos := prog.Fset.Position(c.Pos())
+	var out []*expectation
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		var raw string
+		switch rest[0] {
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, errWant(rest)
+			}
+			raw = rest[:end+2]
+			rest = rest[end+2:]
+		case '"':
+			// strconv handles escapes; find the closing quote it accepts.
+			end := 1
+			for ; end < len(rest); end++ {
+				if rest[end] == '"' && rest[end-1] != '\\' {
+					break
+				}
+			}
+			if end == len(rest) {
+				return nil, errWant(rest)
+			}
+			raw = rest[:end+1]
+			rest = rest[end+1:]
+		default:
+			return nil, errWant(rest)
+		}
+		pattern, err := strconv.Unquote(raw)
+		if err != nil {
+			return nil, errWant(raw)
+		}
+		re, err := regexp.Compile(pattern)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+		rest = strings.TrimSpace(rest)
+	}
+	return out, nil
+}
+
+// errWant reports a malformed want clause.
+func errWant(rest string) error {
+	return &wantError{rest}
+}
+
+type wantError struct{ rest string }
+
+func (e *wantError) Error() string {
+	return "malformed // want clause near " + strconv.Quote(e.rest)
+}

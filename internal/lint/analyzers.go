@@ -1,0 +1,17 @@
+package lint
+
+import "cods/internal/lint/analysis"
+
+// All returns the codslint analyzer suite in reporting order. Drivers
+// (cmd/codslint, the analysistest harness, scripts/docslint.sh via
+// `codslint -analyzers`) share this list so an analyzer cannot exist
+// without being enforced and documented.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		AtomicField,
+		ErrSentinel,
+		LockScope,
+		PubImmutable,
+		WalReplay,
+	}
+}

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"cods/internal/lint/analysis"
+)
+
+// AtomicField enforces all-or-nothing atomicity per field: once any code
+// in a package operates on a struct field through sync/atomic
+// (atomic.AddUint64(&s.n, 1), atomic.LoadPointer(&s.p), ...), every
+// other access to that field must also be atomic. A mixed regime — an
+// atomic increment on one path and a plain read on another — is a data
+// race the race detector only catches when the schedule cooperates, and
+// it is precisely the failure mode the engine avoided by moving its
+// counters to typed atomics (atomic.Uint64, atomic.Pointer[Catalog]).
+// Typed atomics are immune by construction, since their value is not
+// reachable except through Load/Store methods; this analyzer guards the
+// legacy address-based form, the one still easy to reintroduce.
+var AtomicField = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "reject non-atomic access to fields that are elsewhere accessed through sync/atomic",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *analysis.Pass) (interface{}, error) {
+	af := &atomicField{
+		pass:       pass,
+		atomic:     make(map[*types.Var]string),
+		sanctioned: make(map[*ast.SelectorExpr]bool),
+	}
+	// Pass 1: find the fields handed to sync/atomic and remember the
+	// selector nodes those sanctioned accesses go through.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if field, desc := af.fieldOf(sel); field != nil {
+					af.atomic[field] = desc
+					af.sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(af.atomic) == 0 {
+		return nil, nil
+	}
+	// Pass 2: every other touch of those fields is a race.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || af.sanctioned[sel] {
+				return true
+			}
+			field, _ := af.fieldOf(sel)
+			if field == nil {
+				return true
+			}
+			if desc, ok := af.atomic[field]; ok {
+				pass.Reportf(sel.Pos(), "non-atomic access to %s, which is accessed with sync/atomic elsewhere; every access must go through sync/atomic", desc)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+type atomicField struct {
+	pass *analysis.Pass
+	// atomic maps a struct field to its "T.f" description once some
+	// sync/atomic call takes its address.
+	atomic map[*types.Var]string
+	// sanctioned marks the selector nodes inside sync/atomic arguments,
+	// so pass 2 can skip them.
+	sanctioned map[*ast.SelectorExpr]bool
+}
+
+// fieldOf resolves a selector to the struct field it reads, with a
+// "T.f" description.
+func (af *atomicField) fieldOf(sel *ast.SelectorExpr) (*types.Var, string) {
+	s, ok := af.pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, ""
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok {
+		return nil, ""
+	}
+	desc := field.Name()
+	if named := namedOf(s.Recv()); named != nil {
+		desc = named.Obj().Name() + "." + desc
+	}
+	return field, desc
+}

@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"cods/internal/lint/analysis"
+)
+
+// ErrSentinel enforces the error-handling discipline at the engine's
+// boundaries: callers classify failures with errors.Is/errors.As against
+// exported sentinels, so errors crossing a package boundary must stay
+// classifiable after wrapping. Three rules, checked everywhere:
+//
+//   - Never compare two errors with == or != (nil comparisons are fine);
+//     wrapped errors make identity comparison silently wrong — use
+//     errors.Is. The same applies to `switch err { case io.EOF: }`.
+//
+//   - fmt.Errorf with an error argument must format it with %w, not %v
+//     or %s: a boundary that re-words an error without wrapping it strips
+//     the sentinel and breaks every errors.Is upstream.
+//
+//   - In packages marked `// cods:boundary` (the cods facade and
+//     internal/server), errors.New inside a function body creates an
+//     anonymous, unclassifiable error. Boundary errors must either be
+//     package-level sentinels (errors.New at var level is fine — that is
+//     how sentinels are born) or wrap one with fmt.Errorf("...: %w", ...).
+var ErrSentinel = &analysis.Analyzer{
+	Name: "errsentinel",
+	Doc:  "require errors.Is/As over ==, %w over %v for wrapping, and sentinel-based errors in cods:boundary packages",
+	Run:  runErrSentinel,
+}
+
+func runErrSentinel(pass *analysis.Pass) (interface{}, error) {
+	es := &errSentinel{pass: pass}
+	boundary := pass.HasMarker(pass.Pkg.Path(), "package", "boundary")
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			// The Is(error) bool method is where == against a sentinel is
+			// the idiom: errors.Is hands it the exact target, unwrapped.
+			inIsMethod := isErrorIsMethod(fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch e := n.(type) {
+				case *ast.BinaryExpr:
+					if !inIsMethod {
+						es.checkCompare(e)
+					}
+				case *ast.SwitchStmt:
+					es.checkSwitch(e)
+				case *ast.CallExpr:
+					es.checkErrorf(e)
+					if boundary {
+						es.checkBoundaryNew(e)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+type errSentinel struct {
+	pass *analysis.Pass
+}
+
+// isErrorIsMethod reports whether fn is the `Is(error) bool` method of
+// the errors.Is protocol.
+func isErrorIsMethod(fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || fn.Name.Name != "Is" {
+		return false
+	}
+	p, r := fn.Type.Params, fn.Type.Results
+	return p != nil && len(p.List) == 1 && r != nil && len(r.List) == 1
+}
+
+// exprErrorType reports whether e has error type and is not the nil
+// literal.
+func (es *errSentinel) exprErrorType(e ast.Expr) bool {
+	tv, ok := es.pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	if tv.IsNil() {
+		return false
+	}
+	return isErrorType(tv.Type)
+}
+
+// checkCompare flags err == otherErr / err != otherErr when both sides
+// are non-nil errors.
+func (es *errSentinel) checkCompare(e *ast.BinaryExpr) {
+	if e.Op != token.EQL && e.Op != token.NEQ {
+		return
+	}
+	if !es.exprErrorType(e.X) || !es.exprErrorType(e.Y) {
+		return
+	}
+	es.pass.Reportf(e.OpPos, "errors compared with %s; wrapped errors break identity — use errors.Is", e.Op)
+}
+
+// checkSwitch flags `switch err { case io.EOF: }`: a value switch on an
+// error with non-nil case tags is the == comparison in disguise.
+func (es *errSentinel) checkSwitch(s *ast.SwitchStmt) {
+	if s.Tag == nil || !es.exprErrorType(s.Tag) {
+		return
+	}
+	for _, c := range s.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, tag := range cc.List {
+			if es.exprErrorType(tag) {
+				es.pass.Reportf(tag.Pos(), "switch compares errors with ==; wrapped errors break identity — use errors.Is")
+				return
+			}
+		}
+	}
+}
+
+// checkErrorf maps fmt.Errorf's format verbs to its arguments and flags
+// error-typed arguments formatted with anything but %w.
+func (es *errSentinel) checkErrorf(call *ast.CallExpr) {
+	fn := calleeFunc(es.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := unquote(lit.Value)
+	if err {
+		return
+	}
+	verbs := formatVerbs(format)
+	for i, arg := range call.Args[1:] {
+		if i >= len(verbs) {
+			break
+		}
+		if verbs[i] != 'w' && es.exprErrorType(arg) {
+			es.pass.Reportf(arg.Pos(), "error formatted with %%%c loses its sentinel for errors.Is; wrap it with %%w", verbs[i])
+		}
+	}
+}
+
+// checkBoundaryNew flags errors.New calls inside function bodies of
+// boundary packages.
+func (es *errSentinel) checkBoundaryNew(call *ast.CallExpr) {
+	fn := calleeFunc(es.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "errors" || fn.Name() != "New" {
+		return
+	}
+	es.pass.Reportf(call.Pos(), "errors.New inside a cods:boundary function creates an unclassifiable error; declare a package-level sentinel or wrap one with %%w")
+}
+
+// unquote strips a Go string literal's quotes; reports failure.
+func unquote(s string) (string, bool) {
+	if len(s) >= 2 && (s[0] == '"' || s[0] == '`') {
+		return s[1 : len(s)-1], false
+	}
+	return "", true
+}
+
+// formatVerbs extracts the verb letters of a format string in argument
+// order; '*' width/precision arguments are returned as '*'.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Skip flags, width, precision; record '*' consumers.
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if c == '%' {
+				break // literal %%
+			}
+			if strings.IndexByte("+-# 0123456789.[]", c) >= 0 {
+				i++
+				continue
+			}
+			verbs = append(verbs, c)
+			break
+		}
+	}
+	return verbs
+}

@@ -1,0 +1,93 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"cods/internal/lint"
+	"cods/internal/lint/analysis"
+	"cods/internal/lint/analysistest"
+	"cods/internal/lint/loader"
+)
+
+func TestLockScope(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.LockScope, "lockscope/engine")
+}
+
+func TestPubImmutable(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.PubImmutable, "pubimmutable/box", "pubimmutable/use")
+}
+
+func TestErrSentinel(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.ErrSentinel, "errsentinel/a", "errsentinel/boundary")
+}
+
+// TestWalReplay covers both walreplay obligations, including the PR 7
+// regression shape: operator C of walreplay/stmt parses (it is a full
+// stmt.Op and sits in the complete registry) but neither dispatch
+// function in walreplay/dispatch names it.
+func TestWalReplay(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.WalReplay, "walreplay/stmt", "walreplay/dispatch", "walreplay/registry")
+}
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.AtomicField, "atomicfield/a")
+}
+
+// TestSuppressionHygiene drives lint.Run directly: `// want` comments
+// cannot share a line with //lint:ignore directives (trailing text would
+// become the directive's reason), so the driver's own findings are
+// asserted by hand.
+func TestSuppressionHygiene(t *testing.T) {
+	prog, err := loader.LoadTree("testdata", "suppression/a")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	pkg := prog.Package("suppression/a")
+	if pkg == nil {
+		t.Fatal("fixture package suppression/a not loaded")
+	}
+	findings, err := lint.Run(prog, []*loader.Package{pkg}, []*analysis.Analyzer{lint.LockScope})
+	if err != nil {
+		t.Fatalf("running lockscope: %v", err)
+	}
+
+	type want struct {
+		line     int
+		analyzer string
+		fragment string
+	}
+	wants := []want{
+		// The reasonless directive does not silence its finding...
+		{24, "lockscope", "may block while Engine.mu is held"},
+		// ...and is itself flagged.
+		{23, "suppression", "has no reason"},
+		// The directive that fires on nothing is stale.
+		{29, "suppression", "matches no finding"},
+	}
+	for _, w := range wants {
+		found := false
+		for _, f := range findings {
+			if f.Pos.Line == w.line && f.Analyzer == w.analyzer && strings.Contains(f.Message, w.fragment) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("line %d: no codslint/%s finding containing %q; got:\n%s",
+				w.line, w.analyzer, w.fragment, render(findings))
+		}
+	}
+	if len(findings) != len(wants) {
+		t.Errorf("want exactly %d findings (Explained must be fully suppressed); got %d:\n%s",
+			len(wants), len(findings), render(findings))
+	}
+}
+
+func render(findings []lint.Finding) string {
+	var b strings.Builder
+	for _, f := range findings {
+		b.WriteString("  " + f.String() + "\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,426 @@
+// Package loader type-checks Go packages for the codslint analyzers
+// using only the standard library and the go command. It keeps every
+// loaded package's syntax trees (comments included) so the analyzers can
+// read cods: doc-comment markers across package boundaries.
+//
+// Two entry points cover the two driver shapes. Load lists a module's
+// packages with `go list -deps -export -json` and type-checks each
+// target from source against the compiler export data of its
+// dependencies — fast, and exactly what a whole-repo `codslint ./...`
+// run needs. LoadTree resolves imports inside an analysistest-style
+// testdata/src tree from source, falling back to installed export data
+// for everything else, which lets analyzer fixtures span multiple small
+// packages without being part of the module's build graph.
+package loader
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked package with its syntax retained.
+type Package struct {
+	// Path is the import path.
+	Path string
+	// Dir is the directory holding the package's source files.
+	Dir string
+	// Files are the parsed source files, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's results for Files.
+	Info *types.Info
+}
+
+// Program is a set of loaded packages plus the dependency metadata the
+// analyzers need to chase markers and types across package boundaries.
+type Program struct {
+	// Fset positions every loaded file.
+	Fset *token.FileSet
+	// Packages are the source-checked packages in deterministic
+	// (import-path) order.
+	Packages []*Package
+
+	// DirResolver optionally maps an import path to its source directory
+	// when the loader has no record of it — the vet-tool driver uses it,
+	// since `go vet` hands the tool export data but no source metadata.
+	DirResolver func(path string) string
+
+	byPath map[string]*Package
+	// dirs maps import paths (loaded or dependency-only) to source
+	// directories, for on-demand marker scans of packages that were not
+	// source-checked.
+	dirs map[string]string
+
+	mu      sync.Mutex
+	markers map[string]map[string][]string
+}
+
+// NewProgram returns an empty Program for drivers that type-check
+// packages themselves (cmd/codslint's unitchecker mode).
+func NewProgram(fset *token.FileSet) *Program {
+	return &Program{
+		Fset:   fset,
+		byPath: make(map[string]*Package),
+		dirs:   make(map[string]string),
+	}
+}
+
+// Add registers a package the driver type-checked itself.
+func (p *Program) Add(pkg *Package) {
+	p.Packages = append(p.Packages, pkg)
+	p.byPath[pkg.Path] = pkg
+	if pkg.Dir != "" {
+		p.dirs[pkg.Path] = pkg.Dir
+	}
+}
+
+// Package returns the loaded package with the given import path, or nil.
+func (p *Program) Package(path string) *Package { return p.byPath[path] }
+
+// Markers returns the cods: markers of the package with the given import
+// path: from its loaded syntax when the package was source-checked, and
+// from a one-off comment parse of its source directory otherwise.
+// Unknown packages (no reachable source) yield nil. Results are cached.
+func (p *Program) Markers(scan func([]*ast.File) map[string][]string, path string) map[string][]string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if m, ok := p.markers[path]; ok {
+		return m
+	}
+	var m map[string][]string
+	dir, haveDir := p.dirs[path]
+	if !haveDir && p.DirResolver != nil {
+		dir = p.DirResolver(path)
+		haveDir = dir != ""
+	}
+	if pkg := p.byPath[path]; pkg != nil {
+		m = scan(pkg.Files)
+	} else if haveDir {
+		if files, err := parseDir(token.NewFileSet(), dir); err == nil {
+			m = scan(files)
+		}
+	}
+	if p.markers == nil {
+		p.markers = make(map[string]map[string][]string)
+	}
+	p.markers[path] = m
+	return m
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+}
+
+// goList runs `go list` with the given arguments in dir and decodes the
+// JSON package stream.
+func goList(dir string, args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("loader: go %s: %w", strings.Join(args, " "), err)
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("loader: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// Load lists patterns (e.g. "./...") in the module rooted at dir and
+// type-checks every matched package from source, resolving imports
+// through the compiler export data `go list -export` produces.
+func Load(dir string, patterns ...string) (*Program, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,Standard,DepOnly",
+	}, patterns...)
+	listed, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+
+	prog := &Program{
+		Fset:   token.NewFileSet(),
+		byPath: make(map[string]*Package),
+		dirs:   make(map[string]string),
+	}
+	exports := make(map[string]string)
+	var targets []*listedPackage
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Dir != "" {
+			prog.dirs[p.ImportPath] = p.Dir
+		}
+		if !p.DepOnly && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	imp := exportImporter(prog.Fset, exports)
+	for _, t := range targets {
+		files, err := parseFiles(prog.Fset, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkg, info, err := check(prog.Fset, t.ImportPath, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("loader: type-checking %s: %w", t.ImportPath, err)
+		}
+		lp := &Package{Path: t.ImportPath, Dir: t.Dir, Files: files, Pkg: pkg, Info: info}
+		prog.Packages = append(prog.Packages, lp)
+		prog.byPath[t.ImportPath] = lp
+	}
+	return prog, nil
+}
+
+// exportImporter resolves import paths through compiler export data
+// files. The gc importer caches, so one instance serves a whole Program.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("loader: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// externExports caches `go list -export` results for packages outside a
+// LoadTree root (the standard library, in practice) across calls — the
+// analyzer tests would otherwise pay a go list invocation each.
+var externExports = struct {
+	sync.Mutex
+	files map[string]string
+	known map[string]bool
+}{files: map[string]string{}, known: map[string]bool{}}
+
+// resolveExterns ensures export data is known for every path in paths,
+// batching the go list invocation for the unknown ones.
+func resolveExterns(paths []string) (map[string]string, error) {
+	externExports.Lock()
+	defer externExports.Unlock()
+	var missing []string
+	for _, p := range paths {
+		if !externExports.known[p] {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Export"}, missing...)
+		listed, err := goList(".", args...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				externExports.files[p.ImportPath] = p.Export
+			}
+		}
+		for _, p := range missing {
+			externExports.known[p] = true
+		}
+	}
+	out := make(map[string]string, len(externExports.files))
+	for k, v := range externExports.files {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// LoadTree loads the packages named by paths from an analysistest-style
+// tree: the import path P lives in root/src/P, and imports between
+// packages in the tree resolve from source. Imports that leave the tree
+// (the standard library) resolve through installed export data.
+func LoadTree(root string, paths ...string) (*Program, error) {
+	prog := &Program{
+		Fset:   token.NewFileSet(),
+		byPath: make(map[string]*Package),
+		dirs:   make(map[string]string),
+	}
+
+	// Parse the requested packages and every in-tree package they
+	// reach, collecting the external imports along the way.
+	parsed := make(map[string][]*ast.File)
+	externs := make(map[string]bool)
+	var queue []string
+	queued := map[string]bool{}
+	enqueue := func(p string) {
+		if !queued[p] {
+			queued[p] = true
+			queue = append(queue, p)
+		}
+	}
+	for _, p := range paths {
+		enqueue(p)
+	}
+	for len(queue) > 0 {
+		path := queue[0]
+		queue = queue[1:]
+		dir := filepath.Join(root, "src", filepath.FromSlash(path))
+		files, err := parseDir(prog.Fset, dir)
+		if err != nil {
+			return nil, fmt.Errorf("loader: parsing %s: %w", path, err)
+		}
+		parsed[path] = files
+		prog.dirs[path] = dir
+		for _, f := range files {
+			for _, spec := range f.Imports {
+				ipath, err := strconv.Unquote(spec.Path.Value)
+				if err != nil {
+					continue
+				}
+				if st, err := os.Stat(filepath.Join(root, "src", filepath.FromSlash(ipath))); err == nil && st.IsDir() {
+					enqueue(ipath)
+				} else {
+					externs[ipath] = true
+				}
+			}
+		}
+	}
+
+	var externList []string
+	for p := range externs {
+		externList = append(externList, p)
+	}
+	exports, err := resolveExterns(externList)
+	if err != nil {
+		return nil, err
+	}
+	gcImp := exportImporter(prog.Fset, exports)
+
+	// Type-check in-tree packages recursively; localImporter memoizes
+	// and detects cycles.
+	checking := make(map[string]bool)
+	var checkLocal func(path string) (*Package, error)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if _, ok := parsed[path]; ok {
+			lp, err := checkLocal(path)
+			if err != nil {
+				return nil, err
+			}
+			return lp.Pkg, nil
+		}
+		return gcImp.Import(path)
+	})
+	checkLocal = func(path string) (*Package, error) {
+		if lp, ok := prog.byPath[path]; ok {
+			return lp, nil
+		}
+		if checking[path] {
+			return nil, fmt.Errorf("loader: import cycle through %q", path)
+		}
+		checking[path] = true
+		defer delete(checking, path)
+		pkg, info, err := check(prog.Fset, path, parsed[path], imp)
+		if err != nil {
+			return nil, fmt.Errorf("loader: type-checking %s: %w", path, err)
+		}
+		lp := &Package{Path: path, Dir: prog.dirs[path], Files: parsed[path], Pkg: pkg, Info: info}
+		prog.byPath[path] = lp
+		return lp, nil
+	}
+
+	var all []string
+	for p := range parsed {
+		all = append(all, p)
+	}
+	sort.Strings(all)
+	for _, p := range all {
+		lp, err := checkLocal(p)
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, lp)
+	}
+	return prog, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// parseFiles parses the named files in dir with comments.
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// parseDir parses every non-test .go file in dir with comments.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(names)
+	return parseFiles(fset, dir, names)
+}
+
+// check type-checks one package's parsed files.
+func check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}

@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"cods/internal/lint/analysis"
+	"cods/internal/lint/loader"
+)
+
+// A Finding is one diagnostic from one analyzer, positioned and ready to
+// print.
+type Finding struct {
+	// Analyzer is the reporting analyzer's name ("suppression" for the
+	// driver's own suppression-hygiene findings).
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (codslint/%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// directive is one //lint:ignore comment: which analyzer it silences, on
+// which line, and why.
+type directive struct {
+	file     string
+	line     int
+	analyzer string
+	reason   string
+	pos      token.Position
+	used     bool
+}
+
+// Run applies the analyzers to each package and returns the surviving
+// findings, sorted by position.
+//
+// A finding is suppressed by a comment of the form
+//
+//	//lint:ignore codslint/<analyzer> <reason>
+//
+// on the finding's line or on the line directly above it. The reason is
+// mandatory and the directive must fire: a reasonless or unused
+// suppression is itself reported (analyzer "suppression"), so silenced
+// invariant violations always carry a reviewable explanation and stale
+// directives cannot accumulate.
+func Run(prog *loader.Program, pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		dirs := scanDirectives(prog.Fset, pkg)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      prog.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.Info,
+				PkgMarkers: func(path string) map[string][]string {
+					return prog.Markers(analysis.ScanMarkers, path)
+				},
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := prog.Fset.Position(d.Pos)
+				if suppressed(dirs, name, pos) {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: name, Pos: pos, Message: d.Message})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		for _, d := range dirs {
+			switch {
+			case d.reason == "":
+				findings = append(findings, Finding{
+					Analyzer: "suppression",
+					Pos:      d.pos,
+					Message:  fmt.Sprintf("suppression of codslint/%s has no reason; explain why the invariant does not apply here", d.analyzer),
+				})
+			case !d.used:
+				findings = append(findings, Finding{
+					Analyzer: "suppression",
+					Pos:      d.pos,
+					Message:  fmt.Sprintf("suppression of codslint/%s matches no finding; delete the stale directive", d.analyzer),
+				})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}
+
+// scanDirectives collects the //lint:ignore directives of one package.
+func scanDirectives(fset *token.FileSet, pkg *loader.Package) []*directive {
+	var out []*directive
+	for _, f := range pkg.Files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "lint:ignore ")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				name, ok := strings.CutPrefix(fields[0], "codslint/")
+				if !ok {
+					continue // another linter's directive
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, &directive{
+					file:     pos.Filename,
+					line:     pos.Line,
+					analyzer: name,
+					reason:   strings.TrimSpace(strings.TrimPrefix(rest, fields[0])),
+					pos:      pos,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports (and marks) whether a directive covers the given
+// analyzer at the given position: same file, same line or the line
+// directly above. Reasonless directives never suppress — they would
+// otherwise hide a finding while the driver flags them anyway.
+func suppressed(dirs []*directive, analyzer string, pos token.Position) bool {
+	for _, d := range dirs {
+		if d.analyzer != analyzer || d.file != pos.Filename || d.reason == "" {
+			continue
+		}
+		if d.line == pos.Line || d.line == pos.Line-1 {
+			d.used = true
+			return true
+		}
+	}
+	return false
+}

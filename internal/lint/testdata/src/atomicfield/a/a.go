@@ -1,0 +1,40 @@
+// Package a is the atomicfield fixture: a counter touched through
+// sync/atomic on one path and plainly on others.
+package a
+
+import "sync/atomic"
+
+// Stats mixes an atomic counter with plainly-accessed fields.
+type Stats struct {
+	ops   uint64
+	name  string
+	other uint64
+}
+
+// Record is the sanctioned access: it goes through sync/atomic.
+func (s *Stats) Record() {
+	atomic.AddUint64(&s.ops, 1)
+}
+
+// Ops reads the counter without atomic: a data race.
+func (s *Stats) Ops() uint64 {
+	return s.ops // want `non-atomic access to Stats\.ops, which is accessed with sync/atomic elsewhere; every access must go through sync/atomic`
+}
+
+// Reset writes the counter without atomic: the same race.
+func (s *Stats) Reset() {
+	s.ops = 0 // want `non-atomic access to Stats\.ops, which is accessed with sync/atomic elsewhere; every access must go through sync/atomic`
+}
+
+// OpsAtomic is the correct read; no finding.
+func (s *Stats) OpsAtomic() uint64 {
+	return atomic.LoadUint64(&s.ops)
+}
+
+// Untracked touches fields that never go through sync/atomic; plain
+// access is fine.
+func (s *Stats) Untracked() uint64 {
+	s.other++
+	_ = s.name
+	return s.other
+}

@@ -1,0 +1,58 @@
+// Package a is the errsentinel fixture for the comparison and wrapping
+// rules (the boundary rule lives in errsentinel/boundary).
+package a
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ErrGone is a package sentinel (fine anywhere).
+var ErrGone = errors.New("gone")
+
+// Compare exercises the ==/!= rule.
+func Compare(err error) bool {
+	if err == io.EOF { // want `errors compared with ==; wrapped errors break identity`
+		return true
+	}
+	if err != os.ErrNotExist { // want `errors compared with !=; wrapped errors break identity`
+		return false
+	}
+	if err == nil { // nil checks are fine
+		return true
+	}
+	return errors.Is(err, ErrGone) // the idiom
+}
+
+// Switch exercises the switch-on-error rule.
+func Switch(err error) int {
+	switch err { // no finding here: the case tag is the comparison
+	case nil:
+		return 0
+	case io.EOF: // want `switch compares errors with ==`
+		return 1
+	}
+	return 2
+}
+
+// Wrap exercises the %w rule.
+func Wrap(err error, name string) error {
+	if err == nil {
+		return nil
+	}
+	bad := fmt.Errorf("loading %s: %v", name, err) // want `error formatted with %v loses its sentinel`
+	good := fmt.Errorf("loading %s: %w", name, err)
+	plain := fmt.Errorf("no error arguments for %s at row %d", name, 7)
+	return errors.Join(bad, good, plain)
+}
+
+// pruned mirrors the errors.Is protocol: == against the target inside an
+// Is method is the one sanctioned identity comparison.
+type pruned struct{}
+
+func (pruned) Error() string { return "pruned" }
+
+// Is implements the errors.Is protocol.
+func (pruned) Is(target error) bool { return target == ErrGone }

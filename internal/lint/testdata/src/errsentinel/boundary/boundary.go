@@ -1,0 +1,28 @@
+// Package boundary is the errsentinel fixture for the boundary rule:
+// in a package marked as an error boundary, every error must be a
+// package-level sentinel (or wrap one) so callers can classify it.
+//
+// cods:boundary
+package boundary
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrClosed is a package-level sentinel; errors.New is fine here.
+var ErrClosed = errors.New("boundary: closed")
+
+// Do returns classifiable errors.
+func Do(open bool) error {
+	if !open {
+		return fmt.Errorf("doing work: %w", ErrClosed)
+	}
+	return nil
+}
+
+// Bad mints an ad-hoc error inside a function body: callers cannot
+// match it with errors.Is.
+func Bad() error {
+	return errors.New("something went wrong") // want `errors\.New inside a cods:boundary function creates an unclassifiable error`
+}

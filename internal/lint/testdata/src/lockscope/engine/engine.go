@@ -1,0 +1,93 @@
+// Package engine is the lockscope fixture: blocking work under a writer
+// lock, and read paths that must stay lock-free.
+package engine
+
+import (
+	"os"
+	"sync"
+	"time"
+
+	"lockscope/storage"
+)
+
+// Engine mimics the real engine's locking shape.
+type Engine struct {
+	mu    sync.Mutex // cods:writerlock
+	other sync.Mutex // unmarked: lockscope must ignore it
+	ch    chan int
+	state int
+}
+
+// BadBlockingCalls runs IO while the writer lock is held.
+func (e *Engine) BadBlockingCalls() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	os.Getwd()                   // want `call to os\.Getwd may block while Engine\.mu is held`
+	time.Sleep(time.Millisecond) // want `call to time\.Sleep may block while Engine\.mu is held`
+	_ = storage.Append("insert") // want `call to lockscope/storage\.Append \(marked cods:blocking\) may block while Engine\.mu is held`
+	e.ch <- 1                    // want `channel send while Engine\.mu is held`
+	<-e.ch                       // want `channel receive while Engine\.mu is held`
+	select {                     // want `select while Engine\.mu is held`
+	case <-e.ch: // want `channel receive while Engine\.mu is held`
+	default:
+	}
+}
+
+// AfterUnlock is clean: the blocking call runs after the lock is
+// released.
+func (e *Engine) AfterUnlock() {
+	e.mu.Lock()
+	e.state++
+	e.mu.Unlock()
+	os.Getwd()
+	_ = storage.Peek()
+}
+
+// UnmarkedLock is clean: the held mutex carries no cods:writerlock
+// marker.
+func (e *Engine) UnmarkedLock() {
+	e.other.Lock()
+	defer e.other.Unlock()
+	os.Getwd()
+}
+
+// GoroutineEscapes is clean: the function literal runs on its own
+// goroutine, not under the caller's lock.
+func (e *Engine) GoroutineEscapes() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	go func() {
+		os.Getwd()
+	}()
+}
+
+// SuppressedAppend documents the durability-before-visibility exception.
+func (e *Engine) SuppressedAppend() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	//lint:ignore codslint/lockscope fixture: durability before visibility requires the fsync under the lock
+	_ = storage.Append("insert")
+}
+
+// acquire takes the writer lock on behalf of its callers.
+func (e *Engine) acquire() {
+	e.mu.Lock()
+	e.state++
+	e.mu.Unlock()
+}
+
+// BadRead is marked lock-free but reaches the writer lock through a
+// same-package call.
+//
+// cods:lockfree
+func (e *Engine) BadRead() int { // want `Engine\.BadRead is marked cods:lockfree but calls acquire, which acquires Engine\.mu`
+	e.acquire()
+	return e.state
+}
+
+// GoodRead is lock-free for real.
+//
+// cods:lockfree
+func (e *Engine) GoodRead() int {
+	return e.state + storage.Peek()
+}

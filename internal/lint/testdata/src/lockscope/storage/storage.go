@@ -1,0 +1,10 @@
+// Package storage is a fixture: the blocking durability layer.
+package storage
+
+// Append pretends to fsync a WAL record.
+//
+// cods:blocking
+func Append(stmt string) error { return nil }
+
+// Peek is cheap and carries no marker.
+func Peek() int { return 0 }

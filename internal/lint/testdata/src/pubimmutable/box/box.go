@@ -1,0 +1,32 @@
+// Package box is the pubimmutable fixture's defining package: an
+// immutable type and a shared-view accessor. Mutation inside this
+// package is construction and stays legal.
+package box
+
+// Box is immutable once published.
+//
+// cods:immutable
+type Box struct {
+	Label   string
+	Rows    []int
+	history []entry
+}
+
+type entry struct{ N int }
+
+// New builds a Box; in-package writes are construction, not violations.
+func New(label string, rows []int) *Box {
+	b := &Box{}
+	b.Label = label
+	b.Rows = rows
+	return b
+}
+
+// View returns internal storage by reference.
+//
+// cods:shared-view
+func (b *Box) View() []int { return b.Rows }
+
+// Copy returns a defensive copy; no marker, so writes through it are
+// fine.
+func (b *Box) Copy() []int { return append([]int(nil), b.Rows...) }

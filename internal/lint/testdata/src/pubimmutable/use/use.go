@@ -1,0 +1,28 @@
+// Package use consumes box from outside its package: every write into
+// published Box storage must be flagged.
+package use
+
+import "pubimmutable/box"
+
+// Mutate writes immutable storage in every way the analyzer tracks.
+func Mutate(b *box.Box) {
+	b.Label = "x" // want `write to field Label of immutable type box\.Box outside its package`
+	b.Rows[0] = 1 // want `element write through field Rows of immutable box\.Box`
+	v := b.View()
+	v[0] = 1 // want `element write through shared view from Box\.View`
+	w := v
+	w[1] = 2 // want `element write through shared view from Box\.View`
+}
+
+// ReadOnly is clean: reads, defensive copies, and value copies never
+// alias published storage.
+func ReadOnly(b *box.Box) int {
+	n := b.Rows[0]
+	c := b.Copy()
+	c[0] = 99
+	e := b.View()[0]
+	e++
+	local := []int{1, 2}
+	local[0] = n
+	return n + e + local[0] + len(b.Label)
+}

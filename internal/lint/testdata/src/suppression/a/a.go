@@ -1,0 +1,39 @@
+// Package a is the suppression-hygiene fixture: a reasonless directive
+// (which must not silence its finding and is itself flagged) and a stale
+// directive that matches nothing.
+package a
+
+import (
+	"sync"
+
+	"lockscope/storage"
+)
+
+// Engine reuses the lockscope marker shape.
+type Engine struct {
+	mu    sync.Mutex // cods:writerlock
+	state int
+}
+
+// Reasonless holds a directive with no explanation: the blocking-call
+// finding survives, and the directive is reported on top.
+func (e *Engine) Reasonless() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	//lint:ignore codslint/lockscope
+	_ = storage.Append("insert")
+}
+
+// Stale holds a directive that suppresses nothing.
+func (e *Engine) Stale() {
+	//lint:ignore codslint/lockscope nothing here blocks under a lock
+	_ = storage.Peek()
+}
+
+// Explained is correctly suppressed: no findings at all.
+func (e *Engine) Explained() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	//lint:ignore codslint/lockscope fixture: the fsync belongs under the lock
+	_ = storage.Append("insert")
+}

@@ -1,0 +1,32 @@
+// Package dispatch is the walreplay fixture reproducing the PR 7 replay
+// gap: operator C parses (it is a full stmt.Op) but neither dispatch
+// function names it, so WAL replay would reject it.
+package dispatch
+
+import "walreplay/stmt"
+
+// Engine is the dispatch target.
+type Engine struct{ n int }
+
+// Apply handles A by type assertion before handing off to execute,
+// mirroring how the real engine special-cases Prune.
+//
+// cods:stmt-dispatch
+func Apply(e *Engine, op stmt.Op) error { // want `statement dispatch does not handle C of stmt\.Op \(marked cods:statement\); WAL replay would reject it`
+	if _, ok := op.(stmt.A); ok {
+		e.n++
+		return nil
+	}
+	return execute(e, op)
+}
+
+// execute is the main type switch; C is missing on purpose.
+//
+// cods:stmt-dispatch
+func execute(e *Engine, op stmt.Op) error {
+	switch op.(type) {
+	case stmt.B:
+		e.n--
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+// Package registry is the walreplay fixture for the registry rule: a
+// cods:stmt-registry literal that forgot one operator.
+package registry
+
+// Op is this package's statement interface.
+//
+// cods:statement
+type Op interface {
+	Kind() string
+}
+
+// Add is listed in the registry.
+type Add struct{}
+
+// Kind names the operator.
+func (Add) Kind() string { return "add" }
+
+// Drop is listed in the registry.
+type Drop struct{}
+
+// Kind names the operator.
+func (Drop) Kind() string { return "drop" }
+
+// Rename is missing from the registry.
+type Rename struct{}
+
+// Kind names the operator.
+func (Rename) Kind() string { return "rename" }
+
+// AllOps forgot Rename; the round-trip test iterating it would never
+// cover that operator.
+//
+// cods:stmt-registry
+var AllOps = []Op{ // want `statement registry AllOps is missing Rename of registry\.Op \(marked cods:statement\); round-trip coverage would skip it`
+	Add{},
+	Drop{},
+}

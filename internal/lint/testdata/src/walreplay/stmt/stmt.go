@@ -1,0 +1,33 @@
+// Package stmt is the walreplay fixture's statement package: the marked
+// interface, three operators, and a complete registry (no finding here).
+package stmt
+
+// Op is the statement interface every operator implements.
+//
+// cods:statement
+type Op interface {
+	Kind() string
+}
+
+// A is dispatched by type assertion in the dispatch fixture.
+type A struct{}
+
+// Kind names the operator.
+func (A) Kind() string { return "a" }
+
+// B is handled by the execute type switch.
+type B struct{}
+
+// Kind names the operator.
+func (B) Kind() string { return "b" }
+
+// C parses fine but is missing from dispatch: the PR 7 replay gap.
+type C struct{}
+
+// Kind names the operator.
+func (C) Kind() string { return "c" }
+
+// AllOps lists every operator; a complete registry stays silent.
+//
+// cods:stmt-registry
+var AllOps = []Op{A{}, B{}, C{}}

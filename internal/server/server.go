@@ -26,6 +26,13 @@
 // GET /healthz and GET /stats bypass the admission queue, so a server
 // saturated with slow queries still answers liveness probes and an
 // orchestrator never kills it for being busy.
+//
+// The package maps engine errors to HTTP statuses with errors.Is against
+// the cods sentinels, so it is marked cods:boundary for codslint: error
+// paths here must wrap sentinels with %w, never invent anonymous errors
+// or compare errors with ==.
+//
+// cods:boundary
 package server
 
 import (

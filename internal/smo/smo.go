@@ -11,12 +11,41 @@ import (
 )
 
 // Op is a schema modification operator. Implementations are plain data;
-// execution lives in the engine (internal/core).
+// execution lives in the engine (internal/core). Every implementer must
+// appear in the engine's statement dispatch (WAL replay runs through it)
+// and in AllOps; codslint's walreplay analyzer enforces both.
+//
+// cods:statement
 type Op interface {
 	// Kind returns the operator's Table 1 name, e.g. "DECOMPOSE TABLE".
 	Kind() string
 	// String renders the operator in the parseable text syntax.
 	String() string
+}
+
+// AllOps holds one representative value of every Op implementation. The
+// String/Parse round-trip test iterates it, so adding an operator here
+// (codslint's walreplay analyzer fails the build on one that is missing)
+// automatically puts its text syntax under test — an operator can never
+// be parseable from the WAL yet uncovered.
+//
+// cods:stmt-registry
+var AllOps = []Op{
+	AddColumn{Table: "t", Column: "c", Default: "v"},
+	CopyTable{From: "a", To: "b"},
+	CreateTable{Table: "t", Columns: []string{"c"}},
+	DecomposeTable{Table: "r", OutS: "s", SColumns: []string{"c"}, OutT: "t", TColumns: []string{"d"}},
+	Delete{Table: "t"},
+	DropColumn{Table: "t", Column: "c"},
+	DropTable{Table: "t"},
+	Insert{Table: "t", Values: []string{"v"}},
+	MergeTables{A: "a", B: "b", Out: "c"},
+	PartitionTable{Table: "t", Condition: "c = 'v'", OutYes: "y", OutNo: "n"},
+	Prune{Keep: 1},
+	RenameColumn{Table: "t", From: "a", To: "b"},
+	RenameTable{From: "a", To: "b"},
+	UnionTables{A: "a", B: "b", Out: "c"},
+	Update{Table: "t", Column: "c", Value: "v"},
 }
 
 // CreateTable creates a new empty table.

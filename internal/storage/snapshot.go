@@ -57,6 +57,8 @@ func HasFlatCatalog(dir string) bool {
 // swap happened: a failure with published true (the post-rename dir
 // sync) means the new generation may already be the one recovery loads,
 // so the caller must treat the old snapshot + log pair as retired.
+//
+// cods:blocking — writes and fsyncs the whole snapshot tree.
 func SaveSnapshot(dir string, tables []*colstore.Table, epoch uint64) (published bool, err error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return false, fmt.Errorf("storage: %w", err)

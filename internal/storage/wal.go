@@ -149,6 +149,8 @@ func (w *WAL) writeHeader() error {
 // Append durably logs one statement: the record is written and fsync'd
 // before Append returns, so a committed statement survives any later
 // crash.
+//
+// cods:blocking
 func (w *WAL) Append(stmt string) error { return w.AppendAll([]string{stmt}) }
 
 // AppendAll durably logs a batch of statements with a single write and
@@ -157,6 +159,8 @@ func (w *WAL) Append(stmt string) error { return w.AppendAll([]string{stmt}) }
 // mid-batch keeps a clean prefix (the torn tail is discarded on
 // reopen) — while holding whatever lock serializes the caller for one
 // disk sync instead of len(stmts).
+//
+// cods:blocking
 func (w *WAL) AppendAll(stmts []string) error {
 	if len(stmts) == 0 {
 		return nil
@@ -185,6 +189,8 @@ func (w *WAL) AppendAll(stmts []string) error {
 // Reset truncates the log to an empty state at the given epoch. Called
 // after a fresh snapshot (tagged with the same epoch) makes the logged
 // statements redundant.
+//
+// cods:blocking — rewrites and fsyncs the log header.
 func (w *WAL) Reset(epoch uint64) error {
 	w.epoch = epoch
 	w.stmts = nil
@@ -193,6 +199,8 @@ func (w *WAL) Reset(epoch uint64) error {
 
 // Close releases the log file. Append is durable on return, so Close has
 // nothing left to flush.
+//
+// cods:blocking
 func (w *WAL) Close() error {
 	if w.f == nil {
 		return nil
@@ -240,7 +248,7 @@ func scanWAL(f *os.File) ([]string, uint64, int64, error) {
 	}
 	var hdr [walHeaderSize]byte
 	if _, err := io.ReadFull(f, hdr[:]); err != nil {
-		return nil, 0, 0, fmt.Errorf("%w: %v", ErrWALFormat, err)
+		return nil, 0, 0, fmt.Errorf("%w: %w", ErrWALFormat, err)
 	}
 	if [8]byte(hdr[:8]) != walMagic {
 		return nil, 0, 0, fmt.Errorf("%w: bad magic", ErrWALFormat)

@@ -41,7 +41,11 @@ const (
 // Bitmap is a WAH-compressed bitmap. The zero value is an empty bitmap
 // ready for use. Bits are appended with Add, AppendBit and AppendRun;
 // appends must be in increasing position order. A Bitmap is not safe for
-// concurrent mutation; concurrent reads are safe.
+// concurrent mutation; concurrent reads are safe. Published bitmaps are
+// immutable (enforced by codslint): once a bitmap is reachable from a
+// catalog snapshot nothing may append to it.
+//
+// cods:immutable
 type Bitmap struct {
 	words   []uint32
 	active  uint32 // pending partial group, zero above nactive

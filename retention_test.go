@@ -401,7 +401,7 @@ func TestConcurrentPointReadsVsKeyedInserts(t *testing.T) {
 				n, err := db.Count("kv", fmt.Sprintf("K = 'p%04d'", i%300))
 				if err != nil || n > 1 {
 					select {
-					case errc <- fmt.Errorf("point count: n=%d err=%v", n, err):
+					case errc <- fmt.Errorf("point count: n=%d err=%w", n, err):
 					default:
 					}
 					return

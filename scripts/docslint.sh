@@ -10,6 +10,13 @@
 # 3. Every `cods serve` flag must be documented: each flag that
 #    `cods serve -h` reports must appear (backticked) in README.md and
 #    in the cmd/cods command doc comment's usage block.
+# 4. Every codslint analyzer (`codslint -analyzers` is the source of
+#    truth) must be named in both ARCHITECTURE.md and README.md, so the
+#    invariant-lint docs cannot drift from the registered suite.
+# 5. Every `cods:immutable` marker in the source must sit in the doc
+#    comment of a type declaration, and that type must be named in
+#    ARCHITECTURE.md's codslint section — a marker on a deleted or
+#    renamed type is dead enforcement.
 #
 # Run from the repository root (CI's docs-lint step, `make docs-lint`).
 set -u
@@ -86,5 +93,43 @@ if [ -n "$viol" ]; then
     fail=1
 fi
 
-[ "$fail" -eq 0 ] && echo "docslint: all packages documented, benchmark and flag docs consistent"
+# codslint analyzers: the registered suite is the source of truth; both
+# ARCHITECTURE.md and README.md must name every analyzer.
+viol=$(
+    go run ./cmd/codslint -analyzers | cut -f1 |
+    while read -r name; do
+        for doc in ARCHITECTURE.md README.md; do
+            if ! grep -q "\`$name\`" "$doc"; then
+                echo "docslint: codslint analyzer $name is not named in $doc"
+            fi
+        done
+    done
+)
+if [ -n "$viol" ]; then
+    echo "$viol"
+    fail=1
+fi
+
+# cods:immutable markers: each must be the doc comment of a type
+# declaration (within the next 5 lines — doc text may follow the
+# marker), and that type must appear in ARCHITECTURE.md so the enforced
+# list stays documented.
+viol=$(
+    grep -rnE '^// cods:immutable$' --include='*.go' . |
+    grep -v '/testdata/' |
+    while IFS=: read -r file line _; do
+        typename=$(awk -v start="$line" 'NR > start && NR <= start + 5 && /^type [A-Za-z_]/ { print $2; exit }' "$file")
+        if [ -z "$typename" ]; then
+            echo "docslint: $file:$line: cods:immutable marker is not attached to a type declaration"
+        elif ! grep -q "$typename" ARCHITECTURE.md; then
+            echo "docslint: cods:immutable type $typename ($file:$line) is not mentioned in ARCHITECTURE.md"
+        fi
+    done
+)
+if [ -n "$viol" ]; then
+    echo "$viol"
+    fail=1
+fi
+
+[ "$fail" -eq 0 ] && echo "docslint: all packages documented, benchmark, flag, and codslint docs consistent"
 exit $fail
