@@ -6,7 +6,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build vet fmt-check test race fuzz fuzz-smoke bench bench-smoke bench-writes bench-htap docs-lint serve-smoke lint staticcheck govulncheck ci
+.PHONY: all build vet fmt-check test race fuzz fuzz-smoke bench bench-smoke bench-writes bench-htap bench-joins docs-lint serve-smoke lint staticcheck govulncheck ci
 
 all: build test
 
@@ -35,7 +35,8 @@ race:
 	$(GO) test -race cods cods/internal/par cods/internal/evolve \
 		cods/internal/wah cods/internal/colstore cods/internal/colquery \
 		cods/internal/core cods/internal/delta cods/internal/server \
-		cods/internal/storage cods/internal/smo cods/internal/bench
+		cods/internal/storage cods/internal/smo cods/internal/bench \
+		cods/internal/plan
 
 # Short native-fuzz pass (seed corpora + 5s live fuzzing per target) over
 # the WAH kernels and the SMO parser round trip; cheap enough for CI.
@@ -102,4 +103,9 @@ bench-writes:
 bench-htap:
 	sh scripts/bench_htap.sh
 
-ci: build vet fmt-check lint staticcheck govulncheck test docs-lint serve-smoke race fuzz-smoke bench bench-smoke bench-writes bench-htap
+# Join benchmark series (decomposed star vs scan-of-original) ->
+# BENCH_joins.json. BENCH_JOINS_ROWS/BENCH_JOINS_DIM shrink it for CI.
+bench-joins:
+	sh scripts/bench_joins.sh
+
+ci: build vet fmt-check lint staticcheck govulncheck test docs-lint serve-smoke race fuzz-smoke bench bench-smoke bench-writes bench-htap bench-joins

@@ -17,8 +17,10 @@ import (
 
 	"cods/internal/bench"
 	"cods/internal/bitset"
+	"cods/internal/colquery"
 	"cods/internal/colstore"
 	"cods/internal/evolve"
+	"cods/internal/plan"
 	"cods/internal/queryevolve"
 	"cods/internal/rowstore"
 	"cods/internal/wah"
@@ -736,6 +738,80 @@ func BenchmarkHugeTableSustainedWrites(b *testing.B) {
 				b.ReportMetric(float64(ms.Compactions), "flushes")
 			})
 		}
+	}
+}
+
+// BenchmarkJoinDecomposedVsScan measures the multi-table query layer on
+// the decomposed star the evolution oracle produces: a 1M-row fact table
+// S (A, B) joined to its 10k-row dimension T (A, C) on the shared key,
+// against the same selective aggregate scanned off the pre-DECOMPOSE
+// table R. "semi" is the production path — the dimension's predicate
+// bitmap is turned into a WAH semi-join mask over the fact scan without
+// decoding a row (the key columns share dictionary lineage, asserted
+// here); "generic" disables the reduction and probes every fact row
+// through the hash table; "scan" is the single-table baseline. All three
+// must return the same count. Run with -benchtime=10x for the
+// BENCH_joins.json series.
+func BenchmarkJoinDecomposedVsScan(b *testing.B) {
+	spec := workload.Spec{Rows: 1_000_000, DistinctKeys: 10_000, Seed: 1}
+	r, err := workload.BuildColstore(spec, "R")
+	if err != nil {
+		b.Fatal(err)
+	}
+	dec, err := evolve.Decompose(r, evolve.DecomposeSpec{
+		OutS: "S", SColumns: []string{"A", "B"},
+		OutT: "T", TColumns: []string{"A", "C"},
+	}, evolve.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sKey, _ := dec.S.Column("A")
+	tKey, _ := dec.T.Column("A")
+	if !colquery.SharedLineage(sKey, tKey) {
+		b.Fatal("decomposed key columns lost dictionary lineage; the semi-join path would not engage")
+	}
+	resolve := func(name string) (*colstore.Table, error) {
+		switch name {
+		case "R":
+			return r, nil
+		case "S":
+			return dec.S, nil
+		case "T":
+			return dec.T, nil
+		}
+		return nil, fmt.Errorf("no table %q", name)
+	}
+	const where = "C = 'c0000001'"
+	count := []colquery.Agg{{Func: colquery.Count}}
+	modes := []struct {
+		name string
+		q    plan.Query
+	}{
+		{"scan", plan.Query{From: "R", Where: where, Aggregates: count}},
+		{"semi", plan.Query{From: "S", Joins: []plan.Join{{Table: "T", On: []string{"A"}}},
+			Where: where, Aggregates: count}},
+		{"generic", plan.Query{From: "S", Joins: []plan.Join{{Table: "T", On: []string{"A"}}},
+			Where: where, Aggregates: count, DisableSemiJoin: true}},
+	}
+	want := ""
+	for _, m := range modes {
+		m := m
+		b.Run(m.name, func(b *testing.B) {
+			runtime.GC()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rs, err := plan.Run(resolve, m.q, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if want == "" {
+					want = rs.Rows[0][0]
+				} else if rs.Rows[0][0] != want {
+					b.Fatalf("%s counted %s rows, other modes counted %s", m.name, rs.Rows[0][0], want)
+				}
+			}
+			b.ReportMetric(float64(spec.Rows)*float64(b.N)/b.Elapsed().Seconds(), "fact-rows/s")
+		})
 	}
 }
 

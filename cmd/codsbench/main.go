@@ -21,6 +21,9 @@
 //	          [-slo-read-p99 d] [-slo-scan-p99 d] [-slo-write-p99 d]
 //	          [-slo-smo-p99 d]
 //
+//	codsbench joins [-rows N] [-dim N] [-parallelism n] [-seed n]
+//	          [-out BENCH_joins.json] [-quiet]
+//
 // In the default mode the default row count (2,000,000) keeps a full
 // sweep inside laptop memory; -rows 10000000 reproduces the paper's
 // scale. Times are for the evolution step only — input loading is
@@ -34,6 +37,12 @@
 // (or that gates a class the run never issued) makes codsbench exit
 // with status 3, so CI can gate on latency. -out appends the run to a
 // JSON series file; see BENCHMARKS.md for the schema and methodology.
+//
+// The joins mode benchmarks the multi-table query layer on a decomposed
+// star: a -rows fact table joined to a -dim dimension, timing the same
+// selective aggregate as a scan of the pre-DECOMPOSE table, a hash join
+// with the WAH semi-join reduction, and a hash join without it. -out
+// appends to BENCH_joins.json.
 package main
 
 import (
@@ -52,7 +61,42 @@ func main() {
 		htapMain(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "joins" {
+		joinsMain(os.Args[2:])
+		return
+	}
 	figure3Main()
+}
+
+func joinsMain(args []string) {
+	fs := flag.NewFlagSet("codsbench joins", flag.ExitOnError)
+	rows := fs.Int("rows", 1_000_000, "fact-table rows")
+	dim := fs.Int("dim", 10_000, "dimension rows (distinct join keys)")
+	parallelism := fs.Int("parallelism", 0, "per-distinct-value fan-out (0 = GOMAXPROCS)")
+	seed := fs.Int64("seed", 1, "workload generation seed")
+	out := fs.String("out", "", "append the result to this JSON series file (e.g. BENCH_joins.json)")
+	quiet := fs.Bool("quiet", false, "suppress setup progress")
+	fs.Parse(args)
+
+	cfg := bench.JoinConfig{FactRows: *rows, DimRows: *dim, Parallelism: *parallelism, Seed: *seed}
+	if !*quiet {
+		cfg.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	res, err := bench.RunJoins(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "codsbench: joins:", err)
+		os.Exit(1)
+	}
+	res.Format(os.Stdout)
+	if *out != "" {
+		if err := bench.AppendSeries(*out, res); err != nil {
+			fmt.Fprintln(os.Stderr, "codsbench: joins:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# appended to %s\n", *out)
+	}
 }
 
 func figure3Main() {

@@ -3,6 +3,7 @@ package cods
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"cods/internal/core"
 	"cods/internal/csvio"
 	"cods/internal/expr"
+	"cods/internal/plan"
 	"cods/internal/smo"
 	"cods/internal/storage"
 )
@@ -141,11 +143,14 @@ type DB struct {
 	dir       string
 	wal       *storage.WAL
 	walBroken bool
+	// plans memoizes join-query plan shapes across snapshots; keys carry
+	// the catalog version, so evolutions invalidate naturally.
+	plans *plan.Cache
 }
 
 // Open creates an empty in-memory database.
 func Open(cfg Config) *DB {
-	return &DB{engine: core.New(core.Config{
+	return &DB{plans: plan.NewCache(0), engine: core.New(core.Config{
 		Parallelism:        cfg.Parallelism,
 		ValidateFD:         cfg.ValidateFD,
 		Status:             cfg.Status,
@@ -454,8 +459,9 @@ func (db *DB) WaitBackgroundMerges() { db.engine.WaitBackgroundMerges() }
 // indefinitely — tables are immutable — it just stops reflecting catalog
 // changes made after it was taken.
 type Snapshot struct {
-	cat *core.Catalog
-	cfg Config
+	cat   *core.Catalog
+	cfg   Config
+	plans *plan.Cache
 }
 
 // Snapshot returns the current published catalog version. It never
@@ -463,7 +469,7 @@ type Snapshot struct {
 // committed version.
 // cods:lockfree
 func (db *DB) Snapshot() *Snapshot {
-	return &Snapshot{cat: db.engine.Catalog(), cfg: db.cfg}
+	return &Snapshot{cat: db.engine.Catalog(), cfg: db.cfg, plans: db.plans}
 }
 
 // Version returns the snapshot's schema version.
@@ -520,11 +526,15 @@ func (s *Snapshot) Describe(table string) (*TableInfo, error) {
 	info := &TableInfo{Name: t.Name(), Rows: ov.NumRows(), Key: t.Key()}
 	for i := 0; i < t.NumColumns(); i++ {
 		c := t.ColumnAt(i)
+		st := c.Stats()
 		info.Columns = append(info.Columns, ColumnInfo{
 			Name:            c.Name(),
 			Encoding:        c.Encoding().String(),
 			DistinctValues:  c.DistinctCount(),
 			CompressedBytes: c.CompressedSizeBytes(),
+			Integer:         st.Integer,
+			MinInt:          st.MinInt,
+			MaxInt:          st.MaxInt,
 		})
 	}
 	return info, nil
@@ -560,34 +570,80 @@ func (s *Snapshot) Count(table, condition string) (uint64, error) {
 	return ov.Count(pred)
 }
 
-// RunQuery executes a query with optional filtering, grouping,
-// aggregation, ordering and limit against one table of the snapshot.
+// RunQuery executes a query with optional joins, filtering, grouping,
+// aggregation, ordering and limit against the snapshot. Every table —
+// the root and each join — resolves from this one snapshot, so a join
+// never observes two catalog versions, even while evolutions commit
+// concurrently. Join queries go through the planner (internal/plan):
+// single-table WHERE conjuncts are pushed into bitmap scans, joins are
+// reordered by estimated cardinality, shared join keys are pre-reduced
+// by a WAH semi-join, and the plan shape is cached across calls.
 func (s *Snapshot) RunQuery(table string, q TableQuery) (*ResultSet, error) {
-	t, err := s.cat.Table(table)
-	if err != nil {
-		return nil, err
-	}
-	iq := colquery.Query{
+	pq := plan.Query{
 		Select:      q.Select,
+		From:        table,
 		Where:       q.Where,
 		GroupBy:     q.GroupBy,
 		OrderBy:     q.OrderBy,
 		Desc:        q.Desc,
 		Limit:       q.Limit,
 		Parallelism: s.cfg.Parallelism,
+		Epoch:       strconv.Itoa(s.cat.Version()),
+	}
+	for _, j := range q.Joins {
+		pq.Joins = append(pq.Joins, plan.Join{Table: j.Table, On: j.On})
 	}
 	for _, a := range q.Aggregates {
 		f, ok := aggFuncs[a.Func]
 		if !ok {
 			return nil, fmt.Errorf("cods: unknown aggregate function %d", a.Func)
 		}
-		iq.Aggregates = append(iq.Aggregates, colquery.Agg{Func: f, Column: a.Column, As: a.As})
+		pq.Aggregates = append(pq.Aggregates, colquery.Agg{Func: f, Column: a.Column, As: a.As})
 	}
-	rs, err := colquery.Run(t, iq)
+	rs, err := plan.Run(s.cat.Table, pq, s.plans)
 	if err != nil {
 		return nil, err
 	}
 	return &ResultSet{Columns: rs.Columns, Rows: rs.Rows}, nil
+}
+
+// Select parses and executes one SELECT statement against the snapshot:
+//
+//	SELECT <list> FROM t [JOIN u ON (k1, ...)]... [WHERE <condition>]
+//	    [GROUP BY g] [ORDER BY c [ASC|DESC]] [LIMIT n]
+//
+// <list> is '*', a column list, or an aggregate list (count(*),
+// count_distinct(c), min(c), max(c), sum(c), avg(c)). It is the text
+// form of RunQuery — same planner, same snapshot isolation — so queries
+// can travel the same path as statements (REPL, scripts, HTTP).
+func (s *Snapshot) Select(stmt string) (*ResultSet, error) {
+	op, err := smo.Parse(stmt)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := op.(smo.Select)
+	if !ok {
+		return nil, fmt.Errorf("cods: executing %q: %w: expected a SELECT statement, got %s", stmt, ErrParse, op.Kind())
+	}
+	q := TableQuery{
+		Select:  sel.Columns,
+		Where:   sel.Where,
+		GroupBy: sel.GroupBy,
+		OrderBy: sel.OrderBy,
+		Desc:    sel.Desc,
+		Limit:   sel.Limit,
+	}
+	for _, j := range sel.Joins {
+		q.Joins = append(q.Joins, Join{Table: j.Table, On: j.On})
+	}
+	for _, a := range sel.Aggs {
+		f, ok := aggFuncsByName[a.Func]
+		if !ok {
+			return nil, fmt.Errorf("cods: unknown aggregate function %q", a.Func)
+		}
+		q.Aggregates = append(q.Aggregates, Agg{Func: f, Column: a.Column})
+	}
+	return s.RunQuery(sel.From, q)
 }
 
 // History returns the executed-operator log up to the snapshot's version.
@@ -931,12 +987,17 @@ func (db *DB) HasTable(name string) bool {
 	return db.Snapshot().HasTable(name)
 }
 
-// ColumnInfo describes one column of a table.
+// ColumnInfo describes one column of a table, including the planner's
+// cardinality statistics (colstore.Column.Stats).
 type ColumnInfo struct {
 	Name            string
 	Encoding        string
 	DistinctValues  int
 	CompressedBytes uint64
+	// Integer reports whether every distinct value parses as an int64;
+	// MinInt and MaxInt then bound the values numerically.
+	Integer        bool
+	MinInt, MaxInt int64
 }
 
 // TableInfo describes a table's schema and physical footprint.
@@ -1046,6 +1107,13 @@ var aggFuncs = map[AggFunc]colquery.AggFunc{
 	Min: colquery.Min, Max: colquery.Max, Sum: colquery.Sum, Avg: colquery.Avg,
 }
 
+// aggFuncsByName maps the SELECT statement's aggregate spellings to
+// AggFunc values.
+var aggFuncsByName = map[string]AggFunc{
+	"count": Count, "count_distinct": CountDistinct,
+	"min": Min, "max": Max, "sum": Sum, "avg": Avg,
+}
+
 // Agg is one aggregate column: Func over Column, named As (optional).
 // Column is ignored for Count.
 type Agg struct {
@@ -1054,11 +1122,26 @@ type Agg struct {
 	As     string
 }
 
-// TableQuery describes a single-table query for RunQuery.
+// Join is one inner-join step of a TableQuery.
+type Join struct {
+	// Table is the table to join against the query so far.
+	Table string
+	// On lists the shared column names to match on (USING-style): each
+	// must exist on both sides, and appears once in the joined output.
+	On []string
+}
+
+// TableQuery describes a query for RunQuery. Without Joins it reads one
+// table; with Joins, Select/Where/GroupBy/OrderBy name columns of the
+// joined output (the root table's schema, then each join's non-key
+// columns, in written order).
 type TableQuery struct {
 	// Select lists projected columns (empty = all; ignored with
 	// Aggregates).
 	Select []string
+	// Joins are inner joins applied to the queried table. The planner
+	// picks the execution order; the written order fixes the schema.
+	Joins []Join
 	// Where is an optional predicate in the PARTITION condition syntax.
 	Where string
 	// GroupBy groups by one column; requires Aggregates.
@@ -1078,13 +1161,21 @@ type ResultSet struct {
 	Rows    [][]string
 }
 
-// RunQuery executes a query with optional filtering, grouping,
+// RunQuery executes a query with optional joins, filtering, grouping,
 // aggregation, ordering and limit against one table. Predicates and COUNT
 // aggregates are evaluated on compressed bitmaps — once per distinct
-// value, never per row.
+// value, never per row. Joins run through the cost-based planner; all
+// tables resolve from one snapshot (see Snapshot.RunQuery).
 // cods:lockfree
 func (db *DB) RunQuery(table string, q TableQuery) (*ResultSet, error) {
 	return db.Snapshot().RunQuery(table, q)
+}
+
+// Select parses and executes one SELECT statement (see Snapshot.Select)
+// against the current catalog version.
+// cods:lockfree
+func (db *DB) Select(stmt string) (*ResultSet, error) {
+	return db.Snapshot().Select(stmt)
 }
 
 // HistoryEntry records one executed operator.

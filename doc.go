@@ -29,6 +29,9 @@
 // The operator syntax is the paper's Table 1 plus the DML statements
 // INSERT INTO t VALUES (...), DELETE FROM t [WHERE ...] and UPDATE t SET
 // c = 'v' [WHERE ...]; see the Exec documentation for the full grammar.
+// Reads have a statement form of their own — SELECT ... FROM t [JOIN u
+// ON (...)] ... — executed by Select, not Exec (see "Queries and the
+// join planner" below).
 // Lower-level building blocks (the WAH bitmap engine, the column store,
 // the DML delta overlay, the evolution algorithms, the row-store
 // baselines used by the benchmark harness) live under internal/ and are
@@ -48,6 +51,42 @@
 // write path is amortized O(1) per keyed statement: a per-lineage key
 // index of the appended tail answers INSERT conflicts and point
 // DELETE/UPDATE matches without scanning pending rows.
+//
+// # Queries and the join planner
+//
+// DB.Select (and Snapshot.Select) parses and runs one read-only SELECT
+// statement:
+//
+//	SELECT <columns | * | aggregates> FROM t [JOIN u ON (col, ...)]...
+//		[WHERE <condition>] [GROUP BY col]
+//		[ORDER BY col [ASC|DESC]] [LIMIT n]
+//
+// Joins are inner equi-joins, USING-style: each ON column must exist on
+// both sides and appears once in the output; the written join order
+// defines the output schema. RunQuery is the structured equivalent
+// (TableQuery with a Joins field). Multi-table queries are planned by a
+// small cost-based planner (internal/plan): WHERE conjuncts that
+// mention only one table's columns are pushed into that table's scan
+// and evaluated as compressed per-value bitmaps; joins are reordered
+// greedily by estimated cardinality from the column statistics
+// (dictionary distinct counts over row counts, surfaced per table in
+// Describe and the server's /stats); and when a join key's dictionaries
+// share lineage — pointer-equal or value-identical, the natural state
+// for tables produced by DECOMPOSE — the probe side is pre-reduced by a
+// WAH semi-join mask, so rows that cannot join are never decoded.
+// Predicates that genuinely span tables stay as a residual filter above
+// the join. Plan shapes (the statement with literals stripped, plus the
+// schema version) are memoized in a small LRU cache on the DB, so a
+// repeated query shape skips pushdown analysis and join ordering;
+// evolutions invalidate by construction because the version changes.
+//
+// Semantically, SELECT over a join is the inverse of DECOMPOSE: joining
+// the decomposition back on its shared key returns exactly the rows of
+// the original table (when the decomposition was lossless), which the
+// test suite exploits as a correctness oracle for data-level evolution.
+// SELECT never changes catalog state: Exec rejects it (nothing to
+// journal or roll back), it creates no version, and it runs lock-free
+// against one pinned snapshot like every other read.
 //
 // # Segmented base storage
 //

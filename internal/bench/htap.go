@@ -581,19 +581,25 @@ func (r *HTAPResult) Format(w io.Writer) {
 		r.PendingRows, r.RetainedVersions, r.Compactions)
 }
 
-// AppendResult appends the result to a JSON-array series file
-// (BENCH_htap.json): read-modify-write with a temp-file rename, so a
-// crash mid-write never truncates the accumulated trajectory.
+// AppendResult appends an HTAP run to its series file (BENCH_htap.json).
 func AppendResult(path string, r *HTAPResult) error {
+	return AppendSeries(path, r)
+}
+
+// AppendSeries appends one JSON-marshalable entry to a JSON-array series
+// file (BENCH_htap.json, BENCH_joins.json): read-modify-write with a
+// temp-file rename, so a crash mid-write never truncates the accumulated
+// trajectory.
+func AppendSeries(path string, e any) error {
 	var series []json.RawMessage
 	if data, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(data, &series); err != nil {
-			return fmt.Errorf("htap: %s exists but is not a JSON array: %w", path, err)
+			return fmt.Errorf("bench: %s exists but is not a JSON array: %w", path, err)
 		}
 	} else if !os.IsNotExist(err) {
 		return err
 	}
-	entry, err := json.Marshal(r)
+	entry, err := json.Marshal(e)
 	if err != nil {
 		return err
 	}

@@ -11,7 +11,6 @@ package colquery
 import (
 	"fmt"
 	"math/bits"
-	"sort"
 	"strconv"
 	"strings"
 
@@ -90,33 +89,38 @@ type ResultSet struct {
 	Rows    [][]string
 }
 
-// Run executes a query against a table.
+// Run executes a query against a table by assembling and draining the
+// operator tree: a bitmap-aggregation leaf when aggregates are present
+// (COUNT stays a pure popcount), otherwise a segment-aware TableScan of
+// the WHERE mask, topped by OrderLimit when the query sorts or caps.
 func Run(t *colstore.Table, q Query) (*ResultSet, error) {
 	mask, err := whereMask(t, q.Where, q.Parallelism)
 	if err != nil {
 		return nil, err
 	}
-	var rs *ResultSet
+	var root Operator
 	switch {
-	case len(q.Aggregates) > 0 && q.GroupBy != "":
-		rs, err = runGrouped(t, q, mask)
 	case len(q.Aggregates) > 0:
-		rs, err = runAggregates(t, q, mask)
+		root, err = newTableAggregate(t, q, mask)
 	case q.GroupBy != "":
 		return nil, fmt.Errorf("colquery: GROUP BY requires aggregates")
 	default:
-		rs, err = runSelect(t, q, mask)
+		root, err = NewTableScan(t, q.Select, mask, q.Parallelism)
 	}
 	if err != nil {
 		return nil, err
 	}
-	if q.OrderBy != "" {
-		if err := orderBy(rs, q.OrderBy, q.Desc); err != nil {
+	if q.OrderBy != "" || q.Limit > 0 {
+		if root, err = NewOrderLimit(root, q.OrderBy, q.Desc, q.Limit); err != nil {
 			return nil, err
 		}
 	}
-	if q.Limit > 0 && len(rs.Rows) > q.Limit {
-		rs.Rows = rs.Rows[:q.Limit]
+	rs, err := Collect(root)
+	if err != nil {
+		return nil, err
+	}
+	if len(q.Aggregates) == 0 && rs.Rows == nil {
+		rs.Rows = [][]string{}
 	}
 	return rs, nil
 }
@@ -132,26 +136,6 @@ func whereMask(t *colstore.Table, where string, parallelism int) (*wah.Bitmap, e
 		return nil, err
 	}
 	return pred.EvalP(t, parallelism)
-}
-
-func runSelect(t *colstore.Table, q Query, mask *wah.Bitmap) (*ResultSet, error) {
-	columns := q.Select
-	if len(columns) == 0 {
-		columns = t.ColumnNames()
-	}
-	filtered, err := t.FilterRowsP(t.Name(), mask, q.Parallelism)
-	if err != nil {
-		return nil, err
-	}
-	proj, err := filtered.Project(t.Name(), columns, nil)
-	if err != nil {
-		return nil, err
-	}
-	rows, err := proj.Rows(0, 0)
-	if err != nil {
-		return nil, err
-	}
-	return &ResultSet{Columns: columns, Rows: rows}, nil
 }
 
 // resolveAggColumns bitmap-encodes each aggregated column once up front, so
@@ -352,27 +336,6 @@ func aggregate(bc *colstore.Column, a Agg, mask *wah.Bitmap, parallelism int) (s
 // ("9" < "10" < "10x" < "9"), leaving sort results undefined.
 func valueLess(a, b string) bool {
 	return expr.Compare(a, b) < 0
-}
-
-func orderBy(rs *ResultSet, column string, desc bool) error {
-	idx := -1
-	for i, c := range rs.Columns {
-		if c == column {
-			idx = i
-			break
-		}
-	}
-	if idx < 0 {
-		return fmt.Errorf("colquery: ORDER BY column %q not in output %v", column, rs.Columns)
-	}
-	sort.SliceStable(rs.Rows, func(a, b int) bool {
-		less := valueLess(rs.Rows[a][idx], rs.Rows[b][idx])
-		if desc {
-			return valueLess(rs.Rows[b][idx], rs.Rows[a][idx])
-		}
-		return less
-	})
-	return nil
 }
 
 // Explain renders a human-readable description of how a query will

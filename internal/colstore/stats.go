@@ -1,0 +1,45 @@
+package colstore
+
+import "strconv"
+
+// ColumnStats summarizes one column for query planning and monitoring:
+// the dictionary's distinct count (the planner's cardinality input for
+// equality predicates and join sides), the row count, and — when every
+// distinct value parses as a 64-bit integer — the numeric min and max.
+// Cost is O(distinct): the dictionary is scanned, row data never is.
+type ColumnStats struct {
+	// Rows is the column's row count.
+	Rows uint64
+	// Distinct is the number of dictionary entries.
+	Distinct int
+	// Integer reports whether every distinct value parses as an int64
+	// (an empty column is not integer — there is no min/max to report).
+	Integer bool
+	// MinInt and MaxInt bound the values numerically; meaningful only
+	// when Integer is true.
+	MinInt, MaxInt int64
+}
+
+// Stats computes the column's planning statistics from its dictionary.
+func (c *Column) Stats() ColumnStats {
+	st := ColumnStats{Rows: c.nrows, Distinct: c.dict.Len()}
+	if st.Distinct == 0 {
+		return st
+	}
+	st.Integer = true
+	for id := 0; id < st.Distinct; id++ {
+		v, err := strconv.ParseInt(c.dict.Value(uint32(id)), 10, 64)
+		if err != nil {
+			st.Integer = false
+			st.MinInt, st.MaxInt = 0, 0
+			return st
+		}
+		if id == 0 || v < st.MinInt {
+			st.MinInt = v
+		}
+		if id == 0 || v > st.MaxInt {
+			st.MaxInt = v
+		}
+	}
+	return st
+}

@@ -956,6 +956,13 @@ func (e *Engine) execute(op smo.Op, opts evolve.Options) (add []*delta.Overlay, 
 			return nil, nil, err
 		}
 		return e.wrap(nt), []string{o.Table}, nil
+
+	case smo.Select:
+		// Read-only: a query mutates nothing, so it has no business in
+		// the mutation path (or the WAL, which this dispatch replays).
+		// Apply fails before journaling; the facade routes SELECT text
+		// to the planner instead.
+		return nil, nil, fmt.Errorf("SELECT is read-only; run it through the query API, not Apply")
 	}
 	return nil, nil, fmt.Errorf("unsupported operator %T", op)
 }

@@ -1,0 +1,74 @@
+package plan
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultCacheCapacity bounds a Cache built with NewCache(0). Plan
+// shapes are tiny (two small int slices), so the cap exists to bound
+// key churn from generated queries, not memory pressure.
+const DefaultCacheCapacity = 128
+
+// Cache memoizes plan shapes under normalized query keys with LRU
+// eviction. A nil *Cache is valid and caches nothing, so callers can
+// thread an optional cache without branching. Safe for concurrent use.
+type Cache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List
+	idx    map[string]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry struct {
+	key string
+	sp  *spec
+}
+
+// NewCache returns a cache holding at most capacity plan shapes
+// (DefaultCacheCapacity if capacity <= 0).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &Cache{cap: capacity, ll: list.New(), idx: make(map[string]*list.Element)}
+}
+
+// lookup returns the cached shape for key, filling it via fill on a
+// miss. The fill runs outside the lock-free fast path but inside the
+// mutex, which is fine: planning is pure in-memory analysis, and
+// serializing it deduplicates concurrent fills of the same key.
+func (c *Cache) lookup(key string, fill func() *spec) *spec {
+	if c == nil {
+		return fill()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[key]; ok {
+		c.hits++
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheEntry).sp
+	}
+	c.misses++
+	sp := fill()
+	el := c.ll.PushFront(&cacheEntry{key: key, sp: sp})
+	c.idx[key] = el
+	for c.ll.Len() > c.cap {
+		old := c.ll.Back()
+		c.ll.Remove(old)
+		delete(c.idx, old.Value.(*cacheEntry).key)
+	}
+	return sp
+}
+
+// Stats reports cumulative hits and misses and the current entry count.
+func (c *Cache) Stats() (hits, misses uint64, entries int) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}

@@ -1,0 +1,432 @@
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"cods/internal/colquery"
+	"cods/internal/colstore"
+	"cods/internal/expr"
+)
+
+func mkTable(t *testing.T, name string, cols []string, rows [][]string) *colstore.Table {
+	t.Helper()
+	tb, err := colstore.NewTableBuilder(name, cols, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := tb.AppendRow(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tab, err := tb.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func resolver(tables ...*colstore.Table) Resolver {
+	byName := make(map[string]*colstore.Table, len(tables))
+	for _, t := range tables {
+		byName[t.Name()] = t
+	}
+	return func(name string) (*colstore.Table, error) {
+		t, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("no table %q", name)
+		}
+		return t, nil
+	}
+}
+
+// starJoinFixture is a small fact table with two dimensions of very
+// different sizes, for pinning join order and semi-join behavior.
+func starJoinFixture(t *testing.T) Resolver {
+	t.Helper()
+	var factRows, bigRows [][]string
+	for i := 0; i < 40; i++ {
+		factRows = append(factRows, []string{
+			fmt.Sprintf("b%d", i%20), fmt.Sprintf("s%d", i%2), fmt.Sprintf("%d", i),
+		})
+	}
+	for i := 0; i < 20; i++ {
+		bigRows = append(bigRows, []string{fmt.Sprintf("b%d", i), fmt.Sprintf("big%d", i)})
+	}
+	fact := mkTable(t, "fact", []string{"BK", "SK", "V"}, factRows)
+	big := mkTable(t, "big", []string{"BK", "BigV"}, bigRows)
+	small := mkTable(t, "small", []string{"SK", "SmallV"},
+		[][]string{{"s0", "even"}, {"s1", "odd"}})
+	return resolver(fact, big, small)
+}
+
+func TestSingleTableDelegates(t *testing.T) {
+	tab := mkTable(t, "t", []string{"A", "B"},
+		[][]string{{"x", "1"}, {"y", "2"}, {"x", "3"}})
+	want, err := colquery.Run(tab, colquery.Query{Select: []string{"B"}, Where: "A = 'x'"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(resolver(tab), Query{From: "t", Select: []string{"B"}, Where: "A = 'x'"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestJoinStarSchema(t *testing.T) {
+	fact := mkTable(t, "fact", []string{"K", "F"},
+		[][]string{{"a", "f1"}, {"b", "f2"}, {"a", "f3"}})
+	dim := mkTable(t, "dim", []string{"K", "D"},
+		[][]string{{"a", "d-a"}, {"b", "d-b"}, {"c", "d-c"}})
+	rs, err := Run(resolver(fact, dim), Query{
+		From: "fact", Joins: []Join{{Table: "dim", On: []string{"K"}}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rs.Columns, []string{"K", "F", "D"}) {
+		t.Fatalf("columns = %v", rs.Columns)
+	}
+	want := [][]string{{"a", "f1", "d-a"}, {"b", "f2", "d-b"}, {"a", "f3", "d-a"}}
+	if !reflect.DeepEqual(rs.Rows, want) {
+		t.Fatalf("rows = %v, want %v", rs.Rows, want)
+	}
+}
+
+func TestPushdownTargets(t *testing.T) {
+	fact := mkTable(t, "fact", []string{"K", "F"}, [][]string{{"a", "1"}})
+	dim := mkTable(t, "dim", []string{"K", "D"}, [][]string{{"a", "2"}})
+	q := Query{
+		From:  "fact",
+		Joins: []Join{{Table: "dim", On: []string{"K"}}},
+		Where: "F = '1' AND D = '2' AND (F = 'x' OR D = 'y')",
+	}
+	conjuncts, err := splitWhere(q.Where)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := makeSpec(q, []*colstore.Table{fact, dim}, conjuncts)
+	// F is fact-only, D is dim-only, the OR spans both → residual. The
+	// shared key K would resolve to slot 0 (written order, From first).
+	if want := []int{0, 1, residual}; !reflect.DeepEqual(sp.pushed, want) {
+		t.Fatalf("pushed = %v, want %v", sp.pushed, want)
+	}
+	if kt := pushTarget(&expr.Comparison{Column: "K", Op: expr.OpEq, Literal: "a"},
+		[]*colstore.Table{fact, dim}); kt != 0 {
+		t.Fatalf("shared key pushed to slot %d, want 0", kt)
+	}
+}
+
+func TestJoinReorderBySize(t *testing.T) {
+	res := starJoinFixture(t)
+	fact, _ := res("fact")
+	big, _ := res("big")
+	small, _ := res("small")
+	q := Query{From: "fact", Joins: []Join{
+		{Table: "big", On: []string{"BK"}},
+		{Table: "small", On: []string{"SK"}},
+	}}
+	sp := makeSpec(q, []*colstore.Table{fact, big, small}, nil)
+	// Both joins are reachable from the fact schema; the 2-row dimension
+	// beats the 20-row one regardless of written order.
+	if want := []int{1, 0}; !reflect.DeepEqual(sp.order, want) {
+		t.Fatalf("order = %v, want %v", sp.order, want)
+	}
+
+	// A pushed equality on the big dimension shrinks its estimate to
+	// ~1 row, flipping the greedy choice.
+	q.Where = "BigV = 'big3'"
+	conjuncts, err := splitWhere(q.Where)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp = makeSpec(q, []*colstore.Table{fact, big, small}, conjuncts)
+	if want := []int{0, 1}; !reflect.DeepEqual(sp.order, want) {
+		t.Fatalf("order with pushdown = %v, want %v", sp.order, want)
+	}
+}
+
+func TestJoinReorderChain(t *testing.T) {
+	a := mkTable(t, "a", []string{"K1", "A"}, [][]string{{"k", "1"}})
+	b := mkTable(t, "b", []string{"K1", "K2"}, [][]string{{"k", "m"}})
+	c := mkTable(t, "c", []string{"K2", "C"}, [][]string{{"m", "2"}})
+	// Written order lists c first, but its key K2 only becomes available
+	// after b joins — the planner must sequence b before c.
+	q := Query{From: "a", Joins: []Join{
+		{Table: "c", On: []string{"K2"}},
+		{Table: "b", On: []string{"K1"}},
+	}}
+	sp := makeSpec(q, []*colstore.Table{a, c, b}, nil)
+	if want := []int{1, 0}; !reflect.DeepEqual(sp.order, want) {
+		t.Fatalf("order = %v, want %v", sp.order, want)
+	}
+	// And the full run produces the chain's single row with the written
+	// star schema (a, then c's columns, then b's).
+	rs, err := Run(resolver(a, b, c), q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rs.Columns, []string{"K1", "A", "K2", "C"}) {
+		t.Fatalf("columns = %v", rs.Columns)
+	}
+	if want := [][]string{{"k", "1", "m", "2"}}; !reflect.DeepEqual(rs.Rows, want) {
+		t.Fatalf("rows = %v, want %v", rs.Rows, want)
+	}
+}
+
+func TestEstimateRows(t *testing.T) {
+	tab := mkTable(t, "t", []string{"K", "V"}, [][]string{
+		{"a", "1"}, {"b", "2"}, {"c", "3"}, {"d", "4"},
+		{"a", "5"}, {"b", "6"}, {"c", "7"}, {"d", "8"},
+	})
+	eq := &expr.Comparison{Column: "K", Op: expr.OpEq, Literal: "a"}
+	ne := &expr.Comparison{Column: "V", Op: expr.OpNe, Literal: "1"}
+	// 8 rows / 4 distinct K = 2 for the equality; /3 again for the rest.
+	if got := estimateRows(tab, 0, []int{0}, []expr.Node{eq}); got != 2 {
+		t.Fatalf("estimate = %v, want 2", got)
+	}
+	if got := estimateRows(tab, 0, []int{0, 0}, []expr.Node{eq, ne}); got != 2.0/3 && got != 1 {
+		// 2/3 floors at 1.
+		t.Fatalf("estimate = %v, want 1", got)
+	}
+	if got := estimateRows(tab, 0, []int{0, 0}, []expr.Node{eq, ne}); got != 1 {
+		t.Fatalf("estimate = %v, want floored 1", got)
+	}
+	// Conjuncts pushed elsewhere do not shrink this table.
+	if got := estimateRows(tab, 0, []int{1}, []expr.Node{eq}); got != 8 {
+		t.Fatalf("estimate = %v, want 8", got)
+	}
+}
+
+func TestSemiJoinOnOffParity(t *testing.T) {
+	res := starJoinFixture(t)
+	base := Query{
+		From: "fact",
+		Joins: []Join{
+			{Table: "big", On: []string{"BK"}},
+			{Table: "small", On: []string{"SK"}},
+		},
+		Where:   "SmallV = 'odd'",
+		OrderBy: "V",
+	}
+	on, err := Run(res, base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := base
+	off.DisableSemiJoin = true
+	offRS, err := Run(res, off, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(on, offRS) {
+		t.Fatalf("semi-join on: %+v\nsemi-join off: %+v", on, offRS)
+	}
+	if len(on.Rows) != 20 {
+		t.Fatalf("got %d rows, want the 20 odd fact rows", len(on.Rows))
+	}
+}
+
+func TestResidualFilter(t *testing.T) {
+	fact := mkTable(t, "fact", []string{"K", "F"},
+		[][]string{{"a", "1"}, {"b", "2"}})
+	dim := mkTable(t, "dim", []string{"K", "D"},
+		[][]string{{"a", "1"}, {"b", "9"}})
+	rs, err := Run(resolver(fact, dim), Query{
+		From:  "fact",
+		Joins: []Join{{Table: "dim", On: []string{"K"}}},
+		// The OR spans both tables: no single scan can absorb it, so it
+		// must run as a row-wise filter above the join.
+		Where: "F = '1' OR D = 'nope'",
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := [][]string{{"a", "1", "1"}}; !reflect.DeepEqual(rs.Rows, want) {
+		t.Fatalf("rows = %v, want %v", rs.Rows, want)
+	}
+}
+
+func TestSelectOrderRestored(t *testing.T) {
+	fact := mkTable(t, "fact", []string{"K", "F"}, [][]string{{"a", "f"}})
+	dim := mkTable(t, "dim", []string{"K", "D"}, [][]string{{"a", "d"}})
+	rs, err := Run(resolver(fact, dim), Query{
+		From:   "fact",
+		Joins:  []Join{{Table: "dim", On: []string{"K"}}},
+		Select: []string{"D", "F", "K"},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rs.Columns, []string{"D", "F", "K"}) {
+		t.Fatalf("columns = %v", rs.Columns)
+	}
+	if want := [][]string{{"d", "f", "a"}}; !reflect.DeepEqual(rs.Rows, want) {
+		t.Fatalf("rows = %v, want %v", rs.Rows, want)
+	}
+}
+
+func TestJoinedAggregates(t *testing.T) {
+	res := starJoinFixture(t)
+	rs, err := Run(res, Query{
+		From: "fact",
+		Joins: []Join{
+			{Table: "small", On: []string{"SK"}},
+		},
+		Aggregates: []colquery.Agg{{Func: colquery.Count}, {Func: colquery.Sum, Column: "V"}},
+		GroupBy:    "SmallV",
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rs.Columns, []string{"SmallV", "count(*)", "sum(V)"}) {
+		t.Fatalf("columns = %v", rs.Columns)
+	}
+	// Even V (0+2+...+38 = 380) under "even", odd (1+3+...+39 = 400)
+	// under "odd"; groups appear in first-appearance order of the joined
+	// stream, which follows fact row order: V=0 is even first.
+	want := [][]string{{"even", "20", "380"}, {"odd", "20", "400"}}
+	if !reflect.DeepEqual(rs.Rows, want) {
+		t.Fatalf("rows = %v, want %v", rs.Rows, want)
+	}
+}
+
+func TestResolverErrorPassesThrough(t *testing.T) {
+	fact := mkTable(t, "fact", []string{"K"}, [][]string{{"a"}})
+	sentinel := fmt.Errorf("boom")
+	res := func(name string) (*colstore.Table, error) {
+		if name == "fact" {
+			return fact, nil
+		}
+		return nil, sentinel
+	}
+	_, err := Run(res, Query{From: "fact", Joins: []Join{{Table: "gone", On: []string{"K"}}}}, nil)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the resolver's sentinel", err)
+	}
+	_, err = Run(res, Query{From: "gone"}, nil)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("single-table err = %v, want the resolver's sentinel", err)
+	}
+}
+
+func TestShapeKeyNormalizesLiterals(t *testing.T) {
+	base := Query{
+		From:  "fact",
+		Joins: []Join{{Table: "dim", On: []string{"K"}}},
+		Where: "F = 'x' AND D != 'y'",
+		Epoch: "7",
+	}
+	other := base
+	other.Where = "F = 'zzz' AND D != 'w'"
+	if shapeKey(base) != shapeKey(other) {
+		t.Fatalf("literal change altered the key:\n%s\n%s", shapeKey(base), shapeKey(other))
+	}
+	shape := base
+	shape.Where = "F = 'x' OR D != 'y'"
+	if shapeKey(base) == shapeKey(shape) {
+		t.Fatal("AND vs OR produced the same key")
+	}
+	epoch := base
+	epoch.Epoch = "8"
+	if shapeKey(base) == shapeKey(epoch) {
+		t.Fatal("epoch change did not alter the key")
+	}
+}
+
+func TestCacheLRU(t *testing.T) {
+	c := NewCache(2)
+	calls := 0
+	fill := func() *spec { calls++; return &spec{} }
+	a := c.lookup("a", fill)
+	if c.lookup("a", fill) != a {
+		t.Fatal("second lookup missed")
+	}
+	c.lookup("b", fill)
+	c.lookup("a", fill) // refresh a: b is now least recent
+	c.lookup("c", fill) // evicts b
+	if hits, misses, entries := c.Stats(); hits != 2 || misses != 3 || entries != 2 {
+		t.Fatalf("stats = %d hits, %d misses, %d entries; want 2, 3, 2", hits, misses, entries)
+	}
+	c.lookup("b", fill) // must refill: b was evicted (and a falls out now)
+	if calls != 4 {
+		t.Fatalf("fill ran %d times, want 4 (a, b, c, b-again)", calls)
+	}
+	c.lookup("c", fill) // still resident
+	if calls != 4 {
+		t.Fatalf("fill ran %d times after c re-lookup, want still 4", calls)
+	}
+}
+
+func TestCacheNilReceiver(t *testing.T) {
+	var c *Cache
+	sp := c.lookup("k", func() *spec { return &spec{order: []int{1}} })
+	if sp == nil || len(sp.order) != 1 {
+		t.Fatalf("nil cache lookup = %+v", sp)
+	}
+}
+
+func TestRunUsesCache(t *testing.T) {
+	res := starJoinFixture(t)
+	c := NewCache(0)
+	q := Query{
+		From:  "fact",
+		Joins: []Join{{Table: "small", On: []string{"SK"}}},
+		Where: "SmallV = 'odd'",
+		Epoch: "1",
+	}
+	first, err := Run(res, q, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Where = "SmallV = 'even'" // same shape, different literal
+	second, err := Run(res, q, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses, _ := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits, %d misses; want 1 hit, 1 miss", hits, misses)
+	}
+	if len(first.Rows)+len(second.Rows) != 40 {
+		t.Fatalf("odd+even rows = %d+%d, want all 40", len(first.Rows), len(second.Rows))
+	}
+	// A new epoch (schema evolution) must miss.
+	q.Epoch = "2"
+	if _, err := Run(res, q, c); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses, _ := c.Stats(); hits != 1 || misses != 2 {
+		t.Fatalf("after epoch bump: %d hits, %d misses; want 1, 2", hits, misses)
+	}
+}
+
+func TestGroupByWithoutAggregates(t *testing.T) {
+	fact := mkTable(t, "fact", []string{"K"}, [][]string{{"a"}})
+	dim := mkTable(t, "dim", []string{"K", "D"}, [][]string{{"a", "d"}})
+	_, err := Run(resolver(fact, dim), Query{
+		From: "fact", Joins: []Join{{Table: "dim", On: []string{"K"}}}, GroupBy: "D",
+	}, nil)
+	if err == nil {
+		t.Fatal("GROUP BY without aggregates accepted")
+	}
+}
+
+func TestEmptyJoinResultIsNonNil(t *testing.T) {
+	fact := mkTable(t, "fact", []string{"K"}, [][]string{{"a"}})
+	dim := mkTable(t, "dim", []string{"K", "D"}, [][]string{{"z", "d"}})
+	rs, err := Run(resolver(fact, dim), Query{
+		From: "fact", Joins: []Join{{Table: "dim", On: []string{"K"}}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Rows == nil || len(rs.Rows) != 0 {
+		t.Fatalf("rows = %#v, want empty non-nil", rs.Rows)
+	}
+}

@@ -48,6 +48,17 @@ func (rp *Repl) Line(line string) (quit bool) {
 	if strings.HasPrefix(line, `\`) {
 		return rp.meta(line)
 	}
+	if field := strings.Fields(line); len(field) > 0 && strings.EqualFold(field[0], "SELECT") {
+		// SELECT is read-only and runs through the planner, not Exec —
+		// the engine would reject it from the mutation path.
+		rs, err := rp.DB.Select(line)
+		if err != nil {
+			fmt.Fprintln(rp.Out, "error:", err)
+			return false
+		}
+		rp.printRows(rs.Columns, rs.Rows)
+		return false
+	}
 	res, err := rp.DB.Exec(line)
 	if err != nil {
 		fmt.Fprintln(rp.Out, "error:", err)
@@ -82,6 +93,9 @@ operators: CREATE/DROP/RENAME/COPY TABLE, UNION TABLES, PARTITION TABLE,
 DECOMPOSE TABLE, MERGE TABLES, ADD/DROP/RENAME COLUMN
 DML: INSERT INTO t VALUES (...), DELETE FROM t [WHERE ...],
 UPDATE t SET c = 'v' [WHERE ...]
+queries: SELECT <list> FROM t [JOIN u ON (k, ...)]... [WHERE ...]
+[GROUP BY g] [ORDER BY c [ASC|DESC]] [LIMIT n] — <list> is *, columns,
+or aggregates (count(*), count_distinct/min/max/sum/avg(c))
 retention: PRUNE KEEP n retires all but the current version's n
 predecessors (n+1 versions stay rollback-able)`
 

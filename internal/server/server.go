@@ -383,17 +383,27 @@ type AggSpec struct {
 	As     string `json:"as,omitempty"`
 }
 
-// QueryRequest is POST /query's body; Table is required, the rest mirror
-// cods.TableQuery.
+// JoinSpec is one inner-join step in a QueryRequest, mirroring
+// cods.Join.
+type JoinSpec struct {
+	Table string   `json:"table"`
+	On    []string `json:"on"`
+}
+
+// QueryRequest is POST /query's body. Either Stmt carries a full SELECT
+// statement (text form), or Table is required and the remaining fields
+// mirror cods.TableQuery; the two shapes cannot mix.
 type QueryRequest struct {
-	Table      string    `json:"table"`
-	Select     []string  `json:"select,omitempty"`
-	Where      string    `json:"where,omitempty"`
-	GroupBy    string    `json:"group_by,omitempty"`
-	Aggregates []AggSpec `json:"aggregates,omitempty"`
-	OrderBy    string    `json:"order_by,omitempty"`
-	Desc       bool      `json:"desc,omitempty"`
-	Limit      int       `json:"limit,omitempty"`
+	Stmt       string     `json:"stmt,omitempty"`
+	Table      string     `json:"table,omitempty"`
+	Select     []string   `json:"select,omitempty"`
+	Joins      []JoinSpec `json:"joins,omitempty"`
+	Where      string     `json:"where,omitempty"`
+	GroupBy    string     `json:"group_by,omitempty"`
+	Aggregates []AggSpec  `json:"aggregates,omitempty"`
+	OrderBy    string     `json:"order_by,omitempty"`
+	Desc       bool       `json:"desc,omitempty"`
+	Limit      int        `json:"limit,omitempty"`
 }
 
 // QueryResponse is POST /query's body on success.
@@ -418,36 +428,51 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) *httpError 
 	if herr := readJSON(r, &req); herr != nil {
 		return herr
 	}
-	if req.Table == "" {
-		return errf(http.StatusBadRequest, "missing table")
-	}
-	q := cods.TableQuery{
-		Select:  req.Select,
-		Where:   req.Where,
-		GroupBy: req.GroupBy,
-		OrderBy: req.OrderBy,
-		Desc:    req.Desc,
-		Limit:   req.Limit,
-	}
-	for _, a := range req.Aggregates {
-		f, ok := aggFuncs[strings.ToLower(a.Func)]
-		if !ok {
-			return errf(http.StatusBadRequest, "unknown aggregate function %q", a.Func)
-		}
-		q.Aggregates = append(q.Aggregates, cods.Agg{Func: f, Column: a.Column, As: a.As})
-	}
+	var rs *cods.ResultSet
+	var err error
 	begin := time.Now()
-	// No existence pre-check: it would race a concurrent evolution (the
-	// table could vanish between the check and the query) and cost a
-	// redundant catalog lookup. RunQuery resolves the table in the same
-	// snapshot it queries; classify its error instead.
-	rs, err := s.db.RunQuery(req.Table, q)
+	if req.Stmt != "" {
+		if req.Table != "" {
+			return errf(http.StatusBadRequest, "set stmt or table, not both")
+		}
+		rs, err = s.db.Select(req.Stmt)
+	} else {
+		if req.Table == "" {
+			return errf(http.StatusBadRequest, "missing table")
+		}
+		q := cods.TableQuery{
+			Select:  req.Select,
+			Where:   req.Where,
+			GroupBy: req.GroupBy,
+			OrderBy: req.OrderBy,
+			Desc:    req.Desc,
+			Limit:   req.Limit,
+		}
+		for _, j := range req.Joins {
+			q.Joins = append(q.Joins, cods.Join{Table: j.Table, On: j.On})
+		}
+		for _, a := range req.Aggregates {
+			f, ok := aggFuncs[strings.ToLower(a.Func)]
+			if !ok {
+				return errf(http.StatusBadRequest, "unknown aggregate function %q", a.Func)
+			}
+			q.Aggregates = append(q.Aggregates, cods.Agg{Func: f, Column: a.Column, As: a.As})
+		}
+		// No existence pre-check: it would race a concurrent evolution (the
+		// table could vanish between the check and the query) and cost a
+		// redundant catalog lookup. RunQuery resolves every table — root
+		// and joins — in the same snapshot it queries; classify its error
+		// instead.
+		rs, err = s.db.RunQuery(req.Table, q)
+	}
 	if err != nil {
 		if errors.Is(err, cods.ErrNoTable) {
+			// An unknown table — queried directly or named in a JOIN —
+			// is "not found", so clients do not retry it as written.
 			return errf(http.StatusNotFound, "%v", err)
 		}
-		// The table exists, so the failure is a bad predicate, column, or
-		// query shape — the client's to fix.
+		// The tables exist, so the failure is a malformed SELECT, bad
+		// predicate, column, or query shape — the client's to fix.
 		return errf(http.StatusBadRequest, "%v", err)
 	}
 	rows := rs.Rows
@@ -594,6 +619,26 @@ type TableSegments struct {
 	MaxRows  uint64 `json:"max_rows"`
 }
 
+// TableColumnStats is one table's planner statistics in GET /stats:
+// the row count plus each column's cardinality inputs (the numbers the
+// query planner's join ordering and selectivity estimates run on).
+type TableColumnStats struct {
+	Table   string        `json:"table"`
+	Rows    uint64        `json:"rows"`
+	Columns []ColumnStats `json:"columns"`
+}
+
+// ColumnStats is one column's cardinality statistics in GET /stats,
+// from colstore.Column.Stats: the dictionary's distinct count, and —
+// when every distinct value parses as an int64 — the numeric bounds.
+type ColumnStats struct {
+	Name     string `json:"name"`
+	Distinct int    `json:"distinct"`
+	Integer  bool   `json:"integer,omitempty"`
+	MinInt   int64  `json:"min_int,omitempty"`
+	MaxInt   int64  `json:"max_int,omitempty"`
+}
+
 // StatsResponse is GET /stats's body.
 type StatsResponse struct {
 	UptimeMS      float64                  `json:"uptime_ms"`
@@ -601,6 +646,7 @@ type StatsResponse struct {
 	InFlight      int64                    `json:"in_flight"`
 	MaxInFlight   int                      `json:"max_in_flight"`
 	Memory        MemoryStats              `json:"memory"`
+	TableStats    []TableColumnStats       `json:"table_stats,omitempty"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
 }
 
@@ -627,6 +673,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) *httpError 
 			MinRows:  t.MinRows,
 			MaxRows:  t.MaxRows,
 		})
+	}
+	// One snapshot for the whole listing, so the per-table statistics
+	// describe a single schema version even under concurrent evolutions.
+	snap := s.db.Snapshot()
+	for _, name := range snap.Tables() {
+		info, err := snap.Describe(name)
+		if err != nil {
+			continue
+		}
+		ts := TableColumnStats{Table: name, Rows: info.Rows}
+		for _, c := range info.Columns {
+			ts.Columns = append(ts.Columns, ColumnStats{
+				Name:     c.Name,
+				Distinct: c.DistinctValues,
+				Integer:  c.Integer,
+				MinInt:   c.MinInt,
+				MaxInt:   c.MaxInt,
+			})
+		}
+		resp.TableStats = append(resp.TableStats, ts)
 	}
 	for path, st := range s.stats {
 		n := st.requests.Load()

@@ -33,6 +33,12 @@ import (
 //
 //	PRUNE KEEP n
 //
+// and the read-only query statement (executed by the planner, never by
+// the engine — see the Select type):
+//
+//	SELECT <list> FROM t [JOIN u ON (k1, ...)]... [WHERE <condition>]
+//	    [GROUP BY g] [ORDER BY c [ASC|DESC]] [LIMIT n]
+//
 // Keywords are case-insensitive; identifiers are case-sensitive.
 func Parse(input string) (Op, error) {
 	p := &opParser{toks: lexOp(input), input: input}
@@ -562,6 +568,9 @@ func (p *opParser) parse() (Op, error) {
 			return nil, fmt.Errorf("expected a non-negative version count, got %q", tok)
 		}
 		return p.end(Prune{Keep: keep})
+
+	case p.keyword("SELECT"):
+		return p.parseSelect()
 
 	case p.keyword("UPDATE"):
 		table, err := p.ident("table name")

@@ -1,0 +1,257 @@
+package smo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Select is the read-only query statement. Unlike the SMOs and DML it
+// never mutates state — the engine rejects it from Apply/WAL replay and
+// the facade routes it to the planner — but it shares the statement
+// lifecycle (text syntax, Parse/String round trip) so queries travel
+// the same text path as evolutions: the REPL, scripts, and the HTTP
+// API speak one language.
+//
+//	SELECT <list> FROM t [JOIN u ON (k1, ...)]... [WHERE <cond>]
+//	    [GROUP BY g] [ORDER BY c [ASC|DESC]] [LIMIT n]
+//
+// <list> is '*', a comma-separated column list, or a comma-separated
+// aggregate list: count(*), count_distinct(c), min(c), max(c), sum(c),
+// avg(c). Columns and aggregates cannot mix.
+type Select struct {
+	// Columns projects named columns; empty with no Aggs means '*'.
+	Columns []string
+	// Aggs computes aggregates instead of projecting columns.
+	Aggs []SelectAgg
+	// From is the probe-side root table.
+	From string
+	// Joins are inner joins applied in written order (the planner may
+	// execute them in another order; written order fixes the schema).
+	Joins []JoinClause
+	// Where is a predicate in the PARTITION condition syntax.
+	Where string
+	// GroupBy groups by one column; requires Aggs.
+	GroupBy string
+	// OrderBy sorts by one output column.
+	OrderBy string
+	// Desc reverses the sort order.
+	Desc bool
+	// Limit caps the row count; 0 means no limit.
+	Limit int
+}
+
+// JoinClause is one JOIN step of a Select.
+type JoinClause struct {
+	Table string
+	// On lists the shared column names to match on (USING-style).
+	On []string
+}
+
+// SelectAgg is one aggregate in a Select list. Func is the lower-case
+// function name; Column is empty for count.
+type SelectAgg struct {
+	Func   string
+	Column string
+}
+
+func (a SelectAgg) String() string {
+	if a.Func == "count" {
+		return "count(*)"
+	}
+	return fmt.Sprintf("%s(%s)", a.Func, a.Column)
+}
+
+// selectAggFuncs are the aggregate function names the parser accepts,
+// matching colquery's aggregate set.
+var selectAggFuncs = map[string]bool{
+	"count": true, "count_distinct": true, "min": true, "max": true,
+	"sum": true, "avg": true,
+}
+
+// Kind implements Op.
+func (Select) Kind() string { return "SELECT" }
+
+func (o Select) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	switch {
+	case len(o.Aggs) > 0:
+		for i, a := range o.Aggs {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(a.String())
+		}
+	case len(o.Columns) > 0:
+		sb.WriteString(joinIdents(o.Columns))
+	default:
+		sb.WriteString("*")
+	}
+	fmt.Fprintf(&sb, " FROM %s", o.From)
+	for _, j := range o.Joins {
+		fmt.Fprintf(&sb, " JOIN %s ON (%s)", j.Table, joinIdents(j.On))
+	}
+	if o.Where != "" {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(o.Where)
+	}
+	if o.GroupBy != "" {
+		sb.WriteString(" GROUP BY ")
+		sb.WriteString(o.GroupBy)
+	}
+	if o.OrderBy != "" {
+		sb.WriteString(" ORDER BY ")
+		sb.WriteString(o.OrderBy)
+		if o.Desc {
+			sb.WriteString(" DESC")
+		}
+	}
+	if o.Limit > 0 {
+		fmt.Fprintf(&sb, " LIMIT %d", o.Limit)
+	}
+	return sb.String()
+}
+
+// parseSelect parses the clauses after the SELECT keyword.
+func (p *opParser) parseSelect() (Op, error) {
+	op := Select{}
+	if !p.keyword("*") {
+		for {
+			t, err := p.ident("column or aggregate")
+			if err != nil {
+				return nil, err
+			}
+			if p.keyword("(") {
+				fn := strings.ToLower(t)
+				if !selectAggFuncs[fn] {
+					return nil, fmt.Errorf("unknown aggregate function %q", t)
+				}
+				agg := SelectAgg{Func: fn}
+				if fn == "count" {
+					if err := p.expectKeyword("*"); err != nil {
+						return nil, err
+					}
+				} else if agg.Column, err = p.ident("aggregate column"); err != nil {
+					return nil, err
+				} else if agg.Column == "*" {
+					return nil, fmt.Errorf("%s takes a column name, not '*'", fn)
+				}
+				if err := p.expectKeyword(")"); err != nil {
+					return nil, err
+				}
+				op.Aggs = append(op.Aggs, agg)
+			} else {
+				if t == "*" {
+					return nil, fmt.Errorf("'*' cannot appear in a column list")
+				}
+				op.Columns = append(op.Columns, t)
+			}
+			if !p.keyword(",") {
+				break
+			}
+		}
+		if len(op.Columns) > 0 && len(op.Aggs) > 0 {
+			return nil, fmt.Errorf("cannot mix plain columns and aggregates in a select list")
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	var err error
+	if op.From, err = p.ident("table name"); err != nil {
+		return nil, err
+	}
+	for p.keyword("JOIN") {
+		j := JoinClause{}
+		if j.Table, err = p.ident("table name"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		if p.peek() == "(" {
+			if j.On, err = p.identList(); err != nil {
+				return nil, err
+			}
+		} else {
+			on, err := p.ident("join column")
+			if err != nil {
+				return nil, err
+			}
+			j.On = []string{on}
+		}
+		op.Joins = append(op.Joins, j)
+	}
+	if p.keyword("WHERE") {
+		if op.Where, err = p.conditionUntilAny("GROUP", "ORDER", "LIMIT"); err != nil {
+			return nil, err
+		}
+	}
+	if p.keyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		if op.GroupBy, err = p.ident("group column"); err != nil {
+			return nil, err
+		}
+	}
+	if p.keyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		if op.OrderBy, err = p.ident("order column"); err != nil {
+			return nil, err
+		}
+		if p.keyword("DESC") {
+			op.Desc = true
+		} else {
+			p.keyword("ASC")
+		}
+	}
+	if p.keyword("LIMIT") {
+		tok, err := p.ident("row limit")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(tok)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("expected a positive row limit, got %q", tok)
+		}
+		op.Limit = n
+	}
+	return p.end(op)
+}
+
+// conditionUntilAny consumes a predicate's tokens until one of the
+// terminating keywords or the end of input, re-quoting string tokens
+// for the expr parser. Unlike condition, reaching the end of input is
+// fine — every terminator here begins an optional clause.
+func (p *opParser) conditionUntilAny(untils ...string) (string, error) {
+	var cond []string
+	for {
+		t := p.peek()
+		if t == "" {
+			break
+		}
+		stop := false
+		for _, u := range untils {
+			if strings.EqualFold(t, u) {
+				stop = true
+				break
+			}
+		}
+		if stop {
+			break
+		}
+		p.pos++
+		if strings.HasPrefix(t, "\x01") {
+			t = "'" + strings.ReplaceAll(t[1:], "'", "''") + "'"
+		}
+		cond = append(cond, t)
+	}
+	if len(cond) == 0 {
+		return "", fmt.Errorf("expected condition")
+	}
+	return strings.Join(cond, " "), nil
+}

@@ -1,0 +1,140 @@
+package smo
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// selectCases pair a canonical Select value with its rendered text.
+// TestSelectStringRoundTrip pins both directions; FuzzParseSelect seeds
+// from the same list.
+var selectCases = []Select{
+	{From: "t"},
+	{Columns: []string{"a"}, From: "t"},
+	{Columns: []string{"a", "b", "c"}, From: "t"},
+	{From: "f", Joins: []JoinClause{{Table: "d", On: []string{"k"}}}},
+	{From: "f", Joins: []JoinClause{
+		{Table: "d", On: []string{"k1", "k2"}},
+		{Table: "e", On: []string{"j"}},
+	}},
+	{From: "t", Where: "a = 'x' AND b != 'y''z'"},
+	{From: "t", Where: "a = 'it''s; here'", OrderBy: "a"},
+	{Aggs: []SelectAgg{{Func: "count"}}, From: "t"},
+	{Aggs: []SelectAgg{
+		{Func: "count"}, {Func: "sum", Column: "v"}, {Func: "avg", Column: "v"},
+		{Func: "min", Column: "v"}, {Func: "max", Column: "v"},
+		{Func: "count_distinct", Column: "v"},
+	}, From: "t"},
+	{Aggs: []SelectAgg{{Func: "count"}}, From: "t", GroupBy: "g"},
+	{Aggs: []SelectAgg{{Func: "sum", Column: "v"}}, From: "f",
+		Joins:   []JoinClause{{Table: "d", On: []string{"k"}}},
+		Where:   "d1 = 'x'",
+		GroupBy: "g", OrderBy: "g", Desc: true, Limit: 5},
+	{Columns: []string{"a"}, From: "t", OrderBy: "a", Desc: true, Limit: 10},
+	{From: "t", Limit: 1},
+}
+
+func TestSelectStringRoundTrip(t *testing.T) {
+	for _, op := range selectCases {
+		text := op.String()
+		back, err := Parse(text)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", text, err)
+			continue
+		}
+		if !reflect.DeepEqual(back, op) {
+			t.Errorf("round trip of %q: got %#v, want %#v", text, back, op)
+		}
+	}
+}
+
+func TestParseSelectForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Select
+	}{
+		// Keywords are case-insensitive, '*' is the default list.
+		{"select * from t", Select{From: "t"}},
+		{"SELECT a, b FROM t", Select{Columns: []string{"a", "b"}, From: "t"}},
+		// A single ON column may be bare; it renders parenthesized.
+		{"SELECT * FROM f JOIN d ON k", Select{From: "f", Joins: []JoinClause{{Table: "d", On: []string{"k"}}}}},
+		{"SELECT * FROM f JOIN d ON (k1, k2)", Select{From: "f", Joins: []JoinClause{{Table: "d", On: []string{"k1", "k2"}}}}},
+		// ASC is accepted and normalizes away.
+		{"SELECT a FROM t ORDER BY a ASC", Select{Columns: []string{"a"}, From: "t", OrderBy: "a"}},
+		{"SELECT count ( * ) FROM t", Select{Aggs: []SelectAgg{{Func: "count"}}, From: "t"}},
+		{"SELECT SUM(v) FROM t", Select{Aggs: []SelectAgg{{Func: "sum", Column: "v"}}, From: "t"}},
+		// WHERE runs to the next clause keyword, quoting literals.
+		{"SELECT * FROM t WHERE a = 'x y' ORDER BY b LIMIT 3",
+			Select{From: "t", Where: "a = 'x y'", OrderBy: "b", Limit: 3}},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Parse(%q) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseSelectErrors(t *testing.T) {
+	bad := []string{
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT * FROM",
+		"SELECT a, count(*) FROM t",      // mixing columns and aggregates
+		"SELECT median(v) FROM t",        // unknown aggregate
+		"SELECT count(v) FROM t",         // count takes '*'
+		"SELECT sum(*) FROM t",           // sum takes a column
+		"SELECT * FROM f JOIN d",         // missing ON
+		"SELECT * FROM f JOIN d ON ()",   // empty ON list
+		"SELECT * FROM t WHERE",          // missing condition
+		"SELECT * FROM t GROUP BY",       // missing column
+		"SELECT * FROM t ORDER BY",       // missing column
+		"SELECT * FROM t LIMIT 0",        // limit must be positive
+		"SELECT * FROM t LIMIT many",     // limit must be a number
+		"SELECT * FROM t trailing stuff", // trailing input
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+// FuzzParseSelect feeds arbitrary text through Parse and checks the
+// SELECT serialization contract on whatever parses as a Select: the
+// statement travels as text (REPL, scripts, HTTP /query), so rendering
+// and reparsing must reach a fixpoint. Non-parsing inputs must fail
+// with an error, never panic or loop.
+func FuzzParseSelect(f *testing.F) {
+	for _, op := range selectCases {
+		f.Add(op.String())
+	}
+	f.Add("select * from t where a = 'x;y' group by a order by a desc limit 2")
+	f.Add("SELECT count ( * ) , sum ( v ) FROM t JOIN u ON ( k )")
+	f.Fuzz(func(t *testing.T, input string) {
+		op, err := Parse(input)
+		if err != nil {
+			return // rejected input; only parsed ones carry contracts
+		}
+		sel, ok := op.(Select)
+		if !ok {
+			return // some other statement kind; covered by its own fuzzer
+		}
+		text := sel.String()
+		if !strings.HasPrefix(text, "SELECT ") {
+			t.Fatalf("String() = %q, want SELECT prefix", text)
+		}
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Parse(%q) of rendered Select failed: %v", text, err)
+		}
+		if !reflect.DeepEqual(back, sel) {
+			t.Fatalf("round trip of %q: got %#v, want %#v", text, back, sel)
+		}
+	})
+}

@@ -44,6 +44,7 @@ var AllOps = []Op{
 	Prune{Keep: 1},
 	RenameColumn{Table: "t", From: "a", To: "b"},
 	RenameTable{From: "a", To: "b"},
+	Select{From: "t"},
 	UnionTables{A: "a", B: "b", Out: "c"},
 	Update{Table: "t", Column: "c", Value: "v"},
 }

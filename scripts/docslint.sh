@@ -5,8 +5,9 @@
 #    packages "// Package <name> ...", commands "// Command ...".
 # 2. BENCHMARKS.md must not drift from the code it documents: every
 #    `codsbench htap -flag` it shows must exist in `codsbench htap -h`,
-#    every plain `codsbench -flag` in `codsbench -h`, and every
-#    `make <target>` it references must be a real Makefile target.
+#    every `codsbench joins -flag` in `codsbench joins -h`, every plain
+#    `codsbench -flag` in `codsbench -h`, and every `make <target>` it
+#    references must be a real Makefile target.
 # 3. Every `cods serve` flag must be documented: each flag that
 #    `cods serve -h` reports must appear (backticked) in README.md and
 #    in the cmd/cods command doc comment's usage block.
@@ -17,6 +18,11 @@
 #    comment of a type declaration, and that type must be named in
 #    ARCHITECTURE.md's codslint section — a marker on a deleted or
 #    renamed type is dead enforcement.
+# 6. The documented SELECT grammar must not drift from the parser:
+#    every clause keyword internal/smo/select.go accepts (the
+#    keyword()/expectKeyword() literals) must appear in README.md's
+#    query-syntax docs, so a grammar extension cannot land
+#    undocumented.
 #
 # Run from the repository root (CI's docs-lint step, `make docs-lint`).
 set -u
@@ -44,6 +50,7 @@ if [ -f BENCHMARKS.md ]; then
     # substring of -slo-read-p99. The while loops run in subshells, so
     # violations are collected via their stdout rather than a variable.
     htap_help=$(go run ./cmd/codsbench htap -h 2>&1)
+    joins_help=$(go run ./cmd/codsbench joins -h 2>&1)
     main_help=$(go run ./cmd/codsbench -h 2>&1)
 
     check_flags() {
@@ -59,6 +66,7 @@ if [ -f BENCHMARKS.md ]; then
     }
     viol=$(
         check_flags "htap" 'codsbench htap ' "$htap_help"
+        check_flags "joins" 'codsbench joins ' "$joins_help"
         check_flags "" 'codsbench -' "$main_help"
         grep -oE '`make [a-z][a-z-]*`' BENCHMARKS.md | tr -d '`' | sort -u |
         while read -r _ target; do
@@ -131,5 +139,26 @@ if [ -n "$viol" ]; then
     fail=1
 fi
 
-[ "$fail" -eq 0 ] && echo "docslint: all packages documented, benchmark, flag, and codslint docs consistent"
+# SELECT grammar: the parser's accepted clause keywords (the quoted
+# uppercase literals in keyword()/expectKeyword() calls in select.go,
+# plus SELECT itself) are the source of truth; README.md's query docs
+# must name every one of them.
+viol=$(
+    {
+        echo SELECT
+        grep -oE '(expectKeyword|keyword)\("[A-Z]+"\)' internal/smo/select.go |
+            grep -oE '"[A-Z]+"' | tr -d '"'
+    } | sort -u |
+    while read -r kw; do
+        if ! grep -qw "$kw" README.md; then
+            echo "docslint: SELECT clause keyword $kw (internal/smo/select.go) is not documented in README.md"
+        fi
+    done
+)
+if [ -n "$viol" ]; then
+    echo "$viol"
+    fail=1
+fi
+
+[ "$fail" -eq 0 ] && echo "docslint: all packages documented, benchmark, flag, grammar, and codslint docs consistent"
 exit $fail

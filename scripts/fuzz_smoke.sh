@@ -11,6 +11,7 @@ for target in \
 	"cods/internal/wah FuzzOrAllP" \
 	"cods/internal/wah FuzzRunsDecode" \
 	"cods/internal/smo FuzzParseScriptRoundTrip" \
+	"cods/internal/smo FuzzParseSelect" \
 ; do
 	pkg=${target% *}
 	fn=${target#* }

@@ -160,6 +160,12 @@ func runSegProp(t *testing.T, seed int64, nops int) {
 			}
 		case "exec":
 			for _, stmt := range stmts {
+				var preDecompose [][]string
+				if evolve == "decomposed" {
+					if rows, err := sut.Rows("T", 0, 0); err == nil {
+						preDecompose = rows
+					}
+				}
 				_, e1 := sut.Exec(stmt)
 				_, e2 := oracle.Exec(stmt)
 				if (e1 == nil) != (e2 == nil) {
@@ -167,6 +173,9 @@ func runSegProp(t *testing.T, seed int64, nops int) {
 				}
 				if e1 != nil {
 					continue
+				}
+				if evolve == "decomposed" {
+					checkDecomposeJoinOracle(t, step, sut, oracle, preDecompose)
 				}
 				if evolve != "" {
 					okEvolve++
@@ -226,6 +235,44 @@ func updateTargets(decomposed, partitioned bool) []string {
 // tables, byte-identical row sequences (segmented flush must preserve the
 // exact row order the rebuild produces), and matching point-, range- and
 // count-query results.
+// checkDecomposeJoinOracle asserts the evolution oracle right after a
+// DECOMPOSE lands: SELECT joining the outputs on the shared key must be
+// byte-identical — row set and aggregate results — to the scan of the
+// pre-DECOMPOSE table, on both the segmented SUT and the rebuild oracle.
+// The equivalence is the lossless-join guarantee, so it only holds when
+// the decomposition's FDs did: with a duplicate key in T the join
+// legitimately fans out, and the check skips.
+func checkDecomposeJoinOracle(t *testing.T, step int, sut, oracle *cods.DB, pre [][]string) {
+	t.Helper()
+	seen := make(map[string]bool, len(pre))
+	distinctG := make(map[string]bool)
+	for _, r := range pre {
+		if seen[r[0]] {
+			return // duplicate key: decomposition was lossy by design
+		}
+		seen[r[0]] = true
+		distinctG[r[1]] = true
+	}
+	for _, db := range []*cods.DB{sut, oracle} {
+		rs, err := db.Select("SELECT K, G, V FROM A JOIN B ON (K)")
+		if err != nil {
+			t.Fatalf("step %d: join over decomposed outputs: %v", step, err)
+		}
+		if got, want := sortedRows(rs.Rows), sortedRows(pre); !reflect.DeepEqual(got, want) {
+			t.Fatalf("step %d: A⋈B (%d rows) diverged from pre-DECOMPOSE T (%d rows)",
+				step, len(got), len(want))
+		}
+		ag, err := db.Select("SELECT count(*), count_distinct(G) FROM A JOIN B ON (K)")
+		if err != nil {
+			t.Fatalf("step %d: aggregates over decomposed outputs: %v", step, err)
+		}
+		want := [][]string{{fmt.Sprint(len(pre)), fmt.Sprint(len(distinctG))}}
+		if !reflect.DeepEqual(ag.Rows, want) {
+			t.Fatalf("step %d: join aggregates %v, want %v", step, ag.Rows, want)
+		}
+	}
+}
+
 func compareDBs(t *testing.T, step int, sut, oracle *cods.DB, nextKey int, rng *rand.Rand) {
 	t.Helper()
 	ts1, ts2 := sut.Tables(), oracle.Tables()
